@@ -1,0 +1,62 @@
+//! Criterion microbenchmark behind Figure 3's communication component:
+//! wall-clock cost of the real shared-memory all-reduce (per-tensor vs
+//! coalesced) across worker counts, using the actual IGNN parameter
+//! census. The virtual-clock α–β model is benchmarked implicitly by the
+//! fig3 harness; this measures the mechanical reduction work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use trkx_ddp::{run_workers, AllReduceStrategy, AllReducer, CommCostModel};
+use trkx_ignn::{IgnnConfig, InteractionGnn};
+use trkx_nn::Param;
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce");
+    group.sample_size(10);
+    let icfg = IgnnConfig::new(6, 2).with_hidden(64).with_gnn_layers(8).with_mlp_depth(2);
+    let mut rng = StdRng::seed_from_u64(0);
+    let template = InteractionGnn::new(icfg, &mut rng);
+    let shapes: Vec<(usize, usize)> = template
+        .params()
+        .iter()
+        .map(|p| (p.value.rows(), p.value.cols()))
+        .collect();
+
+    for p in [2usize, 4] {
+        for (label, strategy) in [
+            ("per_tensor", AllReduceStrategy::PerTensor),
+            ("coalesced", AllReduceStrategy::Coalesced),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("p{p}")),
+                &shapes,
+                |b, shapes| {
+                    b.iter(|| {
+                        let reducer = AllReducer::new(p, CommCostModel::nvlink3());
+                        run_workers(p, |rank| {
+                            let mut params: Vec<Param> = shapes
+                                .iter()
+                                .enumerate()
+                                .map(|(i, &(r, c))| {
+                                    let mut prm = Param::new(
+                                        format!("t{i}"),
+                                        trkx_tensor::Matrix::zeros(r, c),
+                                    );
+                                    prm.grad = trkx_tensor::Matrix::full(r, c, rank as f32);
+                                    prm
+                                })
+                                .collect();
+                            let mut refs: Vec<&mut Param> = params.iter_mut().collect();
+                            reducer.sync_gradients(rank, &mut refs, strategy);
+                        });
+                        std::hint::black_box(reducer.num_calls());
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce);
+criterion_main!(benches);

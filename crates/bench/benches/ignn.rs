@@ -1,0 +1,85 @@
+//! Criterion microbenchmark behind Figure 3's *training time* bars and
+//! Figure 4's per-epoch cost: one IGNN forward+backward+update step as a
+//! function of subgraph size, plus full-graph versus sampled-subgraph
+//! step cost (the memory/time asymmetry motivating minibatching).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
+use trkx_core::{prepare_graphs, PreparedGraph};
+use trkx_detector::DatasetConfig;
+use trkx_ignn::{IgnnConfig, InteractionGnn};
+use trkx_nn::{bce_with_logits, Adam, Bindings, Optimizer};
+use trkx_sampling::{BulkShadowSampler, ShadowConfig};
+use trkx_tensor::Tape;
+
+fn step(model: &mut InteractionGnn, opt: &mut Adam, g: &PreparedGraph) -> f32 {
+    let mut tape = Tape::new();
+    let mut bind = Bindings::new();
+    let logits = model.forward(&mut tape, &mut bind, &g.x, &g.y, g.src.clone(), g.dst.clone());
+    let loss = bce_with_logits(&mut tape, logits, &g.labels, 1.0);
+    let v = tape.value(loss).as_scalar();
+    tape.backward(loss);
+    let mut params = model.params_mut();
+    bind.harvest(&tape, &mut params);
+    opt.step(&mut params);
+    for p in params {
+        p.zero_grad();
+    }
+    v
+}
+
+fn bench_ignn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ignn_train_step");
+    group.sample_size(10);
+
+    // Full-graph step cost at growing event sizes.
+    for scale in [0.01f64, 0.03] {
+        let cfg = DatasetConfig::ex3_like(scale);
+        let prepared = prepare_graphs(&cfg.generate(1, 5));
+        let g = &prepared[0];
+        let icfg = IgnnConfig::new(6, 2).with_hidden(32).with_gnn_layers(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = InteractionGnn::new(icfg, &mut rng);
+        let mut opt = Adam::new(1e-3);
+        group.bench_with_input(
+            BenchmarkId::new("full_graph", format!("{} edges", g.num_edges())),
+            g,
+            |b, g| b.iter(|| std::hint::black_box(step(&mut model, &mut opt, g))),
+        );
+    }
+
+    // Sampled-subgraph step at the paper's batch size.
+    {
+        let cfg = DatasetConfig::ex3_like(0.03);
+        let prepared = prepare_graphs(&cfg.generate(1, 5));
+        let g = &prepared[0];
+        let batch: Vec<u32> = (0..256.min(g.num_nodes as u32)).collect();
+        let sub = BulkShadowSampler::new(ShadowConfig { depth: 3, fanout: 6 })
+            .sample_batches(&g.sampler, &[batch], 3)
+            .remove(0);
+        let (x, y, labels) = g.subgraph_matrices(&sub);
+        let sub_prepared = PreparedGraph {
+            num_nodes: sub.num_nodes(),
+            x,
+            y,
+            src: Arc::new(sub.sub_src.clone()),
+            dst: Arc::new(sub.sub_dst.clone()),
+            labels,
+            sampler: g.sampler.clone(),
+        };
+        let icfg = IgnnConfig::new(6, 2).with_hidden(32).with_gnn_layers(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut model = InteractionGnn::new(icfg, &mut rng);
+        let mut opt = Adam::new(1e-3);
+        group.bench_with_input(
+            BenchmarkId::new("shadow_batch256", format!("{} edges", sub_prepared.num_edges())),
+            &sub_prepared,
+            |b, g| b.iter(|| std::hint::black_box(step(&mut model, &mut opt, g))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ignn);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion microbenchmark behind Figure 3's *sampling time* bars:
+//! per-minibatch cost of the sequential ShaDow baseline versus
+//! matrix-based bulk sampling at several bulk factors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use trkx_detector::DatasetConfig;
+use trkx_sampling::{
+    vertex_batches, BulkShadowSampler, SamplerGraph, ShadowConfig, ShadowSampler,
+};
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shadow_sampling");
+    group.sample_size(10);
+    for (name, scale) in [("ex3", 0.05f64), ("ctd", 0.002f64)] {
+        let cfg = if name == "ex3" {
+            DatasetConfig::ex3_like(scale)
+        } else {
+            DatasetConfig::ctd_like(scale)
+        };
+        let g = &cfg.generate(1, 11)[0];
+        let graph = SamplerGraph::new(g.num_nodes, &g.src, &g.dst);
+        let mut rng = StdRng::seed_from_u64(1);
+        let batches = vertex_batches(g.num_nodes, 256, &mut rng);
+        let shadow = ShadowConfig { depth: 3, fanout: 6 };
+
+        group.bench_with_input(BenchmarkId::new("baseline", name), &batches, |b, batches| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                for batch in batches {
+                    std::hint::black_box(
+                        ShadowSampler::new(shadow).sample_batch(&graph, batch, &mut rng),
+                    );
+                }
+            })
+        });
+        for k in [2usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("bulk_k{k}"), name),
+                &batches,
+                |b, batches| {
+                    b.iter(|| {
+                        for chunk in batches.chunks(k) {
+                            std::hint::black_box(
+                                BulkShadowSampler::new(shadow).sample_batches(&graph, chunk, 3),
+                            );
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

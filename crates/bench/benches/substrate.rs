@@ -1,0 +1,93 @@
+//! Criterion microbenchmarks for the substrate kernels the sampling and
+//! training paths are built from: SpGEMM, induced-subgraph extraction,
+//! dense matmul, and gather/scatter (the message-passing primitives).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use trkx_sparse::{adjacency_with_edge_ids, extract_induced_direct, InducedExtractor};
+use trkx_tensor::Matrix;
+
+fn random_graph(n: usize, avg_degree: usize, seed: u64) -> (Vec<u32>, Vec<u32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = n * avg_degree;
+    let mut set = std::collections::BTreeSet::new();
+    while set.len() < m {
+        let s = rng.gen_range(0..n as u32);
+        let d = rng.gen_range(0..n as u32);
+        if s != d {
+            set.insert((s, d));
+        }
+    }
+    set.into_iter().unzip()
+}
+
+fn bench_spgemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spgemm");
+    group.sample_size(10);
+    for n in [500usize, 2000] {
+        let (src, dst) = random_graph(n, 8, 1);
+        let a = adjacency_with_edge_ids(n, &src, &dst).map_vals(|v| (v + 1) as f32);
+        group.bench_with_input(BenchmarkId::new("a_times_a", n), &a, |b, a| {
+            b.iter(|| std::hint::black_box(a.spgemm(a)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("induced_extraction");
+    group.sample_size(20);
+    let n = 5000;
+    let (src, dst) = random_graph(n, 10, 2);
+    let a = adjacency_with_edge_ids(n, &src, &dst);
+    let mut rng = StdRng::seed_from_u64(3);
+    let selections: Vec<Vec<u32>> = (0..64)
+        .map(|_| {
+            let mut s: Vec<u32> = (0..200).map(|_| rng.gen_range(0..n as u32)).collect();
+            s.sort_unstable();
+            s.dedup();
+            s
+        })
+        .collect();
+    group.bench_function("hashmap_per_call", |b| {
+        b.iter(|| {
+            for sel in &selections {
+                std::hint::black_box(extract_induced_direct(&a, sel));
+            }
+        })
+    });
+    group.bench_function("generation_stamped", |b| {
+        let mut ex = InducedExtractor::new(n);
+        let mut edges = Vec::new();
+        b.iter(|| {
+            for sel in &selections {
+                edges.clear();
+                std::hint::black_box(ex.extract_into(&a, sel, &mut edges));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_kernels");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(4);
+    let a = Matrix::randn(4096, 192, 1.0, &mut rng);
+    let w = Matrix::randn(192, 64, 1.0, &mut rng);
+    group.bench_function("matmul_4096x192x64", |b| {
+        b.iter(|| std::hint::black_box(a.matmul(&w)))
+    });
+    let idx: Vec<u32> = (0..8192).map(|_| rng.gen_range(0..4096u32)).collect();
+    group.bench_function("gather_8192_rows", |b| {
+        b.iter(|| std::hint::black_box(a.gather_rows(&idx)))
+    });
+    let msgs = Matrix::randn(8192, 64, 1.0, &mut rng);
+    group.bench_function("scatter_add_8192_rows", |b| {
+        b.iter(|| std::hint::black_box(msgs.scatter_add_rows(&idx, 4096)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spgemm, bench_extraction, bench_dense);
+criterion_main!(benches);

@@ -1,0 +1,176 @@
+//! Model checkpointing: a PyTorch-`state_dict`-like named-tensor map,
+//! serialised as JSON, matched back onto parameters by name and shape.
+//! A trained GNN stage (or any stack of [`trkx_nn::Param`]s) can be
+//! saved and restored bit-for-bit.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use trkx_nn::Param;
+use trkx_tensor::Matrix;
+
+/// One serialised tensor.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct TensorEntry {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<f32>,
+}
+
+/// Named-tensor checkpoint.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct Checkpoint {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    pub tensors: BTreeMap<String, TensorEntry>,
+}
+
+/// Errors from applying a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    MissingTensor(String),
+    ShapeMismatch { name: String, expected: (usize, usize), found: (usize, usize) },
+    Io(String),
+    Parse(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::MissingTensor(n) => write!(f, "checkpoint missing tensor {n}"),
+            CheckpointError::ShapeMismatch { name, expected, found } => write!(
+                f,
+                "tensor {name}: expected {}x{}, checkpoint has {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Parse(e) => write!(f, "checkpoint parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl Checkpoint {
+    /// Capture the current values of `params`, keyed by parameter name.
+    pub fn from_params(params: &[&Param]) -> Self {
+        let mut tensors = BTreeMap::new();
+        for p in params {
+            let prev = tensors.insert(
+                p.name().to_string(),
+                TensorEntry {
+                    rows: p.value.rows(),
+                    cols: p.value.cols(),
+                    data: p.value.data().to_vec(),
+                },
+            );
+            assert!(prev.is_none(), "duplicate parameter name {}", p.name());
+        }
+        Self { version: 1, tensors }
+    }
+
+    /// Restore values into `params` by name. Every param must be present
+    /// with a matching shape; extra checkpoint tensors are ignored.
+    pub fn apply_to(&self, params: &mut [&mut Param]) -> Result<(), CheckpointError> {
+        for p in params.iter_mut() {
+            let entry = self
+                .tensors
+                .get(p.name())
+                .ok_or_else(|| CheckpointError::MissingTensor(p.name().to_string()))?;
+            let expected = (p.value.rows(), p.value.cols());
+            let found = (entry.rows, entry.cols);
+            if expected != found {
+                return Err(CheckpointError::ShapeMismatch {
+                    name: p.name().to_string(),
+                    expected,
+                    found,
+                });
+            }
+            p.value = Matrix::from_vec(entry.rows, entry.cols, entry.data.clone());
+        }
+        Ok(())
+    }
+
+    /// Total scalars stored.
+    pub fn numel(&self) -> usize {
+        self.tensors.values().map(|t| t.data.len()).sum()
+    }
+
+    /// Serialise to a JSON file.
+    pub fn save_json(&self, path: impl AsRef<std::path::Path>) -> Result<(), CheckpointError> {
+        let json = serde_json::to_string(self).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+        std::fs::write(path, json).map_err(|e| CheckpointError::Io(e.to_string()))
+    }
+
+    /// Load from a JSON file.
+    pub fn load_json(path: impl AsRef<std::path::Path>) -> Result<Self, CheckpointError> {
+        let json =
+            std::fs::read_to_string(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        serde_json::from_str(&json).map_err(|e| CheckpointError::Parse(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gnn_stage::{infer_logits, prepare_graphs, GnnTrainConfig};
+    use rand::{rngs::StdRng, SeedableRng};
+    use trkx_detector::DatasetConfig;
+    use trkx_ignn::InteractionGnn;
+
+    #[test]
+    fn roundtrip_restores_predictions() {
+        let graphs = prepare_graphs(&DatasetConfig::ex3_like(0.01).generate(1, 3));
+        let cfg = GnnTrainConfig { hidden: 8, gnn_layers: 2, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = InteractionGnn::new(cfg.ignn_config(6, 2), &mut rng);
+        let before = infer_logits(&model, &graphs[0]);
+
+        let ckpt = Checkpoint::from_params(&model.params());
+        assert!(ckpt.numel() > 0);
+
+        // A differently initialised model predicts differently...
+        let mut rng2 = StdRng::seed_from_u64(2);
+        let mut other = InteractionGnn::new(cfg.ignn_config(6, 2), &mut rng2);
+        let different = infer_logits(&other, &graphs[0]);
+        assert!(before.iter().zip(&different).any(|(a, b)| (a - b).abs() > 1e-6));
+
+        // ...until the checkpoint is applied.
+        let mut params = other.params_mut();
+        ckpt.apply_to(&mut params).unwrap();
+        let after = infer_logits(&other, &graphs[0]);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut p = Param::new("w", Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        let ckpt = Checkpoint::from_params(&[&p]);
+        let dir = std::env::temp_dir().join("trkx_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        ckpt.save_json(&path).unwrap();
+        let loaded = Checkpoint::load_json(&path).unwrap();
+        assert_eq!(loaded, ckpt);
+        p.value = Matrix::zeros(2, 2);
+        loaded.apply_to(&mut [&mut p]).unwrap();
+        assert_eq!(p.value.data(), &[1., 2., 3., 4.]);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn missing_tensor_is_an_error() {
+        let ckpt = Checkpoint::default();
+        let mut p = Param::new("absent", Matrix::zeros(1, 1));
+        let err = ckpt.apply_to(&mut [&mut p]).unwrap_err();
+        assert!(matches!(err, CheckpointError::MissingTensor(_)));
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let p_src = Param::new("w", Matrix::zeros(2, 3));
+        let ckpt = Checkpoint::from_params(&[&p_src]);
+        let mut p_dst = Param::new("w", Matrix::zeros(3, 2));
+        let err = ckpt.apply_to(&mut [&mut p_dst]).unwrap_err();
+        assert!(matches!(err, CheckpointError::ShapeMismatch { .. }), "{err}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Score-based evaluation curves: ROC AUC, precision/recall sweeps, and
+//! the best-threshold search used to pick the track-building cut.
+
+/// One point of a threshold sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    pub threshold: f32,
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+}
+
+/// Area under the ROC curve via the rank-sum (Mann–Whitney) estimator;
+/// ties share rank. Returns 0.5 when either class is empty.
+pub fn roc_auc(scores: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l > 0.5).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    // Average ranks over tie groups.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j < order.len() && scores[order[j]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j + 1) as f64 / 2.0; // 1-based average rank
+        for &idx in &order[i..j] {
+            if labels[idx] > 0.5 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j;
+    }
+    (rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64)
+}
+
+/// Precision/recall/F1 at each of `num_points` evenly spaced probability
+/// thresholds (logit scores are converted internally).
+pub fn threshold_sweep(logits: &[f32], labels: &[f32], num_points: usize) -> Vec<SweepPoint> {
+    assert!(num_points >= 2, "need at least two sweep points");
+    (0..num_points)
+        .map(|i| {
+            let threshold = (i as f32 + 0.5) / num_points as f32;
+            let stats = trkx_nn::BinaryStats::from_logits(logits, labels, threshold);
+            SweepPoint {
+                threshold,
+                precision: stats.precision(),
+                recall: stats.recall(),
+                f1: stats.f1(),
+            }
+        })
+        .collect()
+}
+
+/// The threshold maximising F1 over a sweep.
+pub fn best_f1_threshold(logits: &[f32], labels: &[f32], num_points: usize) -> SweepPoint {
+    threshold_sweep(logits, labels, num_points)
+        .into_iter()
+        .max_by(|a, b| a.f1.partial_cmp(&b.f1).unwrap())
+        .expect("non-empty sweep")
+}
+
+/// Track efficiency binned by particle pT — the standard HEP efficiency
+/// plot. `matched` and `pt` are per-particle; bin edges in GeV.
+pub fn efficiency_vs_pt(
+    pt: &[f32],
+    matched: &[bool],
+    bin_edges: &[f32],
+) -> Vec<(f32, f32, f64, usize)> {
+    assert_eq!(pt.len(), matched.len(), "pt/matched length mismatch");
+    assert!(bin_edges.len() >= 2, "need at least one bin");
+    let mut out = Vec::with_capacity(bin_edges.len() - 1);
+    for w in bin_edges.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        let in_bin: Vec<usize> = pt
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p >= lo && p < hi)
+            .map(|(i, _)| i)
+            .collect();
+        let total = in_bin.len();
+        let n_matched = in_bin.iter().filter(|&&i| matched[i]).count();
+        let eff = if total == 0 { 0.0 } else { n_matched as f64 / total as f64 };
+        out.push((lo, hi, eff, total));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_separation() {
+        let scores = [0.9f32, 0.8, 0.2, 0.1];
+        let labels = [1.0f32, 1.0, 0.0, 0.0];
+        assert_eq!(roc_auc(&scores, &labels), 1.0);
+        // Inverted scores give 0.
+        let inv: Vec<f32> = scores.iter().map(|s| -s).collect();
+        assert_eq!(roc_auc(&inv, &labels), 0.0);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        // Alternating labels with identical scores: ties → 0.5.
+        let scores = [0.5f32; 10];
+        let labels: Vec<f32> = (0..10).map(|i| (i % 2) as f32).collect();
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_degenerate_classes() {
+        assert_eq!(roc_auc(&[1.0, 2.0], &[1.0, 1.0]), 0.5);
+        assert_eq!(roc_auc(&[1.0, 2.0], &[0.0, 0.0]), 0.5);
+    }
+
+    #[test]
+    fn auc_partial_overlap() {
+        // One inversion among 2x2: AUC = 3/4.
+        let scores = [0.9f32, 0.4, 0.6, 0.1];
+        let labels = [1.0f32, 1.0, 0.0, 0.0];
+        assert!((roc_auc(&scores, &labels) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_tradeoff_is_monotone() {
+        let logits: Vec<f32> = (0..100).map(|i| (i as f32 - 50.0) / 10.0).collect();
+        let labels: Vec<f32> = (0..100).map(|i| if i > 40 { 1.0 } else { 0.0 }).collect();
+        let sweep = threshold_sweep(&logits, &labels, 9);
+        for w in sweep.windows(2) {
+            assert!(w[1].recall <= w[0].recall + 1e-9, "recall not non-increasing");
+        }
+        let best = best_f1_threshold(&logits, &labels, 9);
+        assert!(best.f1 >= sweep[0].f1 && best.f1 >= sweep.last().unwrap().f1);
+    }
+
+    #[test]
+    fn efficiency_vs_pt_bins() {
+        let pt = [0.6f32, 0.7, 1.5, 2.5, 3.5, 3.6];
+        let matched = [true, false, true, true, false, false];
+        let bins = efficiency_vs_pt(&pt, &matched, &[0.5, 1.0, 2.0, 4.0]);
+        assert_eq!(bins.len(), 3);
+        assert_eq!(bins[0].3, 2);
+        assert!((bins[0].2 - 0.5).abs() < 1e-9);
+        assert_eq!(bins[1].3, 1);
+        assert_eq!(bins[1].2, 1.0);
+        assert_eq!(bins[2].3, 3);
+        assert!((bins[2].2 - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn auc_length_mismatch_panics() {
+        let _ = roc_auc(&[1.0], &[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Early stopping on a validation metric — standard training-loop
+//! utility for the pipeline stages.
+
+/// Tracks a higher-is-better validation metric and signals when it has
+/// not improved by at least `min_delta` for `patience` consecutive checks.
+#[derive(Debug, Clone)]
+pub struct EarlyStopping {
+    patience: usize,
+    min_delta: f64,
+    best: f64,
+    best_epoch: usize,
+    checks: usize,
+    stale: usize,
+}
+
+impl EarlyStopping {
+    pub fn new(patience: usize, min_delta: f64) -> Self {
+        Self {
+            patience,
+            min_delta,
+            best: f64::NEG_INFINITY,
+            best_epoch: 0,
+            checks: 0,
+            stale: 0,
+        }
+    }
+
+    /// Record one validation value; returns `true` when training should
+    /// stop.
+    pub fn update(&mut self, value: f64) -> bool {
+        self.checks += 1;
+        if value > self.best + self.min_delta {
+            self.best = value;
+            self.best_epoch = self.checks - 1;
+            self.stale = 0;
+        } else {
+            self.stale += 1;
+        }
+        self.stale > self.patience
+    }
+
+    /// Best value seen so far.
+    pub fn best(&self) -> f64 {
+        self.best
+    }
+
+    /// 0-based epoch index of the best value.
+    pub fn best_epoch(&self) -> usize {
+        self.best_epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stops_after_patience_exceeded() {
+        let mut es = EarlyStopping::new(2, 0.0);
+        assert!(!es.update(0.5));
+        assert!(!es.update(0.6)); // improvement
+        assert!(!es.update(0.55)); // stale 1
+        assert!(!es.update(0.58)); // stale 2
+        assert!(es.update(0.59)); // stale 3 > patience 2
+        assert_eq!(es.best(), 0.6);
+        assert_eq!(es.best_epoch(), 1);
+    }
+
+    #[test]
+    fn min_delta_requires_real_improvement() {
+        let mut es = EarlyStopping::new(1, 0.05);
+        assert!(!es.update(0.50));
+        assert!(!es.update(0.52)); // below min_delta: stale 1
+        assert!(es.update(0.54)); // stale 2 > patience 1
+    }
+
+    #[test]
+    fn continual_improvement_never_stops() {
+        let mut es = EarlyStopping::new(0, 0.0);
+        for i in 0..100 {
+            assert!(!es.update(i as f64), "stopped at {i}");
+        }
+        assert_eq!(es.best_epoch(), 99);
+    }
+}

@@ -1,0 +1,222 @@
+//! Stage 1: metric-learning embedding. An MLP maps each hit's features
+//! into a low-dimensional space where hits of the same particle land
+//! close together (paper §II-A), trained with a contrastive hinge loss on
+//! truth pairs.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use trkx_detector::Event;
+use trkx_nn::{contrastive_hinge_loss, Activation, Adam, Bindings, Mlp, MlpConfig, Optimizer};
+use trkx_tensor::{Matrix, Tape};
+
+/// Embedding-stage hyperparameters.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct EmbeddingConfig {
+    /// Embedding dimension (the space the radius graph is built in).
+    pub dim: usize,
+    pub hidden: usize,
+    pub depth: usize,
+    /// Hinge margin on squared distance.
+    pub margin: f32,
+    pub learning_rate: f32,
+    pub epochs: usize,
+    /// Negative pairs drawn per positive pair.
+    pub negatives_per_positive: usize,
+    pub seed: u64,
+}
+
+impl Default for EmbeddingConfig {
+    fn default() -> Self {
+        Self {
+            dim: 8,
+            hidden: 64,
+            depth: 3,
+            margin: 1.0,
+            learning_rate: 2e-3,
+            epochs: 20,
+            negatives_per_positive: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// Training pairs for one event: truth edges as positives, random
+/// cross-particle pairs as negatives.
+pub fn build_pairs(
+    event: &Event,
+    negatives_per_positive: usize,
+    rng: &mut impl Rng,
+) -> (Vec<u32>, Vec<u32>, Vec<f32>) {
+    let truth = event.truth_edges();
+    let n = event.num_hits() as u32;
+    let mut pi = Vec::new();
+    let mut pj = Vec::new();
+    let mut labels = Vec::new();
+    for &(a, b) in &truth {
+        pi.push(a);
+        pj.push(b);
+        labels.push(1.0);
+        for _ in 0..negatives_per_positive {
+            // Rejection-sample a pair from different particles.
+            for _ in 0..8 {
+                let c = rng.gen_range(0..n);
+                let d = rng.gen_range(0..n);
+                if c == d {
+                    continue;
+                }
+                let same = match (event.hits[c as usize].particle, event.hits[d as usize].particle)
+                {
+                    (Some(x), Some(y)) => x == y,
+                    _ => false,
+                };
+                if !same {
+                    pi.push(c);
+                    pj.push(d);
+                    labels.push(0.0);
+                    break;
+                }
+            }
+        }
+    }
+    (pi, pj, labels)
+}
+
+/// The trained embedding stage.
+pub struct EmbeddingStage {
+    pub mlp: Mlp,
+    pub config: EmbeddingConfig,
+}
+
+impl EmbeddingStage {
+    pub fn new(node_features: usize, config: EmbeddingConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut sizes = vec![node_features];
+        sizes.extend(std::iter::repeat_n(config.hidden, config.depth.saturating_sub(1)));
+        sizes.push(config.dim);
+        let mlp = Mlp::new(
+            MlpConfig::new(&sizes).with_activation(Activation::Tanh),
+            "embedding",
+            &mut rng,
+        );
+        Self { mlp, config }
+    }
+
+    /// Train on `(event, vertex-feature matrix)` pairs; returns the final
+    /// mean loss.
+    pub fn train(&mut self, events: &[(&Event, &Matrix)]) -> f32 {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xABCD);
+        let mut opt = Adam::new(self.config.learning_rate);
+        let mut last_loss = 0.0;
+        for _epoch in 0..self.config.epochs {
+            let mut loss_sum = 0.0;
+            for (event, x) in events {
+                let (pi, pj, labels) =
+                    build_pairs(event, self.config.negatives_per_positive, &mut rng);
+                if pi.is_empty() {
+                    continue;
+                }
+                let mut tape = Tape::new();
+                let mut bind = Bindings::new();
+                let xv = tape.constant((*x).clone());
+                let emb = self.mlp.forward(&mut tape, &mut bind, xv);
+                let loss =
+                    contrastive_hinge_loss(&mut tape, emb, &pi, &pj, &labels, self.config.margin);
+                loss_sum += tape.value(loss).as_scalar();
+                tape.backward(loss);
+                let mut params = self.mlp.params_mut();
+                bind.harvest(&tape, &mut params);
+                opt.step(&mut params);
+                for p in params {
+                    p.zero_grad();
+                }
+            }
+            last_loss = loss_sum / events.len().max(1) as f32;
+        }
+        last_loss
+    }
+
+    /// Embed a feature matrix (inference).
+    pub fn embed(&self, x: &Matrix) -> Matrix {
+        let mut tape = Tape::new();
+        let mut bind = Bindings::new();
+        let xv = tape.constant(x.clone());
+        let emb = self.mlp.forward(&mut tape, &mut bind, xv);
+        tape.value(emb).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trkx_detector::{simulate_event, vertex_features, DetectorGeometry, GunConfig};
+
+    fn event_and_features(seed: u64, nf: usize) -> (Event, Matrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ev = simulate_event(&DetectorGeometry::default(), &GunConfig::default(), 25, 0.1, &mut rng);
+        let x = Matrix::from_vec(ev.num_hits(), nf, vertex_features(&ev, nf));
+        (ev, x)
+    }
+
+    #[test]
+    fn pairs_are_labelled_correctly() {
+        let (ev, _) = event_and_features(1, 6);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (pi, pj, labels) = build_pairs(&ev, 2, &mut rng);
+        assert_eq!(pi.len(), pj.len());
+        assert_eq!(pi.len(), labels.len());
+        for ((&a, &b), &l) in pi.iter().zip(&pj).zip(&labels) {
+            let same = match (ev.hits[a as usize].particle, ev.hits[b as usize].particle) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            };
+            assert_eq!(l > 0.5, same);
+        }
+        // Both classes present.
+        assert!(labels.iter().any(|&l| l > 0.5));
+        assert!(labels.iter().any(|&l| l < 0.5));
+    }
+
+    #[test]
+    fn training_reduces_loss_and_separates() {
+        let (ev, x) = event_and_features(3, 6);
+        let mut cfg = EmbeddingConfig::default();
+        cfg.epochs = 1;
+        cfg.seed = 5;
+        let mut stage = EmbeddingStage::new(6, cfg.clone());
+        let first = stage.train(&[(&ev, &x)]);
+        cfg.epochs = 30;
+        let mut stage = EmbeddingStage::new(6, cfg);
+        let last = stage.train(&[(&ev, &x)]);
+        assert!(last < first, "loss did not drop: {first} -> {last}");
+
+        // Same-particle pairs end up closer than random pairs on average.
+        let emb = stage.embed(&x);
+        let truth = ev.truth_edges();
+        let d2 = |a: u32, b: u32| -> f32 {
+            emb.row(a as usize)
+                .iter()
+                .zip(emb.row(b as usize))
+                .map(|(p, q)| (p - q) * (p - q))
+                .sum()
+        };
+        let pos_mean: f32 =
+            truth.iter().map(|&(a, b)| d2(a, b)).sum::<f32>() / truth.len() as f32;
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = ev.num_hits() as u32;
+        let neg_mean: f32 = (0..200)
+            .map(|_| d2(rng.gen_range(0..n), rng.gen_range(0..n)))
+            .sum::<f32>()
+            / 200.0;
+        assert!(
+            pos_mean < neg_mean * 0.6,
+            "positive mean {pos_mean} not well below negative mean {neg_mean}"
+        );
+    }
+
+    #[test]
+    fn embed_shape() {
+        let (_, x) = event_and_features(9, 6);
+        let stage = EmbeddingStage::new(6, EmbeddingConfig::default());
+        let emb = stage.embed(&x);
+        assert_eq!(emb.shape(), (x.rows(), 8));
+    }
+}

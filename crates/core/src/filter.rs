@@ -1,0 +1,203 @@
+//! Stage 3: the edge-filter MLP. Before the memory-intensive GNN, a
+//! cheap MLP classifies each candidate edge from its endpoint and edge
+//! features and removes confident fakes, shrinking the graph the GNN
+//! must hold in memory (paper §II-A).
+
+use crate::gnn_stage::PreparedGraph;
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
+use trkx_nn::{bce_with_logits, Activation, Adam, Bindings, BinaryStats, Mlp, MlpConfig, Optimizer};
+use trkx_tensor::{Tape, Var};
+
+/// Filter-stage hyperparameters.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FilterConfig {
+    pub hidden: usize,
+    pub depth: usize,
+    pub learning_rate: f32,
+    pub epochs: usize,
+    /// Keep edges with `sigmoid(logit) > threshold`. Low thresholds keep
+    /// recall high — losing a true edge here is unrecoverable.
+    pub threshold: f32,
+    pub pos_weight: f32,
+    pub seed: u64,
+}
+
+impl Default for FilterConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 64,
+            depth: 3,
+            learning_rate: 2e-3,
+            epochs: 15,
+            threshold: 0.1,
+            pos_weight: 4.0,
+            seed: 0,
+        }
+    }
+}
+
+/// The trained filter stage.
+pub struct FilterStage {
+    pub mlp: Mlp,
+    pub config: FilterConfig,
+}
+
+impl FilterStage {
+    pub fn new(node_features: usize, edge_features: usize, config: FilterConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let input = 2 * node_features + edge_features;
+        let mut sizes = vec![input];
+        sizes.extend(std::iter::repeat_n(config.hidden, config.depth.saturating_sub(1)));
+        sizes.push(1);
+        let mlp = Mlp::new(
+            MlpConfig::new(&sizes).with_activation(Activation::Relu),
+            "filter",
+            &mut rng,
+        );
+        Self { mlp, config }
+    }
+
+    fn forward(&self, tape: &mut Tape, bind: &mut Bindings, g: &PreparedGraph) -> Var {
+        let x = tape.constant(g.x.clone());
+        let y = tape.constant(g.y.clone());
+        let xs = tape.gather(x, Arc::clone(&g.src));
+        let xd = tape.gather(x, Arc::clone(&g.dst));
+        let input = tape.concat_cols(&[xs, xd, y]);
+        self.mlp.forward(tape, bind, input)
+    }
+
+    /// Train over the given graphs; returns final mean loss.
+    pub fn train(&mut self, graphs: &[PreparedGraph]) -> f32 {
+        let mut opt = Adam::new(self.config.learning_rate);
+        let mut last = 0.0;
+        for _ in 0..self.config.epochs {
+            let mut loss_sum = 0.0;
+            for g in graphs {
+                if g.labels.is_empty() {
+                    continue;
+                }
+                let mut tape = Tape::new();
+                let mut bind = Bindings::new();
+                let logits = self.forward(&mut tape, &mut bind, g);
+                let loss =
+                    bce_with_logits(&mut tape, logits, &g.labels, self.config.pos_weight);
+                loss_sum += tape.value(loss).as_scalar();
+                tape.backward(loss);
+                let mut params = self.mlp.params_mut();
+                bind.harvest(&tape, &mut params);
+                opt.step(&mut params);
+                for p in params {
+                    p.zero_grad();
+                }
+            }
+            last = loss_sum / graphs.len().max(1) as f32;
+        }
+        last
+    }
+
+    /// Per-edge logits (inference).
+    pub fn logits(&self, g: &PreparedGraph) -> Vec<f32> {
+        let mut tape = Tape::new();
+        let mut bind = Bindings::new();
+        let logits = self.forward(&mut tape, &mut bind, g);
+        tape.value(logits).data().to_vec()
+    }
+
+    /// Indices of edges passing the threshold.
+    pub fn kept_edges(&self, g: &PreparedGraph) -> Vec<usize> {
+        let cut = {
+            let p = self.config.threshold.clamp(1e-6, 1.0 - 1e-6);
+            (p / (1.0 - p)).ln()
+        };
+        self.logits(g)
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l > cut)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Validation metrics at the configured threshold.
+    pub fn evaluate(&self, graphs: &[PreparedGraph]) -> BinaryStats {
+        let mut stats = BinaryStats::default();
+        for g in graphs {
+            stats.merge(&BinaryStats::from_logits(
+                &self.logits(g),
+                &g.labels,
+                self.config.threshold,
+            ));
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gnn_stage::prepare_graphs;
+    use trkx_detector::DatasetConfig;
+
+    fn small_graphs() -> Vec<PreparedGraph> {
+        let cfg = DatasetConfig::ex3_like(0.02);
+        prepare_graphs(&cfg.generate(2, 31))
+    }
+
+    #[test]
+    fn filter_learns_to_separate() {
+        let graphs = small_graphs();
+        let mut cfg = FilterConfig::default();
+        cfg.epochs = 25;
+        let mut stage = FilterStage::new(6, 2, cfg);
+        let loss = stage.train(&graphs);
+        assert!(loss.is_finite());
+        let stats = stage.evaluate(&graphs);
+        // Must beat the trivial keep-everything policy on precision while
+        // keeping high recall at the low threshold.
+        let base_rate = graphs
+            .iter()
+            .flat_map(|g| g.labels.iter())
+            .filter(|&&l| l > 0.5)
+            .count() as f64
+            / graphs.iter().map(|g| g.labels.len()).sum::<usize>() as f64;
+        assert!(stats.recall() > 0.9, "recall {}", stats.recall());
+        assert!(
+            stats.precision() > base_rate,
+            "precision {} <= base rate {base_rate}",
+            stats.precision()
+        );
+    }
+
+    #[test]
+    fn kept_edges_shrink_graph_but_keep_truth() {
+        let graphs = small_graphs();
+        let mut cfg = FilterConfig::default();
+        cfg.epochs = 25;
+        let mut stage = FilterStage::new(6, 2, cfg);
+        stage.train(&graphs);
+        for g in &graphs {
+            let kept = stage.kept_edges(g);
+            assert!(kept.len() < g.num_edges(), "filter removed nothing");
+            // Most truth edges survive.
+            let kept_set: std::collections::HashSet<usize> = kept.iter().copied().collect();
+            let truth_total = g.labels.iter().filter(|&&l| l > 0.5).count();
+            let truth_kept = g
+                .labels
+                .iter()
+                .enumerate()
+                .filter(|(i, &l)| l > 0.5 && kept_set.contains(i))
+                .count();
+            assert!(
+                truth_kept as f64 >= 0.85 * truth_total as f64,
+                "only {truth_kept}/{truth_total} truth edges kept"
+            );
+        }
+    }
+
+    #[test]
+    fn logit_count_matches_edges() {
+        let graphs = small_graphs();
+        let stage = FilterStage::new(6, 2, FilterConfig::default());
+        assert_eq!(stage.logits(&graphs[0]).len(), graphs[0].num_edges());
+    }
+}

@@ -1,0 +1,779 @@
+//! Stage 4: Interaction-GNN edge classification — full-graph training
+//! (the original Exa.TrkX approach, with OOM-skip emulation), minibatch
+//! ShaDow training with the PyG-style baseline sampler, and minibatch
+//! training with matrix-based bulk sampling plus coalesced all-reduce
+//! (the paper's contributions). Produces the per-epoch convergence curves
+//! of Figure 4 and the epoch-time breakdowns of Figure 3.
+
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+use trkx_ddp::{run_workers, AllReducer, DdpConfig, EpochTiming};
+use trkx_detector::EventGraph;
+use trkx_ignn::{IgnnConfig, InteractionGnn};
+use trkx_nn::{bce_with_logits, Adam, Bindings, BinaryStats, Optimizer};
+use trkx_sampling::{
+    shard_batch, vertex_batches, BulkShadowSampler, SampledSubgraph, SamplerGraph, ShadowConfig,
+    ShadowSampler,
+};
+use trkx_tensor::{Matrix, Tape};
+
+/// An event graph converted to training-ready matrices plus the sampler
+/// view of its adjacency. Built once, reused every epoch.
+pub struct PreparedGraph {
+    pub num_nodes: usize,
+    pub x: Matrix,
+    pub y: Matrix,
+    pub src: Arc<Vec<u32>>,
+    pub dst: Arc<Vec<u32>>,
+    pub labels: Vec<f32>,
+    pub sampler: SamplerGraph,
+}
+
+impl PreparedGraph {
+    pub fn from_event_graph(g: &EventGraph) -> Self {
+        let x = Matrix::from_vec(g.num_nodes, g.num_vertex_features, g.x.clone());
+        let y = Matrix::from_vec(g.num_edges(), g.num_edge_features, g.y.clone());
+        let sampler = SamplerGraph::new(g.num_nodes, &g.src, &g.dst);
+        Self {
+            num_nodes: g.num_nodes,
+            x,
+            y,
+            src: Arc::new(g.src.clone()),
+            dst: Arc::new(g.dst.clone()),
+            labels: g.labels.clone(),
+            sampler,
+        }
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Gather the sub-matrices a sampled subgraph trains on.
+    pub fn subgraph_matrices(&self, sg: &SampledSubgraph) -> (Matrix, Matrix, Vec<f32>) {
+        let x_sub = self.x.gather_rows(&sg.node_map);
+        let y_sub = self.y.gather_rows(&sg.orig_edge_ids);
+        let labels: Vec<f32> =
+            sg.orig_edge_ids.iter().map(|&id| self.labels[id as usize]).collect();
+        (x_sub, y_sub, labels)
+    }
+}
+
+/// Convert a dataset slice.
+pub fn prepare_graphs(graphs: &[EventGraph]) -> Vec<PreparedGraph> {
+    graphs.iter().map(PreparedGraph::from_event_graph).collect()
+}
+
+/// Which minibatch sampler implementation to use (Fig. 3/4 compare them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SamplerKind {
+    /// Per-batch sequential ShaDow (the PyG-implementation baseline).
+    Baseline,
+    /// Matrix-based bulk ShaDow, sampling `k` minibatches per call.
+    Bulk { k: usize },
+}
+
+/// GNN-stage hyperparameters (paper §IV-A: batch 256, hidden 64, 30
+/// epochs, d = 3, s = 6, 8 GNN layers).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct GnnTrainConfig {
+    pub hidden: usize,
+    pub gnn_layers: usize,
+    pub mlp_depth: usize,
+    pub epochs: usize,
+    pub batch_size: usize,
+    pub learning_rate: f32,
+    pub shadow: ShadowConfig,
+    /// Classification threshold for validation metrics.
+    pub threshold: f32,
+    /// Positive-class weight; `None` = derive from label balance.
+    pub pos_weight: Option<f32>,
+    pub seed: u64,
+}
+
+impl Default for GnnTrainConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 64,
+            gnn_layers: 8,
+            mlp_depth: 2,
+            epochs: 30,
+            batch_size: 256,
+            learning_rate: 1e-3,
+            shadow: ShadowConfig { depth: 3, fanout: 6 },
+            threshold: 0.5,
+            pos_weight: None,
+            seed: 0,
+        }
+    }
+}
+
+impl GnnTrainConfig {
+    pub fn ignn_config(&self, node_features: usize, edge_features: usize) -> IgnnConfig {
+        IgnnConfig::new(node_features, edge_features)
+            .with_hidden(self.hidden)
+            .with_gnn_layers(self.gnn_layers)
+            .with_mlp_depth(self.mlp_depth)
+    }
+
+    fn derive_pos_weight(&self, graphs: &[PreparedGraph]) -> f32 {
+        if let Some(w) = self.pos_weight {
+            return w;
+        }
+        let pos: f64 = graphs
+            .iter()
+            .map(|g| g.labels.iter().filter(|&&l| l > 0.5).count() as f64)
+            .sum();
+        let total: f64 = graphs.iter().map(|g| g.labels.len() as f64).sum();
+        let neg = (total - pos).max(1.0);
+        ((neg / pos.max(1.0)) as f32).clamp(1.0, 20.0)
+    }
+}
+
+/// One epoch's record: loss, validation metrics, timing breakdown.
+#[derive(Debug, Clone)]
+pub struct EpochRecord {
+    pub epoch: usize,
+    pub train_loss: f32,
+    pub val_precision: f64,
+    pub val_recall: f64,
+    pub timing: EpochTiming,
+}
+
+/// Outcome of a training run.
+pub struct TrainResult {
+    pub model: InteractionGnn,
+    pub epochs: Vec<EpochRecord>,
+    /// Full-graph training only: events skipped by the activation-memory
+    /// budget (the paper's skip-too-large-graphs behaviour).
+    pub skipped_graphs: usize,
+}
+
+/// Run full-graph inference, returning per-edge logits.
+pub fn infer_logits(model: &InteractionGnn, g: &PreparedGraph) -> Vec<f32> {
+    let mut tape = Tape::new();
+    let mut bind = Bindings::new();
+    let logits = model.forward(&mut tape, &mut bind, &g.x, &g.y, g.src.clone(), g.dst.clone());
+    tape.value(logits).data().to_vec()
+}
+
+/// Edge-classification metrics of `model` over `graphs`.
+pub fn evaluate(model: &InteractionGnn, graphs: &[PreparedGraph], threshold: f32) -> BinaryStats {
+    let mut stats = BinaryStats::default();
+    for g in graphs {
+        let logits = infer_logits(model, g);
+        stats.merge(&BinaryStats::from_logits(&logits, &g.labels, threshold));
+    }
+    stats
+}
+
+#[allow(clippy::too_many_arguments)]
+fn train_step(
+    model: &mut InteractionGnn,
+    opt: &mut Adam,
+    x: &Matrix,
+    y: &Matrix,
+    src: Arc<Vec<u32>>,
+    dst: Arc<Vec<u32>>,
+    labels: &[f32],
+    pos_weight: f32,
+    reducer: Option<(&AllReducer, usize, trkx_ddp::AllReduceStrategy)>,
+) -> f32 {
+    let mut loss_value = 0.0;
+    if !labels.is_empty() {
+        let mut tape = Tape::new();
+        let mut bind = Bindings::new();
+        let logits = model.forward(&mut tape, &mut bind, x, y, src, dst);
+        let loss = bce_with_logits(&mut tape, logits, labels, pos_weight);
+        loss_value = tape.value(loss).as_scalar();
+        tape.backward(loss);
+        let mut params = model.params_mut();
+        bind.harvest(&tape, &mut params);
+    }
+    // Collective + update happen unconditionally so every DDP rank makes
+    // the same number of calls even when its shard sampled no edges.
+    let mut params = model.params_mut();
+    if let Some((reducer, rank, strategy)) = reducer {
+        reducer.sync_gradients(rank, &mut params, strategy);
+    }
+    opt.step(&mut params);
+    for p in params {
+        p.zero_grad();
+    }
+    loss_value
+}
+
+/// Full-graph training (the original Exa.TrkX baseline): each training
+/// step feeds one entire event graph; graphs whose estimated activation
+/// footprint exceeds `activation_budget_floats` are skipped, shrinking
+/// the effective training set exactly as on a memory-limited GPU.
+pub fn train_full_graph(
+    cfg: &GnnTrainConfig,
+    train: &[PreparedGraph],
+    val: &[PreparedGraph],
+    activation_budget_floats: Option<usize>,
+) -> TrainResult {
+    let (nf, ef) = (train[0].x.cols(), train[0].y.cols());
+    let icfg = cfg.ignn_config(nf, ef);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut model = InteractionGnn::new(icfg.clone(), &mut rng);
+    let mut opt = Adam::new(cfg.learning_rate);
+    let pos_weight = cfg.derive_pos_weight(train);
+
+    let usable: Vec<&PreparedGraph> = train
+        .iter()
+        .filter(|g| {
+            activation_budget_floats
+                .map(|b| icfg.estimate_activation_floats(g.num_nodes, g.num_edges()) <= b)
+                .unwrap_or(true)
+        })
+        .collect();
+    let skipped_graphs = train.len() - usable.len();
+
+    let mut epochs = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        let t0 = Instant::now();
+        let mut loss_sum = 0.0;
+        for g in &usable {
+            loss_sum += train_step(
+                &mut model,
+                &mut opt,
+                &g.x,
+                &g.y,
+                g.src.clone(),
+                g.dst.clone(),
+                &g.labels,
+                pos_weight,
+                None,
+            );
+        }
+        let train_s = t0.elapsed().as_secs_f64();
+        let stats = evaluate(&model, val, cfg.threshold);
+        epochs.push(EpochRecord {
+            epoch,
+            train_loss: loss_sum / usable.len().max(1) as f32,
+            val_precision: stats.precision(),
+            val_recall: stats.recall(),
+            timing: EpochTiming { sampling_s: 0.0, train_s, comm_virtual_s: 0.0 },
+        });
+    }
+    TrainResult { model, epochs, skipped_graphs }
+}
+
+/// The per-epoch step schedule: `(graph index, global batch)` pairs.
+fn build_schedule(
+    train: &[PreparedGraph],
+    batch_size: usize,
+    seed: u64,
+    epoch: usize,
+) -> Vec<(usize, Vec<u32>)> {
+    let mut schedule = Vec::new();
+    for (gi, g) in train.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(
+            seed ^ (epoch as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) ^ (gi as u64) << 32,
+        );
+        for batch in vertex_batches(g.num_nodes, batch_size, &mut rng) {
+            schedule.push((gi, batch));
+        }
+    }
+    schedule
+}
+
+/// Per-worker epoch record: loss, timing, and (rank 0 only) val metrics.
+type WorkerEpochRecord = (f32, EpochTiming, Option<(f64, f64)>);
+
+/// Minibatch ShaDow training with distributed data parallelism.
+///
+/// `sampler` picks the Fig. 3 comparison arm: `Baseline` is the
+/// sequential per-batch ShaDow (PyG-style), `Bulk { k }` samples `k`
+/// minibatches per bulk call with matrix-based sampling. The DDP
+/// strategy (per-tensor vs coalesced all-reduce) comes from `ddp`.
+pub fn train_minibatch(
+    cfg: &GnnTrainConfig,
+    sampler: SamplerKind,
+    ddp: DdpConfig,
+    train: &[PreparedGraph],
+    val: &[PreparedGraph],
+) -> TrainResult {
+    let (nf, ef) = (train[0].x.cols(), train[0].y.cols());
+    let icfg = cfg.ignn_config(nf, ef);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let init_model = InteractionGnn::new(icfg, &mut rng);
+    let pos_weight = cfg.derive_pos_weight(train);
+    let p = ddp.workers;
+
+    // Schedules are precomputed per epoch so every worker sees the same
+    // global batch sequence (synchronous DDP).
+    let schedules: Vec<Vec<(usize, Vec<u32>)>> = (0..cfg.epochs)
+        .map(|e| build_schedule(train, cfg.batch_size, cfg.seed, e))
+        .collect();
+
+    let reducer = AllReducer::new(p, ddp.cost_model);
+    let results = run_workers(p, |rank| {
+        let mut model = init_model.clone();
+        let mut opt = Adam::new(cfg.learning_rate);
+        let mut records: Vec<WorkerEpochRecord> = Vec::new();
+        let mut comm_seen = 0.0f64;
+        for (epoch, schedule) in schedules.iter().enumerate() {
+            let mut sampling_s = 0.0f64;
+            let mut train_s = 0.0f64;
+            let mut loss_sum = 0.0f32;
+            let mut steps = 0usize;
+
+            // Group consecutive steps of the same graph into bulk chunks.
+            let chunk = match sampler {
+                SamplerKind::Baseline => 1,
+                SamplerKind::Bulk { k } => k.max(1),
+            };
+            let mut i = 0usize;
+            while i < schedule.len() {
+                let gi = schedule[i].0;
+                let mut j = i;
+                while j < schedule.len() && schedule[j].0 == gi && j - i < chunk {
+                    j += 1;
+                }
+                let g = &train[gi];
+                // Per-worker shards of each global batch in this chunk.
+                let shards: Vec<Vec<u32>> = schedule[i..j]
+                    .iter()
+                    .map(|(_, batch)| shard_batch(batch, p)[rank].clone())
+                    .collect();
+
+                let t_sample = Instant::now();
+                let subgraphs: Vec<SampledSubgraph> = match sampler {
+                    SamplerKind::Baseline => {
+                        // Sequential per-batch sampling, like PyG's loader.
+                        let mut out = Vec::with_capacity(shards.len());
+                        for (si, shard) in shards.iter().enumerate() {
+                            let mut srng = StdRng::seed_from_u64(
+                                cfg.seed
+                                    ^ (epoch as u64) << 48
+                                    ^ ((i + si) as u64) << 16
+                                    ^ rank as u64,
+                            );
+                            out.push(
+                                ShadowSampler::new(cfg.shadow)
+                                    .sample_batch(&g.sampler, shard, &mut srng),
+                            );
+                        }
+                        out
+                    }
+                    SamplerKind::Bulk { .. } => {
+                        let seed =
+                            cfg.seed ^ (epoch as u64) << 48 ^ (i as u64) << 16 ^ rank as u64;
+                        BulkShadowSampler::new(cfg.shadow)
+                            .sample_batches(&g.sampler, &shards, seed)
+                    }
+                };
+                sampling_s += t_sample.elapsed().as_secs_f64();
+
+                let t_train = Instant::now();
+                for sg in &subgraphs {
+                    let (x_sub, y_sub, labels) = g.subgraph_matrices(sg);
+                    loss_sum += train_step(
+                        &mut model,
+                        &mut opt,
+                        &x_sub,
+                        &y_sub,
+                        Arc::new(sg.sub_src.clone()),
+                        Arc::new(sg.sub_dst.clone()),
+                        &labels,
+                        pos_weight,
+                        Some((&reducer, rank, ddp.strategy)),
+                    );
+                    steps += 1;
+                }
+                train_s += t_train.elapsed().as_secs_f64();
+                i = j;
+            }
+
+            // Per-epoch virtual comm delta (identical on every rank; rank
+            // 0's value is used).
+            let comm_total = reducer.virtual_comm_seconds();
+            let comm_epoch = comm_total - comm_seen;
+            comm_seen = comm_total;
+
+            let timing = EpochTiming { sampling_s, train_s, comm_virtual_s: comm_epoch };
+            let val_metrics = if rank == 0 {
+                let stats = evaluate(&model, val, cfg.threshold);
+                Some((stats.precision(), stats.recall()))
+            } else {
+                None
+            };
+            records.push((loss_sum / steps.max(1) as f32, timing, val_metrics));
+        }
+        (model, records)
+    });
+
+    // Assemble: rank-0 model + metrics; timings are the max across ranks
+    // (synchronous DDP advances at the slowest worker's pace).
+    let mut results = results;
+    let (model, rank0_records) = results.remove(0);
+    let mut epochs = Vec::with_capacity(cfg.epochs);
+    for (e, (loss, mut timing, metrics)) in rank0_records.into_iter().enumerate() {
+        for (_, records) in &results {
+            timing.max_merge(&records[e].1);
+        }
+        let (val_precision, val_recall) = metrics.expect("rank 0 computes metrics");
+        epochs.push(EpochRecord {
+            epoch: e,
+            train_loss: loss,
+            val_precision,
+            val_recall,
+            timing,
+        });
+    }
+    TrainResult { model, epochs, skipped_graphs: 0 }
+}
+
+/// Single-threaded *simulation* of the same synchronous DDP run as
+/// [`train_minibatch`]: ranks execute sequentially, so wall-clock
+/// measurements attribute each rank's sampling and compute time exactly
+/// (on machines with fewer cores than simulated GPUs, threads timeshare
+/// and wall time stops meaning per-worker time). The math is identical —
+/// identical replicas, averaged gradients, same per-rank sampler seeds —
+/// and the epoch time reported is `max over ranks of per-rank compute`
+/// plus the α–β model's all-reduce time, which is what a real P-GPU
+/// synchronous system observes. The Figure 3 harness uses this trainer.
+#[allow(clippy::needless_range_loop)] // rank/step indices address parallel per-rank arrays
+pub fn train_minibatch_simulated(
+    cfg: &GnnTrainConfig,
+    sampler: SamplerKind,
+    ddp: DdpConfig,
+    train: &[PreparedGraph],
+    val: &[PreparedGraph],
+) -> TrainResult {
+    let (nf, ef) = (train[0].x.cols(), train[0].y.cols());
+    let icfg = cfg.ignn_config(nf, ef);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Replicas stay identical under synchronous DDP, so one model
+    // suffices: per-rank backward passes accumulate into its grads and
+    // the average is the same update every replica would apply.
+    let mut model = InteractionGnn::new(icfg, &mut rng);
+    let mut opt = Adam::new(cfg.learning_rate);
+    let pos_weight = cfg.derive_pos_weight(train);
+    let p = ddp.workers;
+    let tensor_bytes: Vec<usize> =
+        model.params().iter().map(|prm| prm.numel() * 4).collect();
+
+    let mut epochs = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        let schedule = build_schedule(train, cfg.batch_size, cfg.seed, epoch);
+        let mut sampling_rank = vec![0.0f64; p];
+        let mut train_rank = vec![0.0f64; p];
+        let mut comm_s = 0.0f64;
+        let mut loss_sum = 0.0f32;
+        let mut steps = 0usize;
+
+        let chunk = match sampler {
+            SamplerKind::Baseline => 1,
+            SamplerKind::Bulk { k } => k.max(1),
+        };
+        let mut i = 0usize;
+        while i < schedule.len() {
+            let gi = schedule[i].0;
+            let mut j = i;
+            while j < schedule.len() && schedule[j].0 == gi && j - i < chunk {
+                j += 1;
+            }
+            let g = &train[gi];
+            // Sample every rank's shards (timed per rank).
+            let mut rank_subgraphs: Vec<Vec<SampledSubgraph>> = Vec::with_capacity(p);
+            for rank in 0..p {
+                let shards: Vec<Vec<u32>> = schedule[i..j]
+                    .iter()
+                    .map(|(_, batch)| shard_batch(batch, p)[rank].clone())
+                    .collect();
+                let t = Instant::now();
+                let subs = match sampler {
+                    SamplerKind::Baseline => shards
+                        .iter()
+                        .enumerate()
+                        .map(|(si, shard)| {
+                            let mut srng = StdRng::seed_from_u64(
+                                cfg.seed
+                                    ^ (epoch as u64) << 48
+                                    ^ ((i + si) as u64) << 16
+                                    ^ rank as u64,
+                            );
+                            ShadowSampler::new(cfg.shadow)
+                                .sample_batch(&g.sampler, shard, &mut srng)
+                        })
+                        .collect(),
+                    SamplerKind::Bulk { .. } => {
+                        let seed =
+                            cfg.seed ^ (epoch as u64) << 48 ^ (i as u64) << 16 ^ rank as u64;
+                        BulkShadowSampler::new(cfg.shadow)
+                            .sample_batches(&g.sampler, &shards, seed)
+                    }
+                };
+                sampling_rank[rank] += t.elapsed().as_secs_f64();
+                rank_subgraphs.push(subs);
+            }
+            // Train each step: all ranks backward, average, one update.
+            for step_idx in 0..(j - i) {
+                for rank in 0..p {
+                    let sg = &rank_subgraphs[rank][step_idx];
+                    let t = Instant::now();
+                    let (x_sub, y_sub, labels) = g.subgraph_matrices(sg);
+                    if !labels.is_empty() {
+                        let mut tape = Tape::new();
+                        let mut bind = Bindings::new();
+                        let logits = model.forward(
+                            &mut tape,
+                            &mut bind,
+                            &x_sub,
+                            &y_sub,
+                            Arc::new(sg.sub_src.clone()),
+                            Arc::new(sg.sub_dst.clone()),
+                        );
+                        let loss = bce_with_logits(&mut tape, logits, &labels, pos_weight);
+                        if rank == 0 {
+                            loss_sum += tape.value(loss).as_scalar();
+                        }
+                        tape.backward(loss);
+                        let mut params = model.params_mut();
+                        bind.harvest(&tape, &mut params);
+                    }
+                    train_rank[rank] += t.elapsed().as_secs_f64();
+                }
+                // Average accumulated gradients and charge the collective.
+                let inv = 1.0 / p as f32;
+                let mut params = model.params_mut();
+                for prm in params.iter_mut() {
+                    let g = prm.grad.scale(inv);
+                    prm.grad = g;
+                }
+                if p > 1 {
+                    comm_s += match ddp.strategy {
+                        trkx_ddp::AllReduceStrategy::PerTensor => {
+                            ddp.cost_model.per_tensor_time(&tensor_bytes, p)
+                        }
+                        trkx_ddp::AllReduceStrategy::Coalesced => {
+                            ddp.cost_model.coalesced_time(&tensor_bytes, p)
+                        }
+                        trkx_ddp::AllReduceStrategy::Bucketed { bucket_bytes } => {
+                            ddp.cost_model.bucketed_time(&tensor_bytes, bucket_bytes, p)
+                        }
+                    };
+                }
+                opt.step(&mut params);
+                for prm in params {
+                    prm.zero_grad();
+                }
+                steps += 1;
+            }
+            i = j;
+        }
+
+        let stats = evaluate(&model, val, cfg.threshold);
+        let timing = EpochTiming {
+            sampling_s: sampling_rank.iter().copied().fold(0.0, f64::max),
+            train_s: train_rank.iter().copied().fold(0.0, f64::max),
+            comm_virtual_s: comm_s,
+        };
+        epochs.push(EpochRecord {
+            epoch,
+            train_loss: loss_sum / steps.max(1) as f32,
+            val_precision: stats.precision(),
+            val_recall: stats.recall(),
+            timing,
+        });
+    }
+    TrainResult { model, epochs, skipped_graphs: 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trkx_ddp::AllReduceStrategy;
+    use trkx_detector::DatasetConfig;
+
+    fn tiny_dataset() -> (Vec<PreparedGraph>, Vec<PreparedGraph>) {
+        let cfg = DatasetConfig::ex3_like(0.01); // ~130 hits
+        let graphs = cfg.generate(3, 21);
+        let prepared = prepare_graphs(&graphs);
+        let mut it = prepared.into_iter();
+        let train: Vec<_> = vec![it.next().unwrap(), it.next().unwrap()];
+        let val: Vec<_> = vec![it.next().unwrap()];
+        (train, val)
+    }
+
+    fn quick_cfg() -> GnnTrainConfig {
+        GnnTrainConfig {
+            hidden: 16,
+            gnn_layers: 2,
+            mlp_depth: 2,
+            epochs: 2,
+            batch_size: 32,
+            learning_rate: 2e-3,
+            shadow: ShadowConfig { depth: 2, fanout: 4 },
+            threshold: 0.5,
+            pos_weight: None,
+            seed: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn full_graph_training_improves_loss() {
+        let (train, val) = tiny_dataset();
+        let mut cfg = quick_cfg();
+        cfg.epochs = 5;
+        let r = train_full_graph(&cfg, &train, &val, None);
+        assert_eq!(r.epochs.len(), 5);
+        assert!(
+            r.epochs.last().unwrap().train_loss < r.epochs[0].train_loss,
+            "loss did not improve: {:?}",
+            r.epochs.iter().map(|e| e.train_loss).collect::<Vec<_>>()
+        );
+        assert_eq!(r.skipped_graphs, 0);
+    }
+
+    #[test]
+    fn activation_budget_skips_graphs() {
+        let (train, val) = tiny_dataset();
+        let cfg = quick_cfg();
+        let r = train_full_graph(&cfg, &train, &val, Some(1));
+        assert_eq!(r.skipped_graphs, train.len());
+        // With every graph skipped, the loss is exactly zero.
+        assert_eq!(r.epochs[0].train_loss, 0.0);
+    }
+
+    #[test]
+    fn minibatch_baseline_trains() {
+        let (train, val) = tiny_dataset();
+        let cfg = quick_cfg();
+        let r = train_minibatch(&cfg, SamplerKind::Baseline, DdpConfig::single(), &train, &val);
+        assert_eq!(r.epochs.len(), cfg.epochs);
+        assert!(r.epochs.iter().all(|e| e.train_loss.is_finite()));
+        assert!(r.epochs[0].timing.sampling_s > 0.0);
+        assert!(r.epochs[0].timing.train_s > 0.0);
+        // Single worker: no modeled comm.
+        assert_eq!(r.epochs[0].timing.comm_virtual_s, 0.0);
+    }
+
+    #[test]
+    fn minibatch_bulk_trains_and_matches_baseline_quality() {
+        let (train, val) = tiny_dataset();
+        let mut cfg = quick_cfg();
+        cfg.epochs = 3;
+        let base =
+            train_minibatch(&cfg, SamplerKind::Baseline, DdpConfig::single(), &train, &val);
+        let bulk =
+            train_minibatch(&cfg, SamplerKind::Bulk { k: 4 }, DdpConfig::single(), &train, &val);
+        let b = base.epochs.last().unwrap();
+        let k = bulk.epochs.last().unwrap();
+        // Same training quality ballpark (identical distribution, noisy).
+        assert!((b.val_recall - k.val_recall).abs() < 0.35, "{b:?} vs {k:?}");
+    }
+
+    #[test]
+    fn ddp_replicas_stay_synchronised() {
+        let (train, val) = tiny_dataset();
+        let mut cfg = quick_cfg();
+        cfg.epochs = 1;
+        cfg.batch_size = 16;
+        let r = train_minibatch(
+            &cfg,
+            SamplerKind::Bulk { k: 2 },
+            DdpConfig::new(2, AllReduceStrategy::Coalesced),
+            &train,
+            &val,
+        );
+        // Comm time was modeled.
+        assert!(r.epochs[0].timing.comm_virtual_s > 0.0);
+        assert!(r.epochs[0].train_loss.is_finite());
+    }
+
+    #[test]
+    fn coalesced_comm_is_cheaper_than_per_tensor() {
+        let (train, val) = tiny_dataset();
+        let mut cfg = quick_cfg();
+        cfg.epochs = 1;
+        cfg.batch_size = 16;
+        let per = train_minibatch(
+            &cfg,
+            SamplerKind::Bulk { k: 2 },
+            DdpConfig::new(2, AllReduceStrategy::PerTensor),
+            &train,
+            &val,
+        );
+        let coal = train_minibatch(
+            &cfg,
+            SamplerKind::Bulk { k: 2 },
+            DdpConfig::new(2, AllReduceStrategy::Coalesced),
+            &train,
+            &val,
+        );
+        assert!(
+            coal.epochs[0].timing.comm_virtual_s < per.epochs[0].timing.comm_virtual_s,
+            "coalesced {} !< per-tensor {}",
+            coal.epochs[0].timing.comm_virtual_s,
+            per.epochs[0].timing.comm_virtual_s
+        );
+    }
+
+    #[test]
+    fn simulated_ddp_matches_threaded_ddp() {
+        // Same seeds, same shard assignment: the single-thread simulator
+        // must reproduce the threaded trainer's loss trajectory.
+        let (train, val) = tiny_dataset();
+        let mut cfg = quick_cfg();
+        cfg.epochs = 2;
+        cfg.batch_size = 16;
+        let ddp = DdpConfig::new(2, AllReduceStrategy::Coalesced);
+        let threaded = train_minibatch(&cfg, SamplerKind::Bulk { k: 2 }, ddp, &train, &val);
+        let simulated =
+            train_minibatch_simulated(&cfg, SamplerKind::Bulk { k: 2 }, ddp, &train, &val);
+        for (a, b) in threaded.epochs.iter().zip(&simulated.epochs) {
+            assert!(
+                (a.train_loss - b.train_loss).abs() < 1e-3,
+                "epoch {}: threaded {} vs simulated {}",
+                a.epoch,
+                a.train_loss,
+                b.train_loss
+            );
+            assert!((a.val_precision - b.val_precision).abs() < 1e-5);
+            assert!((a.val_recall - b.val_recall).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn simulated_ddp_scales_training_time_down() {
+        // Per-rank compute drops as work is sharded: max-over-ranks train
+        // time at P=4 should be well below P=1 for the same schedule.
+        let (train, val) = tiny_dataset();
+        let mut cfg = quick_cfg();
+        cfg.epochs = 1;
+        cfg.batch_size = 64;
+        let t1 = train_minibatch_simulated(
+            &cfg,
+            SamplerKind::Bulk { k: 2 },
+            DdpConfig::new(1, AllReduceStrategy::Coalesced),
+            &train,
+            &val,
+        );
+        let t4 = train_minibatch_simulated(
+            &cfg,
+            SamplerKind::Bulk { k: 2 },
+            DdpConfig::new(4, AllReduceStrategy::Coalesced),
+            &train,
+            &val,
+        );
+        let s1 = t1.epochs[0].timing.train_s;
+        let s4 = t4.epochs[0].timing.train_s;
+        assert!(s4 < s1, "train time did not shrink: P=1 {s1:.3}s vs P=4 {s4:.3}s");
+    }
+
+    #[test]
+    fn inference_logit_count_matches_edges() {
+        let (train, _) = tiny_dataset();
+        let cfg = quick_cfg();
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = InteractionGnn::new(cfg.ignn_config(6, 2), &mut rng);
+        let logits = infer_logits(&model, &train[0]);
+        assert_eq!(logits.len(), train[0].num_edges());
+    }
+}

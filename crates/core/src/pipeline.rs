@@ -1,0 +1,277 @@
+//! End-to-end orchestration of the five-stage Exa.TrkX pipeline
+//! (paper Fig. 1): embedding → graph construction → filter → GNN →
+//! connected-components track building.
+
+use crate::embedding::{EmbeddingConfig, EmbeddingStage};
+use crate::filter::{FilterConfig, FilterStage};
+use crate::gnn_stage::{
+    infer_logits, prepare_graphs, train_minibatch, GnnTrainConfig, PreparedGraph, SamplerKind,
+};
+use crate::graph_construction::{build_graph_from_embeddings, tune_radius};
+use crate::metrics::TrackMetrics;
+use crate::tracks::{build_tracks, TrackBuildResult};
+use trkx_ddp::DdpConfig;
+use trkx_detector::{edge_features, vertex_features, Event, EventGraph};
+use trkx_ignn::InteractionGnn;
+use trkx_tensor::Matrix;
+
+/// Full-pipeline configuration.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PipelineConfig {
+    pub vertex_features: usize,
+    pub edge_features: usize,
+    pub embedding: EmbeddingConfig,
+    /// Truth-edge efficiency the radius graph must reach.
+    pub target_construction_efficiency: f64,
+    pub max_radius: f32,
+    pub filter: FilterConfig,
+    pub gnn: GnnTrainConfig,
+    pub gnn_sampler: SamplerKind,
+    pub ddp: DdpConfig,
+    /// Edge-score threshold for track building.
+    pub track_threshold: f32,
+    /// Minimum hits per matched track.
+    pub min_hits: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            vertex_features: 6,
+            edge_features: 2,
+            embedding: EmbeddingConfig::default(),
+            target_construction_efficiency: 0.96,
+            max_radius: 3.0,
+            filter: FilterConfig::default(),
+            gnn: GnnTrainConfig::default(),
+            gnn_sampler: SamplerKind::Bulk { k: 4 },
+            ddp: DdpConfig::single(),
+            track_threshold: 0.5,
+            min_hits: 3,
+        }
+    }
+}
+
+/// A fully trained pipeline, ready for inference on new events.
+pub struct TrainedPipeline {
+    pub config: PipelineConfig,
+    pub embedding: EmbeddingStage,
+    pub radius: f32,
+    pub filter: FilterStage,
+    pub gnn: InteractionGnn,
+}
+
+/// Quality summary reported after training.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    pub embedding_loss: f32,
+    pub construction_efficiency: f64,
+    pub construction_purity: f64,
+    pub filter_precision: f64,
+    pub filter_recall: f64,
+    pub gnn_val_precision: f64,
+    pub gnn_val_recall: f64,
+    pub val_track_metrics: TrackMetrics,
+}
+
+fn features_of(event: &Event, nf: usize) -> Matrix {
+    Matrix::from_vec(event.num_hits(), nf, vertex_features(event, nf))
+}
+
+/// Build an [`EventGraph`] from a constructed (or pruned) edge set.
+fn event_graph_from_edges(
+    event: &Event,
+    src: Vec<u32>,
+    dst: Vec<u32>,
+    labels: Vec<f32>,
+    nf: usize,
+    ef: usize,
+) -> EventGraph {
+    let x = vertex_features(event, nf);
+    let y = edge_features(event, &src, &dst, ef);
+    EventGraph {
+        num_nodes: event.num_hits(),
+        src,
+        dst,
+        labels,
+        x,
+        num_vertex_features: nf,
+        y,
+        num_edge_features: ef,
+        event: event.clone(),
+    }
+}
+
+/// Train all five stages on `train_events`, validating on `val_events`.
+pub fn train_pipeline(
+    config: PipelineConfig,
+    train_events: &[Event],
+    val_events: &[Event],
+) -> (TrainedPipeline, PipelineReport) {
+    assert!(!train_events.is_empty(), "need training events");
+    assert!(!val_events.is_empty(), "need validation events");
+    let (nf, ef) = (config.vertex_features, config.edge_features);
+
+    // Stage 1: metric-learning embedding.
+    let feats: Vec<Matrix> = train_events.iter().map(|e| features_of(e, nf)).collect();
+    let mut embedding = EmbeddingStage::new(nf, config.embedding.clone());
+    let pairs: Vec<(&Event, &Matrix)> = train_events.iter().zip(feats.iter()).collect();
+    let embedding_loss = embedding.train(&pairs);
+
+    // Stage 2: radius tuned on the first training event.
+    let radius = tune_radius(
+        &train_events[0],
+        &embedding.embed(&feats[0]),
+        config.target_construction_efficiency,
+        config.max_radius,
+    );
+    let mut construction_eff = 0.0;
+    let mut construction_pur = 0.0;
+    let mut train_graphs = Vec::with_capacity(train_events.len());
+    for (event, f) in train_events.iter().zip(&feats) {
+        let emb = embedding.embed(f);
+        let g = build_graph_from_embeddings(event, &emb, radius);
+        construction_eff += g.edge_efficiency;
+        construction_pur += g.edge_purity;
+        train_graphs.push(event_graph_from_edges(event, g.src, g.dst, g.labels, nf, ef));
+    }
+    construction_eff /= train_events.len() as f64;
+    construction_pur /= train_events.len() as f64;
+    let val_graphs: Vec<EventGraph> = val_events
+        .iter()
+        .map(|event| {
+            let emb = embedding.embed(&features_of(event, nf));
+            let g = build_graph_from_embeddings(event, &emb, radius);
+            event_graph_from_edges(event, g.src, g.dst, g.labels, nf, ef)
+        })
+        .collect();
+
+    // Stage 3: filter MLP, trained on the constructed graphs.
+    let prepared_train = prepare_graphs(&train_graphs);
+    let prepared_val = prepare_graphs(&val_graphs);
+    let mut filter = FilterStage::new(nf, ef, config.filter.clone());
+    filter.train(&prepared_train);
+    let filter_stats = filter.evaluate(&prepared_val);
+
+    // Prune graphs with the filter before the GNN.
+    let prune = |graphs: &[EventGraph], prepared: &[PreparedGraph]| -> Vec<EventGraph> {
+        graphs
+            .iter()
+            .zip(prepared)
+            .map(|(g, pg)| {
+                let kept = filter.kept_edges(pg);
+                let src: Vec<u32> = kept.iter().map(|&i| g.src[i]).collect();
+                let dst: Vec<u32> = kept.iter().map(|&i| g.dst[i]).collect();
+                let labels: Vec<f32> = kept.iter().map(|&i| g.labels[i]).collect();
+                event_graph_from_edges(&g.event, src, dst, labels, nf, ef)
+            })
+            .collect()
+    };
+    let pruned_train = prune(&train_graphs, &prepared_train);
+    let pruned_val = prune(&val_graphs, &prepared_val);
+
+    // Stage 4: the Interaction GNN with minibatch ShaDow training.
+    let prepared_pruned_train = prepare_graphs(&pruned_train);
+    let prepared_pruned_val = prepare_graphs(&pruned_val);
+    let gnn_result = train_minibatch(
+        &config.gnn,
+        config.gnn_sampler,
+        config.ddp,
+        &prepared_pruned_train,
+        &prepared_pruned_val,
+    );
+    let last = gnn_result.epochs.last().expect("at least one epoch");
+
+    // Stage 5: track building on validation events.
+    let mut val_track_metrics =
+        TrackMetrics { num_true_tracks: 0, num_reco_tracks: 0, num_matched: 0 };
+    for (g, pg) in pruned_val.iter().zip(&prepared_pruned_val) {
+        let logits = infer_logits(&gnn_result.model, pg);
+        let r = build_tracks(g, &logits, config.track_threshold, config.min_hits);
+        val_track_metrics.merge(&r.metrics);
+    }
+
+    let report = PipelineReport {
+        embedding_loss,
+        construction_efficiency: construction_eff,
+        construction_purity: construction_pur,
+        filter_precision: filter_stats.precision(),
+        filter_recall: filter_stats.recall(),
+        gnn_val_precision: last.val_precision,
+        gnn_val_recall: last.val_recall,
+        val_track_metrics,
+    };
+    let pipeline =
+        TrainedPipeline { config, embedding, radius, filter, gnn: gnn_result.model };
+    (pipeline, report)
+}
+
+/// Serialised form of a trained pipeline: configuration plus one
+/// state-dict per learned stage.
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct PipelineBundle {
+    pub config: PipelineConfig,
+    pub radius: f32,
+    pub embedding: crate::checkpoint::Checkpoint,
+    pub filter: crate::checkpoint::Checkpoint,
+    pub gnn: crate::checkpoint::Checkpoint,
+}
+
+impl TrainedPipeline {
+    /// Save every learned stage plus the configuration to one JSON file.
+    pub fn save_json(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::{Checkpoint, CheckpointError};
+        let bundle = PipelineBundle {
+            config: self.config.clone(),
+            radius: self.radius,
+            embedding: Checkpoint::from_params(&self.embedding.mlp.params()),
+            filter: Checkpoint::from_params(&self.filter.mlp.params()),
+            gnn: Checkpoint::from_params(&self.gnn.params()),
+        };
+        let json =
+            serde_json::to_string(&bundle).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+        std::fs::write(path, json).map_err(|e| CheckpointError::Io(e.to_string()))
+    }
+
+    /// Restore a pipeline from [`TrainedPipeline::save_json`] output.
+    pub fn load_json(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::CheckpointError;
+        use rand::{rngs::StdRng, SeedableRng};
+        let json =
+            std::fs::read_to_string(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        let bundle: PipelineBundle =
+            serde_json::from_str(&json).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+        let (nf, ef) = (bundle.config.vertex_features, bundle.config.edge_features);
+        let mut embedding = EmbeddingStage::new(nf, bundle.config.embedding.clone());
+        bundle.embedding.apply_to(&mut embedding.mlp.params_mut())?;
+        let mut filter = FilterStage::new(nf, ef, bundle.config.filter.clone());
+        bundle.filter.apply_to(&mut filter.mlp.params_mut())?;
+        let mut rng = StdRng::seed_from_u64(bundle.config.gnn.seed);
+        let mut gnn = InteractionGnn::new(bundle.config.gnn.ignn_config(nf, ef), &mut rng);
+        bundle.gnn.apply_to(&mut gnn.params_mut())?;
+        Ok(Self { config: bundle.config, embedding, radius: bundle.radius, filter, gnn })
+    }
+
+    /// Run the full inference pipeline on a new event.
+    pub fn reconstruct(&self, event: &Event) -> TrackBuildResult {
+        let (nf, ef) = (self.config.vertex_features, self.config.edge_features);
+        let f = features_of(event, nf);
+        let emb = self.embedding.embed(&f);
+        let g = build_graph_from_embeddings(event, &emb, self.radius);
+        let graph = event_graph_from_edges(event, g.src, g.dst, g.labels, nf, ef);
+        let prepared = PreparedGraph::from_event_graph(&graph);
+        let kept = self.filter.kept_edges(&prepared);
+        let src: Vec<u32> = kept.iter().map(|&i| graph.src[i]).collect();
+        let dst: Vec<u32> = kept.iter().map(|&i| graph.dst[i]).collect();
+        let labels: Vec<f32> = kept.iter().map(|&i| graph.labels[i]).collect();
+        let pruned = event_graph_from_edges(event, src, dst, labels, nf, ef);
+        let prepared_pruned = PreparedGraph::from_event_graph(&pruned);
+        let logits = infer_logits(&self.gnn, &prepared_pruned);
+        build_tracks(&pruned, &logits, self.config.track_threshold, self.config.min_hits)
+    }
+}

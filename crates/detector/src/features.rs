@@ -1,0 +1,155 @@
+//! Vertex and edge feature construction matching the paper's dataset
+//! dimensions (Table I: CTD = 14 vertex / 8 edge features, Ex3 = 6 / 2).
+//!
+//! The first features are the physical coordinates used by the real
+//! acorn datasets (cylindrical r, φ, z and derived quantities); the
+//! remaining CTD-like channels emulate calorimetric/cluster information
+//! with deterministic pseudo-measurements so feature dimensionality and
+//! scale match without storing extra state.
+
+use crate::event::{wrap_phi, Event, Hit};
+
+/// Deterministic per-hit pseudo-measurement in `[0, 1)` (splitmix64-style
+/// hash of the hit index and a channel tag) — stands in for cell/cluster
+/// channels the real detector would provide.
+fn pseudo_channel(hit_idx: usize, channel: u64) -> f32 {
+    let mut x = (hit_idx as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ channel.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D049BB133111EB);
+    x ^= x >> 31;
+    (x >> 40) as f32 / (1u64 << 24) as f32
+}
+
+fn hit_features(h: &Hit, idx: usize, geometry_max_r: f32, n: usize) -> Vec<f32> {
+    let r = h.r();
+    let phi = h.phi();
+    let eta = h.eta();
+    // Ordered by information content; truncated to n.
+    let all = [
+        r / geometry_max_r,
+        phi / std::f32::consts::PI,
+        h.z,
+        h.x,
+        h.y,
+        eta,
+        phi.cos(),
+        phi.sin(),
+        (h.layer as f32 + 1.0) / 10.0,
+        if r > 0.0 { (h.z / r).clamp(-5.0, 5.0) } else { 0.0 },
+        pseudo_channel(idx, 1), // cluster charge
+        pseudo_channel(idx, 2), // cluster width φ
+        pseudo_channel(idx, 3), // cluster width z
+        pseudo_channel(idx, 4), // timing
+    ];
+    assert!(n <= all.len(), "at most {} vertex features supported", all.len());
+    all[..n].to_vec()
+}
+
+/// Row-major `num_hits x n` vertex feature matrix.
+pub fn vertex_features(event: &Event, n: usize) -> Vec<f32> {
+    let max_r = event.geometry.layer_radii.last().copied().unwrap_or(1.0);
+    let mut out = Vec::with_capacity(event.num_hits() * n);
+    for (i, h) in event.hits.iter().enumerate() {
+        out.extend(hit_features(h, i, max_r, n));
+    }
+    out
+}
+
+fn pair_features(hi: &Hit, hj: &Hit, n: usize) -> Vec<f32> {
+    let dphi = wrap_phi(hj.phi() - hi.phi());
+    let dz = hj.z - hi.z;
+    let dr = hj.r() - hi.r();
+    let deta = hj.eta() - hi.eta();
+    let d_rphi = (deta * deta + dphi * dphi).sqrt();
+    let all = [
+        dphi,
+        dz,
+        dr,
+        d_rphi,
+        hj.x - hi.x,
+        hj.y - hi.y,
+        deta,
+        // Curvature proxy: φ change per unit radial step.
+        if dr.abs() > 1e-6 { dphi / dr } else { 0.0 },
+    ];
+    assert!(n <= all.len(), "at most {} edge features supported", all.len());
+    all[..n].to_vec()
+}
+
+/// Row-major `num_edges x n` edge feature matrix for directed edges
+/// `(src[i], dst[i])`.
+pub fn edge_features(event: &Event, src: &[u32], dst: &[u32], n: usize) -> Vec<f32> {
+    assert_eq!(src.len(), dst.len(), "edge arrays length mismatch");
+    let mut out = Vec::with_capacity(src.len() * n);
+    for (&s, &d) in src.iter().zip(dst) {
+        out.extend(pair_features(&event.hits[s as usize], &event.hits[d as usize], n));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{simulate_event, DetectorGeometry};
+    use crate::particle::GunConfig;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn event() -> Event {
+        let mut rng = StdRng::seed_from_u64(1);
+        simulate_event(&DetectorGeometry::default(), &GunConfig::default(), 20, 0.1, &mut rng)
+    }
+
+    #[test]
+    fn vertex_feature_shapes() {
+        let ev = event();
+        for n in [3usize, 6, 14] {
+            let f = vertex_features(&ev, n);
+            assert_eq!(f.len(), ev.num_hits() * n);
+            assert!(f.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_vertex_features_panics() {
+        let ev = event();
+        let _ = vertex_features(&ev, 15);
+    }
+
+    #[test]
+    fn edge_feature_shapes_and_antisymmetry() {
+        let ev = event();
+        let g = crate::event::candidate_graph(&ev, 0.2, 0.3);
+        for n in [2usize, 8] {
+            let f = edge_features(&ev, &g.src, &g.dst, n);
+            assert_eq!(f.len(), g.num_edges() * n);
+        }
+        // dphi and dz flip sign when the edge is reversed.
+        if g.num_edges() > 0 {
+            let fwd = edge_features(&ev, &g.src[..1], &g.dst[..1], 2);
+            let rev = edge_features(&ev, &g.dst[..1], &g.src[..1], 2);
+            assert!((fwd[0] + rev[0]).abs() < 1e-5);
+            assert!((fwd[1] + rev[1]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn pseudo_channels_are_deterministic_and_uniform() {
+        let a = pseudo_channel(42, 1);
+        assert_eq!(a, pseudo_channel(42, 1));
+        assert_ne!(a, pseudo_channel(43, 1));
+        assert_ne!(a, pseudo_channel(42, 2));
+        let mean: f32 = (0..1000).map(|i| pseudo_channel(i, 1)).sum::<f32>() / 1000.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn features_are_order_one_scale() {
+        let ev = event();
+        let f = vertex_features(&ev, 14);
+        let max = f.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        assert!(max < 10.0, "feature magnitude {max}");
+    }
+}

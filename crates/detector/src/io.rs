@@ -1,0 +1,118 @@
+//! Dataset persistence: save generated event graphs to JSON and load
+//! them back, so the experiment harnesses can cache expensive
+//! generations and runs are reproducible from artifacts.
+
+use crate::datasets::{DatasetConfig, EventGraph};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A dataset file: the generating configuration plus the graphs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetFile {
+    pub config: DatasetConfig,
+    pub seed: u64,
+    pub graphs: Vec<EventGraph>,
+}
+
+/// Errors from dataset persistence.
+#[derive(Debug)]
+pub enum IoError {
+    Io(std::io::Error),
+    Parse(serde_json::Error),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "dataset io error: {e}"),
+            IoError::Parse(e) => write!(f, "dataset parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// Save graphs (with their generating config and seed) to a JSON file.
+pub fn save_dataset(
+    path: impl AsRef<Path>,
+    config: &DatasetConfig,
+    seed: u64,
+    graphs: &[EventGraph],
+) -> Result<(), IoError> {
+    let file = DatasetFile { config: config.clone(), seed, graphs: graphs.to_vec() };
+    let json = serde_json::to_string(&file).map_err(IoError::Parse)?;
+    std::fs::write(path, json).map_err(IoError::Io)
+}
+
+/// Load a dataset file.
+pub fn load_dataset(path: impl AsRef<Path>) -> Result<DatasetFile, IoError> {
+    let json = std::fs::read_to_string(path).map_err(IoError::Io)?;
+    serde_json::from_str(&json).map_err(IoError::Parse)
+}
+
+/// Generate-or-load: if `path` exists it is loaded (and the seed checked);
+/// otherwise the dataset is generated and saved.
+pub fn generate_cached(
+    path: impl AsRef<Path>,
+    config: &DatasetConfig,
+    n_events: usize,
+    seed: u64,
+) -> Result<Vec<EventGraph>, IoError> {
+    let path = path.as_ref();
+    if path.exists() {
+        let file = load_dataset(path)?;
+        if file.seed == seed && file.graphs.len() >= n_events {
+            return Ok(file.graphs.into_iter().take(n_events).collect());
+        }
+    }
+    let graphs = config.generate(n_events, seed);
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    save_dataset(path, config, seed, &graphs)?;
+    Ok(graphs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("trkx_io_{name}_{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let cfg = DatasetConfig::ex3_like(0.01);
+        let graphs = cfg.generate(2, 5);
+        let path = tmp("roundtrip");
+        save_dataset(&path, &cfg, 5, &graphs).unwrap();
+        let loaded = load_dataset(&path).unwrap();
+        assert_eq!(loaded.seed, 5);
+        assert_eq!(loaded.graphs.len(), 2);
+        assert_eq!(loaded.graphs[0].src, graphs[0].src);
+        assert_eq!(loaded.graphs[0].x, graphs[0].x);
+        assert_eq!(loaded.graphs[1].event.num_hits(), graphs[1].event.num_hits());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn generate_cached_hits_cache_second_time() {
+        let cfg = DatasetConfig::ex3_like(0.01);
+        let path = tmp("cache");
+        let _ = std::fs::remove_file(&path);
+        let a = generate_cached(&path, &cfg, 2, 9).unwrap();
+        assert!(path.exists());
+        let b = generate_cached(&path, &cfg, 2, 9).unwrap();
+        assert_eq!(a[0].src, b[0].src);
+        // Different seed regenerates.
+        let c = generate_cached(&path, &cfg, 2, 10).unwrap();
+        assert_ne!(a[0].num_nodes, c[0].num_nodes);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load_dataset("/nonexistent/trkx.json").is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! Charged-particle generation: a configurable "particle gun" drawing
+//! transverse momentum, pseudorapidity, azimuth, and charge.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use rand_distr::{Distribution, Normal};
+
+/// A charged particle produced at the beamline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Particle {
+    /// Transverse momentum in GeV/c.
+    pub pt: f32,
+    /// Pseudorapidity `η = -ln tan(θ/2)`.
+    pub eta: f32,
+    /// Azimuthal production angle in radians.
+    pub phi: f32,
+    /// Electric charge (±1).
+    pub charge: i8,
+    /// Longitudinal production vertex in metres.
+    pub vz: f32,
+}
+
+impl Particle {
+    /// `cot θ = sinh η` — the slope of z versus transverse arc length.
+    pub fn cot_theta(&self) -> f32 {
+        self.eta.sinh()
+    }
+}
+
+/// Particle-gun configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GunConfig {
+    /// Minimum pT in GeV/c (spectrum is `pT^-gamma` above this).
+    pub pt_min: f32,
+    /// Maximum pT in GeV/c.
+    pub pt_max: f32,
+    /// Power-law index of the pT spectrum (HEP-like falling spectrum).
+    pub pt_gamma: f32,
+    /// |η| acceptance.
+    pub eta_max: f32,
+    /// Gaussian σ of the longitudinal vertex spread (metres).
+    pub vz_sigma: f32,
+}
+
+impl Default for GunConfig {
+    fn default() -> Self {
+        Self { pt_min: 0.5, pt_max: 5.0, pt_gamma: 2.0, eta_max: 1.2, vz_sigma: 0.02 }
+    }
+}
+
+impl GunConfig {
+    /// Draw one particle.
+    pub fn sample(&self, rng: &mut impl Rng) -> Particle {
+        // Inverse-CDF sampling of p(pt) ∝ pt^-gamma on [pt_min, pt_max].
+        let g = self.pt_gamma;
+        let u: f32 = rng.gen();
+        let pt = if (g - 1.0).abs() < 1e-6 {
+            // gamma == 1: log-uniform
+            (self.pt_min.ln() + u * (self.pt_max.ln() - self.pt_min.ln())).exp()
+        } else {
+            let a = self.pt_min.powf(1.0 - g);
+            let b = self.pt_max.powf(1.0 - g);
+            (a + u * (b - a)).powf(1.0 / (1.0 - g))
+        };
+        let normal = Normal::new(0.0f32, self.vz_sigma).expect("valid vz sigma");
+        Particle {
+            pt,
+            eta: rng.gen_range(-self.eta_max..self.eta_max),
+            phi: rng.gen_range(-std::f32::consts::PI..std::f32::consts::PI),
+            charge: if rng.gen_bool(0.5) { 1 } else { -1 },
+            vz: normal.sample(rng),
+        }
+    }
+
+    /// Draw `n` particles.
+    pub fn sample_n(&self, n: usize, rng: &mut impl Rng) -> Vec<Particle> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn samples_respect_ranges() {
+        let cfg = GunConfig::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in cfg.sample_n(500, &mut rng) {
+            assert!(p.pt >= cfg.pt_min && p.pt <= cfg.pt_max, "pt {}", p.pt);
+            assert!(p.eta.abs() <= cfg.eta_max);
+            assert!(p.phi.abs() <= std::f32::consts::PI);
+            assert!(p.charge == 1 || p.charge == -1);
+        }
+    }
+
+    #[test]
+    fn pt_spectrum_is_falling() {
+        let cfg = GunConfig { pt_min: 0.5, pt_max: 10.0, pt_gamma: 2.5, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(2);
+        let particles = cfg.sample_n(5000, &mut rng);
+        let low = particles.iter().filter(|p| p.pt < 1.0).count();
+        let high = particles.iter().filter(|p| p.pt > 5.0).count();
+        assert!(low > high * 5, "low {low} high {high}");
+    }
+
+    #[test]
+    fn charges_are_balanced() {
+        let cfg = GunConfig::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n_pos = cfg.sample_n(2000, &mut rng).iter().filter(|p| p.charge > 0).count();
+        assert!((800..1200).contains(&n_pos), "{n_pos}");
+    }
+
+    #[test]
+    fn cot_theta_zero_at_midrapidity() {
+        let p = Particle { pt: 1.0, eta: 0.0, phi: 0.0, charge: 1, vz: 0.0 };
+        assert_eq!(p.cot_theta(), 0.0);
+    }
+}

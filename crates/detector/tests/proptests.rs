@@ -1,0 +1,114 @@
+//! Property tests for the detector simulator: helix geometry invariants,
+//! candidate-graph invariants, and feature stability over random
+//! particles and events.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use trkx_detector::{
+    candidate_graph, simulate_event, DetectorGeometry, GunConfig, Helix, Particle,
+};
+
+fn particle_strategy() -> impl Strategy<Value = Particle> {
+    (
+        0.2f32..10.0,       // pt
+        -1.5f32..1.5,       // eta
+        -3.1f32..3.1,       // phi
+        prop::bool::ANY,    // charge sign
+        -0.05f32..0.05,     // vz
+    )
+        .prop_map(|(pt, eta, phi, pos, vz)| Particle {
+            pt,
+            eta,
+            phi,
+            charge: if pos { 1 } else { -1 },
+            vz,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn helix_crossings_lie_on_their_cylinder(p in particle_strategy(), r in 0.05f32..1.0) {
+        let h = Helix::from_particle(&p, 2.0);
+        if let Some((x, y, _z, _arc)) = h.at_radius(r) {
+            let rr = (x * x + y * y).sqrt();
+            prop_assert!((rr - r).abs() < 1e-4, "crossing at {} for cylinder {}", rr, r);
+        } else {
+            prop_assert!(r > h.max_reach());
+        }
+    }
+
+    #[test]
+    fn helix_z_is_linear_in_arc_length(p in particle_strategy()) {
+        let h = Helix::from_particle(&p, 2.0);
+        let radii = [0.1f32, 0.3, 0.5];
+        let mut pts = Vec::new();
+        for r in radii {
+            if let Some((_, _, z, arc)) = h.at_radius(r) {
+                pts.push((arc, z));
+            }
+        }
+        // z = vz + arc * cot_theta along the whole trajectory.
+        for &(arc, z) in &pts {
+            let expect = p.vz + arc * p.cot_theta();
+            prop_assert!((z - expect).abs() < 1e-4, "z {} vs {}", z, expect);
+        }
+    }
+
+    #[test]
+    fn azimuthal_deflection_decreases_with_pt(phi in -3.0f32..3.0, eta in -1.0f32..1.0) {
+        let mk = |pt: f32| Particle { pt, eta, phi, charge: 1, vz: 0.0 };
+        let r = 0.5f32;
+        let deflect = |pt: f32| -> Option<f32> {
+            let h = Helix::from_particle(&mk(pt), 2.0);
+            h.at_radius(r).map(|(x, y, _, _)| {
+                let mut d = y.atan2(x) - phi;
+                while d > std::f32::consts::PI { d -= 2.0 * std::f32::consts::PI; }
+                while d < -std::f32::consts::PI { d += 2.0 * std::f32::consts::PI; }
+                d.abs()
+            })
+        };
+        if let (Some(low), Some(high)) = (deflect(1.0), deflect(8.0)) {
+            prop_assert!(high <= low + 1e-5, "low-pt deflection {} < high-pt {}", low, high);
+        }
+    }
+
+    #[test]
+    fn events_have_no_duplicate_hit_positions_per_particle_layer(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ev = simulate_event(&DetectorGeometry::default(), &GunConfig::default(), 15, 0.1, &mut rng);
+        // Each particle hits each layer at most once.
+        let mut seen = std::collections::HashSet::new();
+        for h in &ev.hits {
+            if let Some(p) = h.particle {
+                prop_assert!(seen.insert((p, h.layer)), "particle {} hit layer {} twice", p, h.layer);
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_edges_always_go_inner_to_adjacent_outer(seed in 0u64..200,
+                                                        window in 0.05f32..0.5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ev = simulate_event(&DetectorGeometry::default(), &GunConfig::default(), 20, 0.2, &mut rng);
+        let g = candidate_graph(&ev, window, 0.5);
+        for (&s, &d) in g.src.iter().zip(&g.dst) {
+            let (ls, ld) = (ev.hits[s as usize].layer, ev.hits[d as usize].layer);
+            prop_assert_eq!(ld, ls + 1, "edge spans layers {} -> {}", ls, ld);
+        }
+    }
+
+    #[test]
+    fn truth_edges_subset_of_same_particle_pairs(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ev = simulate_event(&DetectorGeometry::default(), &GunConfig::default(), 12, 0.0, &mut rng);
+        let n_edges = ev.truth_edges().len();
+        let signal_hits = ev.hits.iter().filter(|h| h.particle.is_some()).count();
+        let n_particles_with_hits = ev
+            .truth_tracks()
+            .len();
+        // A track of k hits yields k-1 edges.
+        prop_assert_eq!(n_edges, signal_hits - n_particles_with_hits);
+    }
+}

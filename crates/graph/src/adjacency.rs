@@ -1,0 +1,116 @@
+//! Lightweight CSR adjacency lists for traversal (the sparse-matrix crate
+//! owns the algebraic representation; this one is for walks and BFS).
+
+/// Directed adjacency in CSR layout with per-edge original ids.
+#[derive(Debug, Clone)]
+pub struct AdjList {
+    offsets: Vec<usize>,
+    neighbors: Vec<u32>,
+    /// Original edge-list index of each stored neighbour.
+    edge_ids: Vec<u32>,
+}
+
+impl AdjList {
+    /// Build from a directed edge list over `n` vertices.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut counts = vec![0usize; n + 1];
+        for &(s, _) in edges {
+            counts[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut neighbors = vec![0u32; edges.len()];
+        let mut edge_ids = vec![0u32; edges.len()];
+        let mut cursor = counts;
+        for (id, &(s, d)) in edges.iter().enumerate() {
+            let p = cursor[s as usize];
+            neighbors[p] = d;
+            edge_ids[p] = id as u32;
+            cursor[s as usize] += 1;
+        }
+        Self { offsets, neighbors, edge_ids }
+    }
+
+    /// Build the symmetrised (undirected) adjacency: each input edge
+    /// appears in both directions carrying the same original edge id.
+    pub fn undirected_from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut doubled = Vec::with_capacity(edges.len() * 2);
+        for &(s, d) in edges {
+            doubled.push((s, d));
+            doubled.push((d, s));
+        }
+        let mut adj = Self::from_edges(n, &doubled);
+        // Halve edge ids back to original indices.
+        for id in &mut adj.edge_ids {
+            *id /= 2;
+        }
+        adj
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Out-neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let (s, e) = (self.offsets[v as usize], self.offsets[v as usize + 1]);
+        &self.neighbors[s..e]
+    }
+
+    /// Out-neighbours with the original edge id of each.
+    #[inline]
+    pub fn neighbors_with_ids(&self, v: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let (s, e) = (self.offsets[v as usize], self.offsets[v as usize + 1]);
+        self.neighbors[s..e].iter().copied().zip(self.edge_ids[s..e].iter().copied())
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directed_adjacency() {
+        let adj = AdjList::from_edges(4, &[(0, 1), (0, 2), (2, 3), (3, 0)]);
+        assert_eq!(adj.num_vertices(), 4);
+        assert_eq!(adj.num_edges(), 4);
+        assert_eq!(adj.neighbors(0), &[1, 2]);
+        assert_eq!(adj.neighbors(1), &[] as &[u32]);
+        assert_eq!(adj.degree(2), 1);
+        let with_ids: Vec<_> = adj.neighbors_with_ids(0).collect();
+        assert_eq!(with_ids, vec![(1, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn undirected_doubles_and_keeps_ids() {
+        let adj = AdjList::undirected_from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(adj.num_edges(), 4);
+        assert_eq!(adj.neighbors(1), &[0, 2]);
+        let ids: Vec<_> = adj.neighbors_with_ids(1).map(|(_, id)| id).collect();
+        assert_eq!(ids, vec![0, 1]);
+        // Reverse direction carries the same id.
+        let ids0: Vec<_> = adj.neighbors_with_ids(0).map(|(_, id)| id).collect();
+        assert_eq!(ids0, vec![0]);
+    }
+
+    #[test]
+    fn isolated_vertices_have_no_neighbors() {
+        let adj = AdjList::from_edges(5, &[(1, 2)]);
+        assert_eq!(adj.degree(0), 0);
+        assert_eq!(adj.degree(4), 0);
+        assert_eq!(adj.neighbors(3), &[] as &[u32]);
+    }
+}

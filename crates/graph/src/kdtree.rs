@@ -1,0 +1,220 @@
+//! Static k-d tree for radius and k-nearest-neighbour queries in the
+//! learned embedding space (stage 2 of the pipeline builds a fixed-radius
+//! graph over MLP embeddings of dimension ~8).
+
+/// A balanced k-d tree over `n` points of dimension `dim`, stored flat.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    dim: usize,
+    /// Point coordinates, row-major `n x dim`.
+    points: Vec<f32>,
+    /// Original index of each point slot (the tree reorders points).
+    ids: Vec<u32>,
+}
+
+impl KdTree {
+    /// Build from row-major points. `O(n log² n)` construction via
+    /// median-of-axis splits.
+    pub fn build(points: &[f32], dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(points.len() % dim, 0, "points buffer not a multiple of dim");
+        let n = points.len() / dim;
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        let mut pts = points.to_vec();
+        if n > 0 {
+            build_recursive(&mut pts, &mut ids, dim, 0, 0, n);
+        }
+        Self { dim, points: pts, ids }
+    }
+
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    fn point(&self, slot: usize) -> &[f32] {
+        &self.points[slot * self.dim..(slot + 1) * self.dim]
+    }
+
+    /// All original indices within Euclidean distance `r` of `query`
+    /// (inclusive), in arbitrary order.
+    pub fn radius_query(&self, query: &[f32], r: f32) -> Vec<u32> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let mut out = Vec::new();
+        if !self.is_empty() {
+            self.radius_rec(query, r * r, 0, 0, self.len(), &mut out);
+        }
+        out
+    }
+
+    fn radius_rec(&self, q: &[f32], r2: f32, depth: usize, lo: usize, hi: usize, out: &mut Vec<u32>) {
+        if lo >= hi {
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let p = self.point(mid);
+        if sq_dist(p, q) <= r2 {
+            out.push(self.ids[mid]);
+        }
+        let axis = depth % self.dim;
+        let delta = q[axis] - p[axis];
+        let (near, far) = if delta < 0.0 {
+            ((lo, mid), (mid + 1, hi))
+        } else {
+            ((mid + 1, hi), (lo, mid))
+        };
+        self.radius_rec(q, r2, depth + 1, near.0, near.1, out);
+        if delta * delta <= r2 {
+            self.radius_rec(q, r2, depth + 1, far.0, far.1, out);
+        }
+    }
+
+    /// Indices of the `k` nearest neighbours of `query` (excluding any
+    /// point at distance > `max_dist` if provided), nearest first.
+    pub fn knn_query(&self, query: &[f32], k: usize) -> Vec<(u32, f32)> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let mut heap: Vec<(f32, u32)> = Vec::with_capacity(k + 1); // max-heap by dist
+        if !self.is_empty() && k > 0 {
+            self.knn_rec(query, k, 0, 0, self.len(), &mut heap);
+        }
+        let mut out: Vec<(u32, f32)> = heap.into_iter().map(|(d, i)| (i, d.sqrt())).collect();
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        out
+    }
+
+    fn knn_rec(&self, q: &[f32], k: usize, depth: usize, lo: usize, hi: usize, heap: &mut Vec<(f32, u32)>) {
+        if lo >= hi {
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let p = self.point(mid);
+        let d2 = sq_dist(p, q);
+        if heap.len() < k {
+            heap.push((d2, self.ids[mid]));
+            heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap()); // crude max-heap
+        } else if d2 < heap[0].0 {
+            heap[0] = (d2, self.ids[mid]);
+            heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        }
+        let axis = depth % self.dim;
+        let delta = q[axis] - p[axis];
+        let (near, far) = if delta < 0.0 {
+            ((lo, mid), (mid + 1, hi))
+        } else {
+            ((mid + 1, hi), (lo, mid))
+        };
+        self.knn_rec(q, k, depth + 1, near.0, near.1, heap);
+        let worst = if heap.len() < k { f32::INFINITY } else { heap[0].0 };
+        if delta * delta <= worst {
+            self.knn_rec(q, k, depth + 1, far.0, far.1, heap);
+        }
+    }
+}
+
+fn build_recursive(pts: &mut [f32], ids: &mut [u32], dim: usize, depth: usize, lo: usize, hi: usize) {
+    if hi - lo <= 1 {
+        return;
+    }
+    let axis = depth % dim;
+    let mid = lo + (hi - lo) / 2;
+    // Selection sort of slots by axis value around the median using an
+    // index permutation (simple O(n log n) sort; fine for our sizes).
+    let mut order: Vec<usize> = (lo..hi).collect();
+    order.sort_by(|&a, &b| {
+        pts[a * dim + axis]
+            .partial_cmp(&pts[b * dim + axis])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    // Apply permutation to pts[lo..hi] and ids[lo..hi].
+    let mut new_pts = Vec::with_capacity((hi - lo) * dim);
+    let mut new_ids = Vec::with_capacity(hi - lo);
+    for &slot in &order {
+        new_pts.extend_from_slice(&pts[slot * dim..(slot + 1) * dim]);
+        new_ids.push(ids[slot]);
+    }
+    pts[lo * dim..hi * dim].copy_from_slice(&new_pts);
+    ids[lo..hi].copy_from_slice(&new_ids);
+    build_recursive(pts, ids, dim, depth + 1, lo, mid);
+    build_recursive(pts, ids, dim, depth + 1, mid + 1, hi);
+}
+
+#[inline]
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn brute_radius(points: &[f32], dim: usize, q: &[f32], r: f32) -> Vec<u32> {
+        let mut out: Vec<u32> = (0..points.len() / dim)
+            .filter(|&i| sq_dist(&points[i * dim..(i + 1) * dim], q) <= r * r)
+            .map(|i| i as u32)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn radius_query_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for dim in [2usize, 3, 8] {
+            let n = 200;
+            let points: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let tree = KdTree::build(&points, dim);
+            for _ in 0..20 {
+                let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                let r = rng.gen_range(0.1f32..0.8);
+                let mut got = tree.radius_query(&q, r);
+                got.sort_unstable();
+                assert_eq!(got, brute_radius(&points, dim, &q, r), "dim {dim} r {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_query_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dim = 4;
+        let n = 150;
+        let points: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let tree = KdTree::build(&points, dim);
+        for _ in 0..10 {
+            let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let k = rng.gen_range(1usize..10);
+            let got = tree.knn_query(&q, k);
+            let mut dists: Vec<(f32, u32)> = (0..n)
+                .map(|i| (sq_dist(&points[i * dim..(i + 1) * dim], &q).sqrt(), i as u32))
+                .collect();
+            dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            assert_eq!(got.len(), k);
+            for (g, e) in got.iter().zip(&dists) {
+                assert!((g.1 - e.0).abs() < 1e-5, "distance mismatch {} vs {}", g.1, e.0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let tree = KdTree::build(&[], 3);
+        assert!(tree.radius_query(&[0., 0., 0.], 1.0).is_empty());
+        assert!(tree.knn_query(&[0., 0., 0.], 3).is_empty());
+        let tree = KdTree::build(&[1.0, 2.0], 2);
+        assert_eq!(tree.radius_query(&[1.0, 2.0], 0.1), vec![0]);
+        assert_eq!(tree.knn_query(&[0.0, 0.0], 1)[0].0, 0);
+    }
+
+    #[test]
+    fn duplicate_points_all_found() {
+        let points = vec![0.5f32, 0.5, 0.5, 0.5, 0.5, 0.5];
+        let tree = KdTree::build(&points, 2);
+        let mut got = tree.radius_query(&[0.5, 0.5], 0.0);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,18 @@
+//! # trkx-graph
+//!
+//! Graph algorithms for the tracking pipeline: CSR adjacency lists for
+//! traversal, union-find connected components (stage 5: track building),
+//! and spatial structures (k-d tree) for fixed-radius / kNN graph
+//! construction in the learned embedding space (stage 2).
+
+pub mod adjacency;
+pub mod components;
+pub mod kdtree;
+pub mod radius;
+pub mod union_find;
+
+pub use adjacency::AdjList;
+pub use components::{components_as_groups, connected_components, connected_components_bfs};
+pub use kdtree::KdTree;
+pub use radius::{knn_graph, radius_graph, radius_graph_brute};
+pub use union_find::UnionFind;

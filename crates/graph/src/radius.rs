@@ -1,0 +1,137 @@
+//! Fixed-radius and k-nearest-neighbour graph construction — stage 2 of
+//! the Exa.TrkX pipeline builds the candidate-edge graph by connecting
+//! hits that land near each other in the learned embedding space.
+
+use crate::kdtree::KdTree;
+use rayon::prelude::*;
+
+/// Build the fixed-radius nearest-neighbour graph: one directed edge
+/// `(i, j)` per ordered pair `i != j` with `||p_i - p_j|| <= r`, `i < j`
+/// (callers symmetrise if needed). Parallel over query points.
+pub fn radius_graph(points: &[f32], dim: usize, r: f32) -> Vec<(u32, u32)> {
+    let n = points.len() / dim;
+    let tree = KdTree::build(points, dim);
+    let mut edges: Vec<(u32, u32)> = (0..n)
+        .into_par_iter()
+        .flat_map_iter(|i| {
+            let q = &points[i * dim..(i + 1) * dim];
+            tree.radius_query(q, r)
+                .into_iter()
+                .filter(move |&j| (j as usize) > i)
+                .map(move |j| (i as u32, j))
+                .collect::<Vec<_>>()
+                .into_iter()
+        })
+        .collect();
+    edges.par_sort_unstable();
+    edges
+}
+
+/// Brute-force O(n²) reference for [`radius_graph`].
+pub fn radius_graph_brute(points: &[f32], dim: usize, r: f32) -> Vec<(u32, u32)> {
+    let n = points.len() / dim;
+    let r2 = r * r;
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d2: f32 = (0..dim)
+                .map(|k| {
+                    let d = points[i * dim + k] - points[j * dim + k];
+                    d * d
+                })
+                .sum();
+            if d2 <= r2 {
+                edges.push((i as u32, j as u32));
+            }
+        }
+    }
+    edges
+}
+
+/// k-nearest-neighbour graph: directed edge from each point to its `k`
+/// nearest neighbours (excluding itself), deduplicated as undirected
+/// `i < j` pairs.
+pub fn knn_graph(points: &[f32], dim: usize, k: usize) -> Vec<(u32, u32)> {
+    let n = points.len() / dim;
+    let tree = KdTree::build(points, dim);
+    let mut edges: Vec<(u32, u32)> = (0..n)
+        .into_par_iter()
+        .flat_map_iter(|i| {
+            let q = &points[i * dim..(i + 1) * dim];
+            // k+1 to allow skipping self.
+            tree.knn_query(q, k + 1)
+                .into_iter()
+                .filter(move |&(j, _)| j as usize != i)
+                .take(k)
+                .map(move |(j, _)| {
+                    let (a, b) = if (i as u32) < j { (i as u32, j) } else { (j, i as u32) };
+                    (a, b)
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+        })
+        .collect();
+    edges.par_sort_unstable();
+    edges.dedup();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn radius_graph_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for dim in [2usize, 6] {
+            let points: Vec<f32> = (0..120 * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let fast = radius_graph(&points, dim, 0.4);
+            let brute = radius_graph_brute(&points, dim, 0.4);
+            assert_eq!(fast, brute, "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn radius_zero_only_duplicates() {
+        let points = vec![0.0f32, 0.0, 1.0, 1.0, 0.0, 0.0];
+        let edges = radius_graph(&points, 2, 0.0);
+        assert_eq!(edges, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn knn_graph_has_expected_degree() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 60;
+        let points: Vec<f32> = (0..n * 3).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let edges = knn_graph(&points, 3, 4);
+        // Every vertex appears in at least 4 undirected edges (its own kNN;
+        // possibly more from being another's neighbour).
+        let mut deg = vec![0usize; n];
+        for &(a, b) in &edges {
+            deg[a as usize] += 1;
+            deg[b as usize] += 1;
+        }
+        assert!(deg.iter().all(|&d| d >= 4), "min degree {:?}", deg.iter().min());
+        // No self loops or duplicates.
+        assert!(edges.iter().all(|&(a, b)| a < b));
+        let mut sorted = edges.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), edges.len());
+    }
+
+    #[test]
+    fn clustered_points_form_cliques() {
+        // Two tight clusters far apart: radius graph = two cliques.
+        let mut points = Vec::new();
+        for i in 0..4 {
+            points.extend_from_slice(&[0.0 + i as f32 * 0.01, 0.0]);
+        }
+        for i in 0..3 {
+            points.extend_from_slice(&[5.0 + i as f32 * 0.01, 5.0]);
+        }
+        let edges = radius_graph(&points, 2, 0.5);
+        assert_eq!(edges.len(), 6 + 3); // C(4,2) + C(3,2)
+        assert!(edges.iter().all(|&(a, b)| (a < 4) == (b < 4)));
+    }
+}

@@ -1,0 +1,137 @@
+//! Disjoint-set forest with path compression and union by rank — the
+//! engine behind stage 5 of the pipeline (connected components = candidate
+//! particle tracks).
+
+/// Disjoint-set (union-find) structure over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n as u32).collect(), rank: vec![0; n], components: n }
+    }
+
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set, with path compression.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Compress.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merge the sets of `a` and `b`; returns true if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (ra, rb) = if self.rank[ra as usize] < self.rank[rb as usize] {
+            (rb, ra)
+        } else {
+            (ra, rb)
+        };
+        self.parent[rb as usize] = ra;
+        if self.rank[ra as usize] == self.rank[rb as usize] {
+            self.rank[ra as usize] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Current number of disjoint sets.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Dense component labels in `0..num_components`, stable by smallest
+    /// member order.
+    pub fn labels(&mut self) -> Vec<u32> {
+        let n = self.len();
+        let mut label_of_root = std::collections::HashMap::new();
+        let mut labels = vec![0u32; n];
+        let mut next = 0u32;
+        for i in 0..n as u32 {
+            let r = self.find(i);
+            let l = *label_of_root.entry(r).or_insert_with(|| {
+                let l = next;
+                next += 1;
+                l
+            });
+            labels[i as usize] = l;
+        }
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_then_unions() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(3, 4));
+        assert!(!uf.union(1, 0)); // already joined
+        assert_eq!(uf.num_components(), 3);
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 3));
+        assert!(uf.union(1, 4));
+        assert!(uf.connected(0, 3));
+        assert_eq!(uf.num_components(), 2);
+    }
+
+    #[test]
+    fn labels_are_dense_and_consistent() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 2);
+        uf.union(2, 4);
+        uf.union(1, 5);
+        let labels = uf.labels();
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[2], labels[4]);
+        assert_eq!(labels[1], labels[5]);
+        assert_ne!(labels[0], labels[1]);
+        assert_ne!(labels[0], labels[3]);
+        let max = *labels.iter().max().unwrap() as usize;
+        assert_eq!(max + 1, uf.num_components());
+    }
+
+    #[test]
+    fn long_chain_compresses() {
+        let n = 1000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n as u32 - 1 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.num_components(), 1);
+        assert!(uf.connected(0, n as u32 - 1));
+    }
+}

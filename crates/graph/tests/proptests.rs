@@ -1,0 +1,78 @@
+//! Property tests: union-find equals BFS on random graphs; spatial
+//! queries equal brute force.
+
+use proptest::prelude::*;
+use trkx_graph::{
+    connected_components, connected_components_bfs, radius_graph, radius_graph_brute, KdTree,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn union_find_matches_bfs(n in 1usize..30,
+                              edges in proptest::collection::vec((0u32..30, 0u32..30), 0..60)) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(a, b)| (a % n as u32, b % n as u32))
+            .collect();
+        let a = connected_components(n, &edges);
+        let b = connected_components_bfs(n, &edges);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(a[i] == a[j], b[i] == b[j], "pair {} {}", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn component_count_decreases_with_edges(n in 2usize..20,
+                                            edges in proptest::collection::vec((0u32..20, 0u32..20), 1..40)) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(a, b)| (a % n as u32, b % n as u32))
+            .collect();
+        for k in 1..edges.len() {
+            let fewer = connected_components(n, &edges[..k]);
+            let more = connected_components(n, &edges[..k + 1]);
+            let count = |labels: &[u32]| labels.iter().max().map(|&m| m as usize + 1).unwrap_or(0);
+            prop_assert!(count(&more) <= count(&fewer));
+        }
+    }
+
+    #[test]
+    fn kdtree_radius_matches_brute(points in proptest::collection::vec(-1.0f32..1.0, 6..90),
+                                   r in 0.05f32..1.0) {
+        let dim = 3;
+        let n = points.len() / dim;
+        let pts = &points[..n * dim];
+        let tree = KdTree::build(pts, dim);
+        for i in 0..n.min(8) {
+            let q = &pts[i * dim..(i + 1) * dim];
+            let mut got = tree.radius_query(q, r);
+            got.sort_unstable();
+            let want: Vec<u32> = (0..n)
+                .filter(|&j| {
+                    let d2: f32 = (0..dim)
+                        .map(|k| (pts[j * dim + k] - q[k]).powi(2))
+                        .sum();
+                    d2 <= r * r
+                })
+                .map(|j| j as u32)
+                .collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn radius_graph_is_symmetric_under_reflection(points in proptest::collection::vec(-1.0f32..1.0, 8..60)) {
+        let dim = 2;
+        let n = points.len() / dim;
+        let pts = &points[..n * dim];
+        let edges = radius_graph(pts, dim, 0.5);
+        prop_assert_eq!(edges.clone(), radius_graph_brute(pts, dim, 0.5));
+        // Negating all coordinates preserves pairwise distances.
+        let neg: Vec<f32> = pts.iter().map(|v| -v).collect();
+        prop_assert_eq!(edges, radius_graph(&neg, dim, 0.5));
+    }
+}

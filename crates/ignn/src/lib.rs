@@ -1,0 +1,13 @@
+//! # trkx-ignn
+//!
+//! The Interaction GNN (paper Algorithm 1, after Battaglia et al.) used by
+//! the Exa.TrkX pipeline for binary edge classification: per-edge message
+//! MLPs, sum aggregation into both endpoints, per-node update MLPs, skip
+//! connections to the input encodings, and an edge-logit decoder. Each of
+//! the `L` layers has its own distinct MLPs — which is exactly why the
+//! model holds many separate `f x f` parameter matrices and why the
+//! paper's coalesced all-reduce matters.
+
+pub mod model;
+
+pub use model::{IgnnConfig, InteractionGnn};

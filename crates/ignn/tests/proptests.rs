@@ -1,0 +1,95 @@
+//! Property tests for the Interaction GNN: shape correctness, finiteness
+//! and determinism over random graphs and configurations.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
+use trkx_ignn::{IgnnConfig, InteractionGnn};
+use trkx_nn::Bindings;
+use trkx_tensor::{Matrix, Tape};
+
+/// Random small graph: (n, edges).
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..10).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 1..20),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn forward_is_finite_and_correctly_shaped((n, edges) in graph_strategy(),
+                                              layers in 1usize..4,
+                                              hidden_pow in 2u32..5,
+                                              seed in 0u64..100) {
+        let hidden = 1usize << hidden_pow;
+        let cfg = IgnnConfig::new(3, 2).with_hidden(hidden).with_gnn_layers(layers).with_mlp_depth(2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = InteractionGnn::new(cfg, &mut rng);
+        let m = edges.len();
+        let x = Matrix::randn(n, 3, 1.0, &mut rng);
+        let y = Matrix::randn(m, 2, 1.0, &mut rng);
+        let src: Arc<Vec<u32>> = Arc::new(edges.iter().map(|e| e.0).collect());
+        let dst: Arc<Vec<u32>> = Arc::new(edges.iter().map(|e| e.1).collect());
+        let mut tape = Tape::new();
+        let mut bind = Bindings::new();
+        let logits = model.forward(&mut tape, &mut bind, &x, &y, src, dst);
+        let v = tape.value(logits);
+        prop_assert_eq!(v.shape(), (m, 1));
+        prop_assert!(v.data().iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn forward_is_deterministic((n, edges) in graph_strategy(), seed in 0u64..50) {
+        let cfg = IgnnConfig::new(2, 1).with_hidden(4).with_gnn_layers(2).with_mlp_depth(2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = InteractionGnn::new(cfg, &mut rng);
+        let m = edges.len();
+        let x = Matrix::from_fn(n, 2, |r, c| ((r * 2 + c) as f32 * 0.3).sin());
+        let y = Matrix::from_fn(m, 1, |r, _| (r as f32 * 0.7).cos());
+        let src: Arc<Vec<u32>> = Arc::new(edges.iter().map(|e| e.0).collect());
+        let dst: Arc<Vec<u32>> = Arc::new(edges.iter().map(|e| e.1).collect());
+        let run = || {
+            let mut tape = Tape::new();
+            let mut bind = Bindings::new();
+            let v = model.forward(&mut tape, &mut bind, &x, &y, src.clone(), dst.clone());
+            tape.value(v).clone()
+        };
+        prop_assert!(run().approx_eq(&run(), 0.0));
+    }
+
+    #[test]
+    fn disconnected_edge_sets_are_independent(seed in 0u64..50) {
+        // Two disjoint components: logits of component A must not change
+        // when component B's features change (block-diagonal invariance —
+        // the property ShaDow training relies on).
+        let cfg = IgnnConfig::new(2, 1).with_hidden(8).with_gnn_layers(3).with_mlp_depth(2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = InteractionGnn::new(cfg, &mut rng);
+        // Component A: vertices 0-2; component B: vertices 3-5.
+        let src: Arc<Vec<u32>> = Arc::new(vec![0, 1, 3, 4]);
+        let dst: Arc<Vec<u32>> = Arc::new(vec![1, 2, 4, 5]);
+        let x = Matrix::randn(6, 2, 1.0, &mut rng);
+        let y = Matrix::randn(4, 1, 1.0, &mut rng);
+        let run = |x: &Matrix| {
+            let mut tape = Tape::new();
+            let mut bind = Bindings::new();
+            let v = model.forward(&mut tape, &mut bind, x, &y, src.clone(), dst.clone());
+            tape.value(v).clone()
+        };
+        let base = run(&x);
+        let mut x2 = x.clone();
+        x2.set(4, 0, x2.get(4, 0) + 10.0); // perturb component B
+        let perturbed = run(&x2);
+        // Component A's edge logits (rows 0, 1) unchanged.
+        prop_assert!((base.get(0, 0) - perturbed.get(0, 0)).abs() < 1e-6);
+        prop_assert!((base.get(1, 0) - perturbed.get(1, 0)).abs() < 1e-6);
+        // Component B's changed.
+        prop_assert!((base.get(2, 0) - perturbed.get(2, 0)).abs() > 1e-6
+            || (base.get(3, 0) - perturbed.get(3, 0)).abs() > 1e-6);
+    }
+}

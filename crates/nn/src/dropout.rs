@@ -1,0 +1,115 @@
+//! Inverted dropout, built on the tape's fixed-mask multiply.
+
+use rand::Rng;
+use std::sync::Arc;
+use trkx_tensor::{Matrix, Tape, Var};
+
+/// Inverted dropout: during training, zeroes each element with
+/// probability `p` and scales survivors by `1/(1-p)` so activations keep
+/// their expectation; at evaluation it is the identity.
+#[derive(Debug, Clone, Copy)]
+pub struct Dropout {
+    pub p: f32,
+}
+
+impl Dropout {
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        Self { p }
+    }
+
+    /// Apply during training (draws a fresh mask from `rng`).
+    pub fn forward_train(
+        &self,
+        tape: &mut Tape,
+        x: Var,
+        rng: &mut impl Rng,
+    ) -> Var {
+        if self.p == 0.0 {
+            return x;
+        }
+        let (rows, cols) = tape.value(x).shape();
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask = Matrix::from_fn(rows, cols, |_, _| {
+            if rng.gen::<f32>() < keep {
+                scale
+            } else {
+                0.0
+            }
+        });
+        tape.mul_mask(x, Arc::new(mask))
+    }
+
+    /// Identity at evaluation time.
+    pub fn forward_eval(&self, _tape: &mut Tape, x: Var) -> Var {
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn eval_is_identity() {
+        let d = Dropout::new(0.5);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::ones(3, 3));
+        let y = d.forward_eval(&mut tape, x);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn train_preserves_expectation() {
+        let d = Dropout::new(0.3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut total = 0.0f64;
+        let trials = 200;
+        for _ in 0..trials {
+            let mut tape = Tape::new();
+            let x = tape.leaf(Matrix::ones(10, 10));
+            let y = d.forward_train(&mut tape, x, &mut rng);
+            total += tape.value(y).mean() as f64;
+        }
+        let mean = total / trials as f64;
+        assert!((mean - 1.0).abs() < 0.03, "dropout mean {mean}");
+    }
+
+    #[test]
+    fn zero_probability_is_identity() {
+        let d = Dropout::new(0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::ones(2, 2));
+        let y = d.forward_train(&mut tape, x, &mut rng);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn gradient_flows_only_through_kept_elements() {
+        let d = Dropout::new(0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::ones(4, 4));
+        let y = d.forward_train(&mut tape, x, &mut rng);
+        let loss = tape.sum_all(y);
+        tape.backward(loss);
+        let g = tape.grad(x).unwrap();
+        let out = tape.value(y).clone();
+        for (gv, ov) in g.data().iter().zip(out.data()) {
+            if *ov == 0.0 {
+                assert_eq!(*gv, 0.0);
+            } else {
+                assert!((gv - 2.0).abs() < 1e-6); // 1/(1-0.5)
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        let _ = Dropout::new(1.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Loss functions used across the pipeline stages.
+//!
+//! Binary cross-entropy with logits (edge classification in the filter and
+//! GNN stages) is a native tape op; the contrastive hinge loss (stage-1
+//! metric-learning embedding) is composed here from tape primitives.
+
+use std::sync::Arc;
+use trkx_tensor::{Matrix, Tape, Var};
+
+/// Mean BCE-with-logits over a column of logits. `targets` are 0/1 floats;
+/// `pos_weight` rescales positive examples (class imbalance: true edges
+/// are rare among radius-graph candidates).
+pub fn bce_with_logits(tape: &mut Tape, logits: Var, targets: &[f32], pos_weight: f32) -> Var {
+    tape.bce_with_logits(logits, Arc::new(targets.to_vec()), pos_weight)
+}
+
+/// Contrastive hinge loss on embedding pairs, the Exa.TrkX metric-learning
+/// objective: for embeddings `E` and hit pairs `(i, j)` with labels
+/// `y ∈ {0,1}` (same-particle or not),
+///
+/// `loss = mean( y * d² + (1-y) * max(0, margin - d²) )`
+///
+/// where `d² = ||E_i - E_j||²`. Pulls same-track hits together, pushes
+/// others at least `margin` apart (in squared distance).
+pub fn contrastive_hinge_loss(
+    tape: &mut Tape,
+    embeddings: Var,
+    pairs_i: &[u32],
+    pairs_j: &[u32],
+    labels: &[f32],
+    margin: f32,
+) -> Var {
+    assert_eq!(pairs_i.len(), pairs_j.len(), "pair arrays length mismatch");
+    assert_eq!(pairs_i.len(), labels.len(), "labels length mismatch");
+    let n = pairs_i.len();
+    let ei = tape.gather(embeddings, Arc::new(pairs_i.to_vec()));
+    let ej = tape.gather(embeddings, Arc::new(pairs_j.to_vec()));
+    let diff = tape.sub(ei, ej);
+    let sq = tape.hadamard(diff, diff);
+    let d2 = tape.row_sum(sq); // n x 1
+
+    let pos_mask = Arc::new(Matrix::from_vec(n, 1, labels.to_vec()));
+    let neg_mask = Arc::new(Matrix::from_vec(n, 1, labels.iter().map(|y| 1.0 - y).collect()));
+
+    // Positive term: y * d².
+    let pos = tape.mul_mask(d2, pos_mask);
+    // Negative term: (1-y) * relu(margin - d²).
+    let neg_inner = tape.scale(d2, -1.0);
+    let neg_inner = tape.add_scalar(neg_inner, margin);
+    let neg_relu = tape.relu(neg_inner);
+    let neg = tape.mul_mask(neg_relu, neg_mask);
+
+    let total = tape.add(pos, neg);
+    tape.mean_all(total)
+}
+
+/// Classification statistics for a threshold on sigmoid(logits).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BinaryStats {
+    pub tp: usize,
+    pub fp: usize,
+    pub tn: usize,
+    pub fn_: usize,
+}
+
+impl BinaryStats {
+    /// Count outcomes of `sigmoid(logit) > threshold` against 0/1 targets.
+    pub fn from_logits(logits: &[f32], targets: &[f32], threshold: f32) -> Self {
+        assert_eq!(logits.len(), targets.len());
+        let logit_cut = logit_of(threshold);
+        let mut s = Self::default();
+        for (&x, &t) in logits.iter().zip(targets) {
+            let pred = x > logit_cut;
+            let pos = t > 0.5;
+            match (pred, pos) {
+                (true, true) => s.tp += 1,
+                (true, false) => s.fp += 1,
+                (false, false) => s.tn += 1,
+                (false, true) => s.fn_ += 1,
+            }
+        }
+        s
+    }
+
+    /// Merge counts from another batch.
+    pub fn merge(&mut self, other: &BinaryStats) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+
+    /// tp / (tp + fp); 1 if no positives predicted.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// tp / (tp + fn); 1 if no positive targets.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Fraction of correct predictions.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            1.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+}
+
+/// Inverse sigmoid, mapping a probability threshold to logit space.
+fn logit_of(p: f32) -> f32 {
+    let p = p.clamp(1e-6, 1.0 - 1e-6);
+    (p / (1.0 - p)).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contrastive_loss_zero_when_satisfied() {
+        // Two identical positive-pair embeddings and two far-apart
+        // negative-pair embeddings: loss = 0.
+        let emb = Matrix::from_vec(4, 2, vec![1., 1., 1., 1., 0., 0., 10., 10.]);
+        let mut tape = Tape::new();
+        let e = tape.leaf(emb);
+        let loss = contrastive_hinge_loss(&mut tape, e, &[0, 2], &[1, 3], &[1.0, 0.0], 1.0);
+        assert!(tape.value(loss).as_scalar().abs() < 1e-6);
+    }
+
+    #[test]
+    fn contrastive_loss_penalises_violations() {
+        // Positive pair far apart, negative pair close: both penalised.
+        let emb = Matrix::from_vec(4, 2, vec![0., 0., 3., 4., 1., 1., 1., 1.]);
+        let mut tape = Tape::new();
+        let e = tape.leaf(emb);
+        let loss = contrastive_hinge_loss(&mut tape, e, &[0, 2], &[1, 3], &[1.0, 0.0], 2.0);
+        // pos: d² = 25; neg: relu(2 - 0) = 2 → mean = 13.5
+        assert!((tape.value(loss).as_scalar() - 13.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn contrastive_gradient_pulls_positives_together() {
+        let emb = Matrix::from_vec(2, 2, vec![0., 0., 2., 0.]);
+        let mut tape = Tape::new();
+        let e = tape.leaf(emb);
+        let loss = contrastive_hinge_loss(&mut tape, e, &[0], &[1], &[1.0], 1.0);
+        tape.backward(loss);
+        let g = tape.grad(e).unwrap();
+        // d(d²)/dE_0 = 2(E_0 - E_1) = (-4, 0): gradient moves E_0 toward E_1.
+        assert!(g.get(0, 0) < 0.0);
+        assert!(g.get(1, 0) > 0.0);
+    }
+
+    #[test]
+    fn contrastive_gradcheck() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let emb = Matrix::randn(5, 3, 0.8, &mut rng);
+        let report = trkx_tensor::gradcheck(std::slice::from_ref(&emb), 1e-2, |t, v| {
+            contrastive_hinge_loss(t, v[0], &[0, 1, 3], &[2, 4, 0], &[1.0, 0.0, 1.0], 1.5)
+        });
+        assert!(report.passes(3e-2), "{report:?}");
+    }
+
+    #[test]
+    fn binary_stats_counts() {
+        let logits = [2.0, -2.0, 2.0, -2.0];
+        let targets = [1.0, 0.0, 0.0, 1.0];
+        let s = BinaryStats::from_logits(&logits, &targets, 0.5);
+        assert_eq!(s, BinaryStats { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(s.precision(), 0.5);
+        assert_eq!(s.recall(), 0.5);
+        assert_eq!(s.f1(), 0.5);
+        assert_eq!(s.accuracy(), 0.5);
+    }
+
+    #[test]
+    fn binary_stats_threshold_moves_tradeoff() {
+        let logits = [0.1, 0.4, -0.1, -0.6];
+        let targets = [1.0, 1.0, 0.0, 0.0];
+        let low = BinaryStats::from_logits(&logits, &targets, 0.3);
+        let high = BinaryStats::from_logits(&logits, &targets, 0.7);
+        assert!(low.recall() >= high.recall());
+        assert!(high.precision() >= low.precision());
+    }
+
+    #[test]
+    fn stats_merge_adds() {
+        let mut a = BinaryStats { tp: 1, fp: 2, tn: 3, fn_: 4 };
+        a.merge(&BinaryStats { tp: 10, fp: 20, tn: 30, fn_: 40 });
+        assert_eq!(a, BinaryStats { tp: 11, fp: 22, tn: 33, fn_: 44 });
+    }
+
+    #[test]
+    fn degenerate_stats_do_not_divide_by_zero() {
+        let s = BinaryStats::default();
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+        assert_eq!(s.accuracy(), 1.0);
+    }
+}

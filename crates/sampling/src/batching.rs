@@ -1,0 +1,69 @@
+//! Minibatch formation: shuffled vertex batches over an event graph.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Shuffle `0..n` and split into batches of `batch_size` (the last batch
+/// may be smaller). `batch_size = 256` in the paper.
+pub fn vertex_batches(n: usize, batch_size: usize, rng: &mut impl Rng) -> Vec<Vec<u32>> {
+    assert!(batch_size > 0, "batch size must be positive");
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    ids.shuffle(rng);
+    ids.chunks(batch_size).map(|c| c.to_vec()).collect()
+}
+
+/// Split one global batch across `p` DDP workers: worker `w` receives a
+/// contiguous shard of ~`len/p` vertices (paper: local batch 256/P).
+pub fn shard_batch(batch: &[u32], p: usize) -> Vec<Vec<u32>> {
+    assert!(p > 0, "worker count must be positive");
+    let base = batch.len() / p;
+    let extra = batch.len() % p;
+    let mut out = Vec::with_capacity(p);
+    let mut off = 0;
+    for w in 0..p {
+        let len = base + usize::from(w < extra);
+        out.push(batch[off..off + len].to_vec());
+        off += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn batches_cover_all_vertices_once() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let batches = vertex_batches(100, 32, &mut rng);
+        assert_eq!(batches.len(), 4);
+        assert_eq!(batches[3].len(), 4);
+        let mut all: Vec<u32> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batches_are_shuffled() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let batches = vertex_batches(1000, 1000, &mut rng);
+        assert_ne!(batches[0], (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shard_batch_balances() {
+        let batch: Vec<u32> = (0..10).collect();
+        let shards = shard_batch(&batch, 4);
+        assert_eq!(shards.iter().map(|s| s.len()).collect::<Vec<_>>(), vec![3, 3, 2, 2]);
+        let all: Vec<u32> = shards.into_iter().flatten().collect();
+        assert_eq!(all, batch);
+    }
+
+    #[test]
+    fn shard_more_workers_than_items() {
+        let shards = shard_batch(&[1, 2], 4);
+        assert_eq!(shards.iter().filter(|s| s.is_empty()).count(), 2);
+        assert_eq!(shards.iter().map(|s| s.len()).sum::<usize>(), 2);
+    }
+}

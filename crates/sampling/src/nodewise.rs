@@ -1,0 +1,132 @@
+//! Node-wise (GraphSAGE-style) neighbour sampling — one of the two
+//! sampler families matrix-based bulk sampling was originally introduced
+//! for (Hamilton et al., paper ref 8; Tripathy et al., ref 13). Included as a
+//! baseline/extension alongside ShaDow.
+
+use crate::subgraph::{SampledSubgraph, SamplerGraph};
+use rand::Rng;
+use trkx_sparse::extract_induced_direct;
+
+/// Per-layer fanouts, innermost (batch) layer last — e.g. `[10, 5]` for a
+/// two-layer network samples 5 neighbours of each batch vertex, then 10
+/// neighbours of each of those.
+#[derive(Debug, Clone)]
+pub struct NodeWiseConfig {
+    pub fanouts: Vec<usize>,
+}
+
+/// GraphSAGE-style sampler. Unlike ShaDow (separate component per batch
+/// vertex), node-wise sampling returns a single induced subgraph over the
+/// union of all touched vertices, with every batch vertex marked.
+#[derive(Debug, Clone)]
+pub struct NodeWiseSampler {
+    pub config: NodeWiseConfig,
+}
+
+impl NodeWiseSampler {
+    pub fn new(config: NodeWiseConfig) -> Self {
+        Self { config }
+    }
+
+    pub fn sample_batch(
+        &self,
+        graph: &SamplerGraph,
+        batch: &[u32],
+        rng: &mut impl Rng,
+    ) -> SampledSubgraph {
+        let mut touched: Vec<u32> = batch.to_vec();
+        let mut frontier: Vec<u32> = batch.to_vec();
+        for &fanout in self.config.fanouts.iter().rev() {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                next.extend(crate::shadow::sample_distinct_neighbors(graph, v, fanout, rng));
+            }
+            touched.extend_from_slice(&next);
+            frontier = next;
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        let sub = extract_induced_direct(&graph.directed, &touched);
+        let mut out = SampledSubgraph::empty();
+        // Single component containing every batch vertex: record it once
+        // with the first batch vertex, then register the rest.
+        let edges = (0..sub.nrows()).flat_map(|r| {
+            let (cols, ids) = sub.row(r);
+            cols.iter().zip(ids).map(move |(&c, &id)| (r as u32, c, id)).collect::<Vec<_>>()
+        });
+        out.append_component(batch[0], &touched, edges);
+        for &b in &batch[1..] {
+            let pos = touched.binary_search(&b).expect("batch vertex in touched set") as u32;
+            out.batch_nodes.push(pos);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn grid_graph() -> SamplerGraph {
+        // 4x4 grid.
+        let mut src = Vec::new();
+        let mut dst = Vec::new();
+        for r in 0..4u32 {
+            for c in 0..4u32 {
+                let v = r * 4 + c;
+                if c + 1 < 4 {
+                    src.push(v);
+                    dst.push(v + 1);
+                }
+                if r + 1 < 4 {
+                    src.push(v);
+                    dst.push(v + 4);
+                }
+            }
+        }
+        SamplerGraph::new(16, &src, &dst)
+    }
+
+    #[test]
+    fn sample_contains_all_batch_vertices() {
+        let g = grid_graph();
+        let sampler = NodeWiseSampler::new(NodeWiseConfig { fanouts: vec![3, 2] });
+        let mut rng = StdRng::seed_from_u64(1);
+        let batch = [0u32, 15, 5];
+        let sg = sampler.sample_batch(&g, &batch, &mut rng);
+        assert_eq!(sg.batch_nodes.len(), 3);
+        for (&bn, &b) in sg.batch_nodes.iter().zip(&batch) {
+            assert_eq!(sg.node_map[bn as usize], b);
+        }
+        // One connected blob, not per-vertex components.
+        assert!(sg.component_of_node.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn deeper_fanouts_touch_more() {
+        let g = grid_graph();
+        let mut shallow_n = 0;
+        let mut deep_n = 0;
+        for seed in 0..10 {
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            shallow_n += NodeWiseSampler::new(NodeWiseConfig { fanouts: vec![1] })
+                .sample_batch(&g, &[5], &mut r1)
+                .num_nodes();
+            deep_n += NodeWiseSampler::new(NodeWiseConfig { fanouts: vec![3, 3] })
+                .sample_batch(&g, &[5], &mut r2)
+                .num_nodes();
+        }
+        assert!(deep_n > shallow_n);
+    }
+
+    #[test]
+    fn edges_come_from_parent_graph() {
+        let g = grid_graph();
+        let sampler = NodeWiseSampler::new(NodeWiseConfig { fanouts: vec![4, 4] });
+        let mut rng = StdRng::seed_from_u64(2);
+        let sg = sampler.sample_batch(&g, &[0, 10], &mut rng);
+        sg.validate(&g);
+    }
+}

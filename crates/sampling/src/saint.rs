@@ -1,0 +1,153 @@
+//! GraphSAINT-style samplers (Zeng et al., paper ref 15) — the third family the
+//! paper's background cites. GraphSAINT samples one subgraph per step
+//! (not per batch vertex) and trains on it directly; included as an
+//! extension baseline with the two classic variants: random-walk and
+//! random-edge.
+
+use crate::subgraph::{SampledSubgraph, SamplerGraph};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use trkx_sparse::extract_induced_direct;
+
+/// GraphSAINT random-walk sampler: `num_roots` roots, each walked
+/// `walk_length` steps; the union of visited vertices induces the
+/// training subgraph.
+#[derive(Debug, Clone)]
+pub struct SaintWalkSampler {
+    pub num_roots: usize,
+    pub walk_length: usize,
+}
+
+impl SaintWalkSampler {
+    pub fn sample(&self, graph: &SamplerGraph, rng: &mut impl Rng) -> SampledSubgraph {
+        assert!(graph.num_nodes > 0, "empty graph");
+        let mut touched = Vec::with_capacity(self.num_roots * (self.walk_length + 1));
+        for _ in 0..self.num_roots {
+            let mut v = rng.gen_range(0..graph.num_nodes as u32);
+            touched.push(v);
+            for _ in 0..self.walk_length {
+                let (neighbors, _) = graph.undirected.row(v as usize);
+                if neighbors.is_empty() {
+                    break;
+                }
+                v = neighbors[rng.gen_range(0..neighbors.len())];
+                touched.push(v);
+            }
+        }
+        induced(graph, touched)
+    }
+}
+
+/// GraphSAINT random-edge sampler: `num_edges` edges drawn uniformly;
+/// their endpoints induce the subgraph.
+#[derive(Debug, Clone)]
+pub struct SaintEdgeSampler {
+    pub num_edges: usize,
+}
+
+impl SaintEdgeSampler {
+    pub fn sample(&self, graph: &SamplerGraph, rng: &mut impl Rng) -> SampledSubgraph {
+        let m = graph.num_edges();
+        assert!(m > 0, "graph has no edges");
+        let mut ids: Vec<usize> = (0..m).collect();
+        let take = self.num_edges.min(m);
+        let (chosen, _) = ids.partial_shuffle(rng, take);
+        let mut touched = Vec::with_capacity(take * 2);
+        // Recover endpoints from the directed CSR by edge id.
+        let mut endpoint_of_edge = vec![(0u32, 0u32); m];
+        for r in 0..graph.num_nodes {
+            let (cols, vals) = graph.directed.row(r);
+            for (&c, &id) in cols.iter().zip(vals) {
+                endpoint_of_edge[id as usize] = (r as u32, c);
+            }
+        }
+        for &e in chosen.iter() {
+            let (s, d) = endpoint_of_edge[e];
+            touched.push(s);
+            touched.push(d);
+        }
+        induced(graph, touched)
+    }
+}
+
+fn induced(graph: &SamplerGraph, mut touched: Vec<u32>) -> SampledSubgraph {
+    touched.sort_unstable();
+    touched.dedup();
+    let sub = extract_induced_direct(&graph.directed, &touched);
+    let mut out = SampledSubgraph::empty();
+    let edges = (0..sub.nrows()).flat_map(|r| {
+        let (cols, ids) = sub.row(r);
+        cols.iter().zip(ids).map(move |(&c, &id)| (r as u32, c, id)).collect::<Vec<_>>()
+    });
+    out.append_component(touched[0], &touched, edges);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn cycle_graph(n: u32) -> SamplerGraph {
+        let src: Vec<u32> = (0..n).collect();
+        let dst: Vec<u32> = (0..n).map(|i| (i + 1) % n).collect();
+        SamplerGraph::new(n as usize, &src, &dst)
+    }
+
+    #[test]
+    fn walk_sampler_visits_connected_region() {
+        let g = cycle_graph(50);
+        let sampler = SaintWalkSampler { num_roots: 2, walk_length: 5 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let sg = sampler.sample(&g, &mut rng);
+        // At most roots*(len+1) vertices, at least the roots.
+        assert!(sg.num_nodes() >= 2);
+        assert!(sg.num_nodes() <= 12);
+        sg.validate(&g);
+    }
+
+    #[test]
+    fn walk_subgraph_contains_walk_edges() {
+        // On a cycle, a walk of length L visits a contiguous arc; the
+        // induced subgraph must contain the arc's edges.
+        let g = cycle_graph(20);
+        let sampler = SaintWalkSampler { num_roots: 1, walk_length: 4 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let sg = sampler.sample(&g, &mut rng);
+        assert!(sg.num_edges() >= sg.num_nodes().saturating_sub(1));
+    }
+
+    #[test]
+    fn edge_sampler_covers_requested_edges() {
+        let g = cycle_graph(30);
+        let sampler = SaintEdgeSampler { num_edges: 10 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let sg = sampler.sample(&g, &mut rng);
+        // 10 edges with distinct endpoints on a cycle: between 11 and 20
+        // vertices.
+        assert!(sg.num_nodes() >= 11 && sg.num_nodes() <= 20, "{}", sg.num_nodes());
+        sg.validate(&g);
+        // Sampled edges must include at least the chosen ones; induced
+        // closure can add more.
+        assert!(sg.num_edges() >= 10);
+    }
+
+    #[test]
+    fn edge_sampler_caps_at_graph_size() {
+        let g = cycle_graph(5);
+        let sampler = SaintEdgeSampler { num_edges: 100 };
+        let mut rng = StdRng::seed_from_u64(4);
+        let sg = sampler.sample(&g, &mut rng);
+        assert_eq!(sg.num_nodes(), 5);
+        assert_eq!(sg.num_edges(), 5);
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let g = cycle_graph(40);
+        let w = SaintWalkSampler { num_roots: 3, walk_length: 4 };
+        let a = w.sample(&g, &mut StdRng::seed_from_u64(9));
+        let b = w.sample(&g, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,72 @@
+//! Sparse x dense products (SpMM) — row-parallel.
+
+use crate::csr::Csr;
+use rayon::prelude::*;
+
+/// Minimum output elements before going parallel.
+const PAR_THRESHOLD: usize = 1 << 12;
+
+impl Csr<f32> {
+    /// `self (n x m, sparse) * dense (m x k) -> dense (n x k)` as a flat
+    /// row-major buffer with `k` columns.
+    ///
+    /// The dense operand is a flat slice to avoid a dependency on
+    /// `trkx-tensor` from this substrate crate; callers wrap/unwrap.
+    pub fn spmm(&self, dense: &[f32], k: usize) -> Vec<f32> {
+        assert_eq!(dense.len(), self.ncols() * k, "dense operand shape mismatch");
+        let mut out = vec![0.0f32; self.nrows() * k];
+        let body = |(r, out_row): (usize, &mut [f32])| {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let d_row = &dense[c as usize * k..(c as usize + 1) * k];
+                for (o, &d) in out_row.iter_mut().zip(d_row) {
+                    *o += v * d;
+                }
+            }
+        };
+        if self.nrows() * k >= PAR_THRESHOLD {
+            out.par_chunks_mut(k).enumerate().for_each(body);
+        } else {
+            out.chunks_mut(k).enumerate().for_each(body);
+        }
+        out
+    }
+
+    /// Sparse matrix–vector product.
+    pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
+        self.spmm(x, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    #[test]
+    fn spmm_matches_dense() {
+        let a = Coo::new(3, 3, vec![0, 0, 1, 2], vec![1, 2, 2, 0], vec![1., 2., 3., 4.]).to_csr();
+        // dense = I scaled by column index + 1 pattern, k=2
+        let dense = vec![1., 0., 0., 1., 2., 2.];
+        let out = a.spmm(&dense, 2);
+        // row0 = 1*[0,1] + 2*[2,2] = [4,5]
+        assert_eq!(&out[0..2], &[4.0, 5.0]);
+        // row1 = 3*[2,2] = [6,6]
+        assert_eq!(&out[2..4], &[6.0, 6.0]);
+        // row2 = 4*[1,0]
+        assert_eq!(&out[4..6], &[4.0, 0.0]);
+    }
+
+    #[test]
+    fn spmv_degree_count() {
+        let a = Coo::new(3, 3, vec![0, 0, 1], vec![1, 2, 0], vec![1.0f32; 3]).to_csr();
+        assert_eq!(a.spmv(&[1.0, 1.0, 1.0]), vec![2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn spmm_bad_shape_panics() {
+        let a: Csr<f32> = Csr::empty(2, 3);
+        let _ = a.spmm(&[0.0; 5], 2);
+    }
+}

@@ -1,0 +1,105 @@
+//! Stacking operations: vertical stacking of `Q`/`F`/`P` matrices across
+//! minibatches (paper Eq. 1) and block-diagonal assembly of per-vertex
+//! induced subgraphs into one ShaDow adjacency.
+
+use crate::csr::Csr;
+
+/// Vertically stack matrices with equal column counts:
+/// rows are concatenated in order (Eq. 1's bulk `Q` construction).
+pub fn vstack<T: Copy + Default>(parts: &[&Csr<T>]) -> Csr<T> {
+    assert!(!parts.is_empty(), "vstack of nothing");
+    let ncols = parts[0].ncols();
+    let nrows: usize = parts.iter().map(|p| p.nrows()).sum();
+    let nnz: usize = parts.iter().map(|p| p.nnz()).sum();
+    let mut indptr = Vec::with_capacity(nrows + 1);
+    indptr.push(0usize);
+    let mut indices = Vec::with_capacity(nnz);
+    let mut vals = Vec::with_capacity(nnz);
+    for p in parts {
+        assert_eq!(p.ncols(), ncols, "vstack column mismatch");
+        let base = indices.len();
+        indices.extend_from_slice(p.indices());
+        vals.extend_from_slice(p.vals());
+        for r in 1..=p.nrows() {
+            indptr.push(base + p.indptr()[r]);
+        }
+    }
+    Csr::from_raw(nrows, ncols, indptr, indices, vals)
+}
+
+/// Block-diagonal assembly: the output has one diagonal block per input,
+/// with disjoint row and column ranges. This is ShaDow's
+/// `APPEND_COMPONENT` (Algorithm 2): a batch of `b` vertices yields an
+/// adjacency with `b` disconnected components.
+pub fn block_diag<T: Copy + Default>(parts: &[&Csr<T>]) -> Csr<T> {
+    let nrows: usize = parts.iter().map(|p| p.nrows()).sum();
+    let ncols: usize = parts.iter().map(|p| p.ncols()).sum();
+    let nnz: usize = parts.iter().map(|p| p.nnz()).sum();
+    let mut indptr = Vec::with_capacity(nrows + 1);
+    indptr.push(0usize);
+    let mut indices = Vec::with_capacity(nnz);
+    let mut vals = Vec::with_capacity(nnz);
+    let mut col_off = 0u32;
+    for p in parts {
+        for r in 0..p.nrows() {
+            let (cols, rvals) = p.row(r);
+            indices.extend(cols.iter().map(|&c| c + col_off));
+            vals.extend_from_slice(rvals);
+            indptr.push(indices.len());
+        }
+        col_off += p.ncols() as u32;
+    }
+    Csr::from_raw(nrows, ncols, indptr, indices, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn tiny(v: f32) -> Csr<f32> {
+        Coo::new(2, 2, vec![0, 1], vec![1, 0], vec![v, v + 0.5]).to_csr()
+    }
+
+    #[test]
+    fn vstack_concats_rows() {
+        let a = tiny(1.0);
+        let b = tiny(3.0);
+        let s = vstack(&[&a, &b]);
+        assert_eq!(s.nrows(), 4);
+        assert_eq!(s.ncols(), 2);
+        assert_eq!(s.row(0), a.row(0));
+        assert_eq!(s.row(2), b.row(0));
+        assert_eq!(s.row(3), b.row(1));
+    }
+
+    #[test]
+    fn block_diag_offsets_columns() {
+        let a = tiny(1.0);
+        let b = tiny(3.0);
+        let d = block_diag(&[&a, &b]);
+        assert_eq!(d.nrows(), 4);
+        assert_eq!(d.ncols(), 4);
+        assert_eq!(d.get(0, 1), Some(1.0));
+        assert_eq!(d.get(2, 3), Some(3.0)); // b's (0,1) shifted by 2
+        assert_eq!(d.get(3, 2), Some(3.5));
+        assert_eq!(d.get(0, 3), None); // off-diagonal blocks empty
+    }
+
+    #[test]
+    fn block_diag_handles_empty_blocks() {
+        let a = tiny(1.0);
+        let e: Csr<f32> = Csr::empty(0, 0);
+        let d = block_diag(&[&e, &a, &e]);
+        assert_eq!(d.nrows(), 2);
+        assert_eq!(d.nnz(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "column mismatch")]
+    fn vstack_mismatch_panics() {
+        let a = tiny(1.0);
+        let b: Csr<f32> = Csr::empty(1, 3);
+        let _ = vstack(&[&a, &b]);
+    }
+}

@@ -1,0 +1,632 @@
+//! Dense, row-major `f32` matrix with Rayon-parallel kernels.
+//!
+//! This is the storage type behind the autograd tape ([`crate::Tape`]) and
+//! everything the Interaction GNN computes on. Kernels switch to parallel
+//! execution above a size threshold so that small per-subgraph matrices do
+//! not pay thread-pool overhead.
+
+use rand::Rng;
+use rayon::prelude::*;
+
+/// Element count above which elementwise kernels use Rayon.
+const PAR_THRESHOLD: usize = 1 << 14;
+/// Output element count above which matmul uses Rayon.
+const PAR_MATMUL_THRESHOLD: usize = 1 << 10;
+
+/// A dense row-major `f32` matrix.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 64 {
+            for r in 0..self.rows {
+                write!(f, "\n  {:?}", self.row(r))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// A `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// A `rows x cols` matrix of ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 1.0)
+    }
+
+    /// A `rows x cols` matrix filled with `v`.
+    pub fn full(rows: usize, cols: usize, v: f32) -> Self {
+        Self { rows, cols, data: vec![v; rows * cols] }
+    }
+
+    /// Build from a row-major buffer. Panics if the length does not match.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length {} != {rows}x{cols}", data.len());
+        Self { rows, cols, data }
+    }
+
+    /// Build from a per-element function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Standard-normal entries scaled by `std` (Box-Muller via `rand`).
+    pub fn randn(rows: usize, cols: usize, std: f32, rng: &mut impl Rng) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        // Box-Muller; generates pairs, drops the spare on odd counts.
+        let n = rows * cols;
+        while data.len() < n {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos() * std);
+            if data.len() < n {
+                data.push(r * theta.sin() * std);
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Uniform entries in `[lo, hi)`.
+    pub fn rand_uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut impl Rng) -> Self {
+        let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
+        Self { rows, cols, data }
+    }
+
+    /// A 1x1 matrix holding `v` (scalar results such as losses).
+    pub fn scalar(v: f32) -> Self {
+        Self::from_vec(1, 1, vec![v])
+    }
+
+    /// The single element of a 1x1 matrix. Panics otherwise.
+    pub fn as_scalar(&self) -> f32 {
+        assert_eq!((self.rows, self.cols), (1, 1), "as_scalar on {}x{}", self.rows, self.cols);
+        self.data[0]
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Dense matrix product `self * b`. Parallel over output rows.
+    pub fn matmul(&self, b: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, b.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, b.rows, b.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, b.cols);
+        let mut out = Matrix::zeros(m, n);
+        let a_data = &self.data;
+        let b_data = &b.data;
+        let body = |(r, out_row): (usize, &mut [f32])| {
+            let a_row = &a_data[r * k..(r + 1) * k];
+            // ikj loop order: stream through b rows, accumulate into out_row.
+            for (i, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = &b_data[i * n..(i + 1) * n];
+                for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ik * b_kj;
+                }
+            }
+        };
+        if m * n >= PAR_MATMUL_THRESHOLD && m > 1 {
+            out.data.par_chunks_mut(n).enumerate().for_each(body);
+        } else {
+            out.data.chunks_mut(n).enumerate().for_each(body);
+        }
+        out
+    }
+
+    /// `selfᵀ * b` without materialising the transpose.
+    pub fn matmul_tn(&self, b: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, b.rows,
+            "matmul_tn shape mismatch: ({}x{})ᵀ * {}x{}",
+            self.rows, self.cols, b.rows, b.cols
+        );
+        let (m, k, n) = (self.cols, self.rows, b.cols);
+        // out[i][j] = sum_r self[r][i] * b[r][j]
+        let mut out = Matrix::zeros(m, n);
+        if m * n >= PAR_MATMUL_THRESHOLD && m > 1 {
+            let a = &self.data;
+            let bd = &b.data;
+            out.data.par_chunks_mut(n).enumerate().for_each(|(i, out_row)| {
+                for r in 0..k {
+                    let a_ri = a[r * m + i];
+                    if a_ri == 0.0 {
+                        continue;
+                    }
+                    let b_row = &bd[r * n..(r + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += a_ri * bv;
+                    }
+                }
+            });
+        } else {
+            for r in 0..k {
+                let a_row = self.row(r);
+                let b_row = b.row(r);
+                for (i, &a_ri) in a_row.iter().enumerate() {
+                    if a_ri == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut out.data[i * n..(i + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += a_ri * bv;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * bᵀ` without materialising the transpose.
+    pub fn matmul_nt(&self, b: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, b.cols,
+            "matmul_nt shape mismatch: {}x{} * ({}x{})ᵀ",
+            self.rows, self.cols, b.rows, b.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, b.rows);
+        let mut out = Matrix::zeros(m, n);
+        let a = &self.data;
+        let bd = &b.data;
+        let body = |(r, out_row): (usize, &mut [f32])| {
+            let a_row = &a[r * k..(r + 1) * k];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &bd[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                *o = acc;
+            }
+        };
+        if m * n >= PAR_MATMUL_THRESHOLD && m > 1 {
+            out.data.par_chunks_mut(n).enumerate().for_each(body);
+        } else {
+            out.data.chunks_mut(n).enumerate().for_each(body);
+        }
+        out
+    }
+
+    /// Materialised transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32 + Sync) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "elementwise shape mismatch");
+        let mut out = self.clone();
+        if out.data.len() >= PAR_THRESHOLD {
+            out.data
+                .par_iter_mut()
+                .zip(other.data.par_iter())
+                .for_each(|(a, &b)| *a = f(*a, b));
+        } else {
+            for (a, &b) in out.data.iter_mut().zip(&other.data) {
+                *a = f(*a, b);
+            }
+        }
+        out
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        if self.data.len() >= PAR_THRESHOLD {
+            self.data
+                .par_iter_mut()
+                .zip(other.data.par_iter())
+                .for_each(|(a, &b)| *a += b);
+        } else {
+            for (a, &b) in self.data.iter_mut().zip(&other.data) {
+                *a += b;
+            }
+        }
+    }
+
+    /// In-place `self += k * other` (axpy).
+    pub fn axpy(&mut self, k: f32, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += k * b;
+        }
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, k: f32) -> Matrix {
+        self.map(|v| v * k)
+    }
+
+    /// Apply `f` to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+        let mut out = self.clone();
+        if out.data.len() >= PAR_THRESHOLD {
+            out.data.par_iter_mut().for_each(|v| *v = f(*v));
+        } else {
+            out.data.iter_mut().for_each(|v| *v = f(*v));
+        }
+        out
+    }
+
+    /// Horizontal concatenation of matrices with equal row counts.
+    pub fn concat_cols(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "concat_cols of nothing");
+        let rows = parts[0].rows;
+        for p in parts {
+            assert_eq!(p.rows, rows, "concat_cols row mismatch");
+        }
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let dst = out.row_mut(r);
+            let mut off = 0;
+            for p in parts {
+                dst[off..off + p.cols].copy_from_slice(p.row(r));
+                off += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Vertical concatenation of matrices with equal column counts.
+    pub fn concat_rows(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "concat_rows of nothing");
+        let cols = parts[0].cols;
+        let rows: usize = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            assert_eq!(p.cols, cols, "concat_rows col mismatch");
+            data.extend_from_slice(&p.data);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Copy the column range `[start, end)` into a new matrix.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.cols, "slice_cols out of range");
+        let w = end - start;
+        let mut out = Matrix::zeros(self.rows, w);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
+        }
+        out
+    }
+
+    /// `out[i, :] = self[idx[i], :]` — row gather.
+    pub fn gather_rows(&self, idx: &[u32]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        let cols = self.cols;
+        let src = &self.data;
+        let body = |(i, dst): (usize, &mut [f32])| {
+            let r = idx[i] as usize;
+            debug_assert!(r < self.rows, "gather_rows index {r} out of {}", self.rows);
+            dst.copy_from_slice(&src[r * cols..(r + 1) * cols]);
+        };
+        if idx.len() * cols >= PAR_THRESHOLD {
+            out.data.par_chunks_mut(cols).enumerate().for_each(body);
+        } else {
+            out.data.chunks_mut(cols).enumerate().for_each(body);
+        }
+        out
+    }
+
+    /// `out[idx[i], :] += self[i, :]` into a fresh `out_rows x cols` matrix —
+    /// the row scatter-add used by GNN message aggregation.
+    pub fn scatter_add_rows(&self, idx: &[u32], out_rows: usize) -> Matrix {
+        assert_eq!(idx.len(), self.rows, "scatter_add_rows index length mismatch");
+        let mut out = Matrix::zeros(out_rows, self.cols);
+        for (i, &r) in idx.iter().enumerate() {
+            let r = r as usize;
+            debug_assert!(r < out_rows, "scatter index {r} out of {out_rows}");
+            let src = self.row(i);
+            let dst = out.row_mut(r);
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+        out
+    }
+
+    /// Column sums as a `1 x cols` matrix.
+    pub fn col_sums(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Row sums as a `rows x 1` matrix.
+    pub fn row_sums(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, 1);
+        for r in 0..self.rows {
+            out.data[r] = self.row(r).iter().sum();
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        if self.data.len() >= PAR_THRESHOLD {
+            self.data.par_iter().sum()
+        } else {
+            self.data.iter().sum()
+        }
+    }
+
+    /// Mean of all elements (0 for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Largest absolute elementwise difference to `other`.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!(self.shape(), other.shape());
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Approximate equality within `tol` on every element.
+    pub fn approx_eq(&self, other: &Matrix, tol: f32) -> bool {
+        self.shape() == other.shape() && self.max_abs_diff(other) <= tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[3.0, 4.0, 5.0]);
+        let mut m2 = m.clone();
+        m2.set(0, 0, 9.0);
+        assert_eq!(m2.get(0, 0), 9.0);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_wrong_len_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Matrix::randn(5, 5, 1.0, &mut rng);
+        let i = Matrix::from_fn(5, 5, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert!(a.matmul(&i).approx_eq(&a, 1e-6));
+        assert!(i.matmul(&a).approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn matmul_variants_agree() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Matrix::randn(7, 4, 1.0, &mut rng);
+        let b = Matrix::randn(4, 6, 1.0, &mut rng);
+        let c = a.matmul(&b);
+        assert!(a.transpose().matmul_tn(&b).approx_eq(&c, 1e-4));
+        assert!(a.matmul_nt(&b.transpose()).approx_eq(&c, 1e-4));
+    }
+
+    #[test]
+    fn matmul_parallel_matches_serial() {
+        // Large enough to cross PAR_MATMUL_THRESHOLD.
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Matrix::randn(64, 32, 1.0, &mut rng);
+        let b = Matrix::randn(32, 48, 1.0, &mut rng);
+        let c = a.matmul(&b);
+        // Naive reference.
+        let mut r = Matrix::zeros(64, 48);
+        for i in 0..64 {
+            for j in 0..48 {
+                let mut acc = 0.0;
+                for k in 0..32 {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                r.set(i, j, acc);
+            }
+        }
+        assert!(c.approx_eq(&r, 1e-3));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Matrix::randn(3, 8, 1.0, &mut rng);
+        assert!(a.transpose().transpose().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let b = Matrix::from_vec(2, 2, vec![5., 6., 7., 8.]);
+        assert_eq!(a.add(&b).data(), &[6., 8., 10., 12.]);
+        assert_eq!(b.sub(&a).data(), &[4., 4., 4., 4.]);
+        assert_eq!(a.hadamard(&b).data(), &[5., 12., 21., 32.]);
+        assert_eq!(a.scale(2.0).data(), &[2., 4., 6., 8.]);
+        let mut c = a.clone();
+        c.add_assign(&b);
+        assert_eq!(c.data(), &[6., 8., 10., 12.]);
+        let mut d = a.clone();
+        d.axpy(0.5, &b);
+        assert_eq!(d.data(), &[3.5, 5., 6.5, 8.]);
+    }
+
+    #[test]
+    fn concat_and_slice() {
+        let a = Matrix::from_vec(2, 1, vec![1., 2.]);
+        let b = Matrix::from_vec(2, 2, vec![3., 4., 5., 6.]);
+        let c = Matrix::concat_cols(&[&a, &b]);
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.row(0), &[1., 3., 4.]);
+        assert_eq!(c.row(1), &[2., 5., 6.]);
+        assert!(c.slice_cols(1, 3).approx_eq(&b, 0.0));
+        assert!(c.slice_cols(0, 1).approx_eq(&a, 0.0));
+        let v = Matrix::concat_rows(&[&b, &b]);
+        assert_eq!(v.shape(), (4, 2));
+        assert_eq!(v.row(3), &[5., 6.]);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let a = Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f32);
+        let idx = vec![3u32, 0, 3];
+        let g = a.gather_rows(&idx);
+        assert_eq!(g.row(0), a.row(3));
+        assert_eq!(g.row(1), a.row(0));
+        // Scatter the gathered rows back: row 3 got contributions from i=0 and i=2.
+        let s = g.scatter_add_rows(&idx, 4);
+        assert_eq!(s.row(0), a.row(0));
+        assert_eq!(s.row(1), &[0., 0.]);
+        assert_eq!(s.row(3), &[12., 14.]); // 2 * row 3
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.sum(), 21.0);
+        assert!((a.mean() - 3.5).abs() < 1e-6);
+        assert_eq!(a.col_sums().data(), &[5., 7., 9.]);
+        assert_eq!(a.row_sums().data(), &[6., 15.]);
+        assert!((a.frobenius_norm() - 91.0f32.sqrt()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = Matrix::randn(200, 200, 2.0, &mut rng);
+        let mean = m.mean();
+        let var = m.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+            / (m.len() as f32 - 1.0);
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        assert_eq!(Matrix::scalar(3.5).as_scalar(), 3.5);
+    }
+}

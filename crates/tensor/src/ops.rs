@@ -1,0 +1,411 @@
+//! Autograd operations: each variant records what a tape node computed and
+//! knows how to push a gradient back to its parents.
+//!
+//! Keeping the rules in one explicit `enum` (rather than closures) makes
+//! every backward rule unit-testable against finite differences
+//! (see [`crate::gradcheck`]) and keeps the tape `Send`.
+
+use crate::matrix::Matrix;
+use std::sync::Arc;
+
+/// Operation recorded on a tape node.
+#[derive(Clone)]
+pub enum Op {
+    /// Gradient-tracked input (parameters, features entering the tape).
+    Leaf,
+    /// Input that never receives a gradient (targets, masks, constants).
+    Constant,
+    /// `C = A * B`.
+    MatMul { a: usize, b: usize },
+    /// `C = A + B`, equal shapes.
+    Add { a: usize, b: usize },
+    /// `C = A - B`, equal shapes.
+    Sub { a: usize, b: usize },
+    /// `C = A ⊙ B`, equal shapes.
+    Hadamard { a: usize, b: usize },
+    /// `C = A + bias` with `bias` a `1 x cols` row broadcast over rows.
+    AddBias { a: usize, bias: usize },
+    /// `C = k * A`.
+    Scale { a: usize, k: f32 },
+    /// `C = A + k` elementwise.
+    AddScalar { a: usize, k: f32 },
+    /// Horizontal concatenation of equal-row-count parents.
+    ConcatCols { parts: Vec<usize>, widths: Vec<usize> },
+    /// Column slice `[start, start+width)` of the parent.
+    SliceCols { a: usize, start: usize },
+    /// `C = max(A, 0)`.
+    Relu { a: usize },
+    /// `C = A` where positive, `alpha * A` otherwise.
+    LeakyRelu { a: usize, alpha: f32 },
+    /// ELU: `A` where positive, `alpha (e^A - 1)` otherwise.
+    Elu { a: usize, alpha: f32 },
+    /// Row-wise softmax (stable, max-shifted).
+    SoftmaxRows { a: usize },
+    /// Logistic sigmoid.
+    Sigmoid { a: usize },
+    /// Hyperbolic tangent.
+    Tanh { a: usize },
+    /// `C[i, :] = A[idx[i], :]`.
+    Gather { a: usize, idx: Arc<Vec<u32>> },
+    /// `C[idx[i], :] += A[i, :]` into `out_rows` rows.
+    ScatterAdd { a: usize, idx: Arc<Vec<u32>> },
+    /// Row sums: `rows x cols -> rows x 1`.
+    RowSum { a: usize },
+    /// Scalar sum of all elements.
+    SumAll { a: usize },
+    /// Scalar mean of all elements.
+    MeanAll { a: usize },
+    /// Numerically stable binary cross-entropy with logits, mean-reduced.
+    /// `targets` has one entry per logit element (row-major).
+    BceWithLogits { logits: usize, targets: Arc<Vec<f32>>, pos_weight: f32 },
+    /// Mean squared error against a constant target, mean-reduced.
+    Mse { pred: usize, target: Arc<Matrix> },
+    /// Per-row LayerNorm with learned gain/offset (`1 x cols` each).
+    LayerNorm { a: usize, gamma: usize, beta: usize, eps: f32 },
+    /// Elementwise multiply by a fixed mask (dropout, label weighting).
+    MulMask { a: usize, mask: Arc<Matrix> },
+}
+
+impl Op {
+    /// Parent node ids that should receive gradient.
+    pub fn parents(&self) -> Vec<usize> {
+        match self {
+            Op::Leaf | Op::Constant => vec![],
+            Op::MatMul { a, b }
+            | Op::Add { a, b }
+            | Op::Sub { a, b }
+            | Op::Hadamard { a, b } => vec![*a, *b],
+            Op::AddBias { a, bias } => vec![*a, *bias],
+            Op::Scale { a, .. }
+            | Op::AddScalar { a, .. }
+            | Op::SliceCols { a, .. }
+            | Op::Relu { a }
+            | Op::LeakyRelu { a, .. }
+            | Op::Elu { a, .. }
+            | Op::SoftmaxRows { a }
+            | Op::Sigmoid { a }
+            | Op::Tanh { a }
+            | Op::Gather { a, .. }
+            | Op::ScatterAdd { a, .. }
+            | Op::RowSum { a }
+            | Op::SumAll { a }
+            | Op::MeanAll { a }
+            | Op::MulMask { a, .. } => vec![*a],
+            Op::ConcatCols { parts, .. } => parts.clone(),
+            Op::BceWithLogits { logits, .. } => vec![*logits],
+            Op::Mse { pred, .. } => vec![*pred],
+            Op::LayerNorm { a, gamma, beta, .. } => vec![*a, *gamma, *beta],
+        }
+    }
+}
+
+/// Compute the forward value of `op` given direct access to earlier node
+/// values (`value(i)` returns node `i`'s matrix).
+pub fn forward(op: &Op, value: &dyn Fn(usize) -> Matrix) -> Matrix {
+    match op {
+        Op::Leaf | Op::Constant => unreachable!("leaves carry their own value"),
+        Op::MatMul { a, b } => value(*a).matmul(&value(*b)),
+        Op::Add { a, b } => value(*a).add(&value(*b)),
+        Op::Sub { a, b } => value(*a).sub(&value(*b)),
+        Op::Hadamard { a, b } => value(*a).hadamard(&value(*b)),
+        Op::AddBias { a, bias } => {
+            let a = value(*a);
+            let bias = value(*bias);
+            assert_eq!(bias.rows(), 1, "bias must be a row vector");
+            assert_eq!(bias.cols(), a.cols(), "bias width mismatch");
+            let mut out = a;
+            for r in 0..out.rows() {
+                let row = out.row_mut(r);
+                for (o, &b) in row.iter_mut().zip(bias.data()) {
+                    *o += b;
+                }
+            }
+            out
+        }
+        Op::Scale { a, k } => value(*a).scale(*k),
+        Op::AddScalar { a, k } => value(*a).map(|v| v + *k),
+        Op::ConcatCols { parts, .. } => {
+            let vals: Vec<Matrix> = parts.iter().map(|&p| value(p)).collect();
+            let refs: Vec<&Matrix> = vals.iter().collect();
+            Matrix::concat_cols(&refs)
+        }
+        Op::SliceCols { a, start } => {
+            // Width is implied by the node that records this op; the tape
+            // passes it via a wrapper. Recomputed in Tape::slice_cols.
+            unreachable!("SliceCols forward handled by tape (start={start}, a={a})")
+        }
+        Op::Relu { a } => value(*a).map(|v| v.max(0.0)),
+        Op::LeakyRelu { a, alpha } => value(*a).map(|v| if v > 0.0 { v } else { *alpha * v }),
+        Op::Elu { a, alpha } => value(*a).map(|v| if v > 0.0 { v } else { *alpha * (v.exp() - 1.0) }),
+        Op::SoftmaxRows { a } => {
+            let x = value(*a);
+            let mut out = x.clone();
+            for r in 0..out.rows() {
+                let row = out.row_mut(r);
+                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0f32;
+                for v in row.iter_mut() {
+                    *v = (*v - max).exp();
+                    sum += *v;
+                }
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+            out
+        }
+        Op::Sigmoid { a } => value(*a).map(sigmoid),
+        Op::Tanh { a } => value(*a).map(f32::tanh),
+        Op::Gather { a, idx } => value(*a).gather_rows(idx),
+        Op::ScatterAdd { a, idx } => {
+            unreachable!("ScatterAdd forward handled by tape (a={a}, n={})", idx.len())
+        }
+        Op::RowSum { a } => value(*a).row_sums(),
+        Op::SumAll { a } => Matrix::scalar(value(*a).sum()),
+        Op::MeanAll { a } => Matrix::scalar(value(*a).mean()),
+        Op::BceWithLogits { logits, targets, pos_weight } => {
+            let x = value(*logits);
+            assert_eq!(x.len(), targets.len(), "bce target length mismatch");
+            let mut acc = 0.0f64;
+            for (&xi, &ti) in x.data().iter().zip(targets.iter()) {
+                // Stable: max(x,0) - x*t + ln(1 + e^{-|x|}), positive term
+                // weighted by pos_weight.
+                let w = if ti > 0.5 { *pos_weight } else { 1.0 };
+                let loss = xi.max(0.0) - xi * ti + (1.0 + (-xi.abs()).exp()).ln();
+                acc += (w * loss) as f64;
+            }
+            Matrix::scalar((acc / x.len().max(1) as f64) as f32)
+        }
+        Op::Mse { pred, target } => {
+            let p = value(*pred);
+            assert_eq!(p.shape(), target.shape(), "mse shape mismatch");
+            let diff = p.sub(target);
+            Matrix::scalar(diff.data().iter().map(|v| v * v).sum::<f32>() / p.len().max(1) as f32)
+        }
+        Op::LayerNorm { a, gamma, beta, eps } => {
+            let x = value(*a);
+            let g = value(*gamma);
+            let b = value(*beta);
+            layer_norm_forward(&x, &g, &b, *eps).0
+        }
+        Op::MulMask { a, mask } => value(*a).hadamard(mask),
+    }
+}
+
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// LayerNorm forward, returning `(output, per-row mean, per-row inv-std)`.
+pub fn layer_norm_forward(x: &Matrix, gamma: &Matrix, beta: &Matrix, eps: f32) -> (Matrix, Vec<f32>, Vec<f32>) {
+    assert_eq!(gamma.shape(), (1, x.cols()), "layernorm gamma shape");
+    assert_eq!(beta.shape(), (1, x.cols()), "layernorm beta shape");
+    let n = x.cols() as f32;
+    let mut out = x.clone();
+    let mut means = Vec::with_capacity(x.rows());
+    let mut inv_stds = Vec::with_capacity(x.rows());
+    for r in 0..x.rows() {
+        let row = out.row_mut(r);
+        let mean = row.iter().sum::<f32>() / n;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        for (v, (&g, &b)) in row.iter_mut().zip(gamma.data().iter().zip(beta.data())) {
+            *v = (*v - mean) * inv_std * g + b;
+        }
+        means.push(mean);
+        inv_stds.push(inv_std);
+    }
+    (out, means, inv_stds)
+}
+
+/// Backward pass for one op. `grad_out` is dL/d(output); `values[i]` is the
+/// value of node `i`; `out_value` is this node's own forward output. Returns
+/// `(parent_id, gradient)` contributions.
+pub fn backward(
+    op: &Op,
+    grad_out: &Matrix,
+    values: &dyn Fn(usize) -> Matrix,
+    out_value: &Matrix,
+) -> Vec<(usize, Matrix)> {
+    match op {
+        Op::Leaf | Op::Constant => vec![],
+        Op::MatMul { a, b } => {
+            let av = values(*a);
+            let bv = values(*b);
+            vec![(*a, grad_out.matmul_nt(&bv)), (*b, av.matmul_tn(grad_out))]
+        }
+        Op::Add { a, b } => vec![(*a, grad_out.clone()), (*b, grad_out.clone())],
+        Op::Sub { a, b } => vec![(*a, grad_out.clone()), (*b, grad_out.scale(-1.0))],
+        Op::Hadamard { a, b } => {
+            let av = values(*a);
+            let bv = values(*b);
+            vec![(*a, grad_out.hadamard(&bv)), (*b, grad_out.hadamard(&av))]
+        }
+        Op::AddBias { a, bias } => {
+            vec![(*a, grad_out.clone()), (*bias, grad_out.col_sums())]
+        }
+        Op::Scale { a, k } => vec![(*a, grad_out.scale(*k))],
+        Op::AddScalar { a, .. } => vec![(*a, grad_out.clone())],
+        Op::ConcatCols { parts, widths } => {
+            let mut out = Vec::with_capacity(parts.len());
+            let mut off = 0;
+            for (&p, &w) in parts.iter().zip(widths) {
+                out.push((p, grad_out.slice_cols(off, off + w)));
+                off += w;
+            }
+            out
+        }
+        Op::SliceCols { a, start } => {
+            let av = values(*a);
+            let mut g = Matrix::zeros(av.rows(), av.cols());
+            for r in 0..g.rows() {
+                let src = grad_out.row(r);
+                g.row_mut(r)[*start..*start + src.len()].copy_from_slice(src);
+            }
+            vec![(*a, g)]
+        }
+        Op::Relu { a } => {
+            let av = values(*a);
+            let mut g = grad_out.clone();
+            for (gv, &xv) in g.data_mut().iter_mut().zip(av.data()) {
+                if xv <= 0.0 {
+                    *gv = 0.0;
+                }
+            }
+            vec![(*a, g)]
+        }
+        Op::LeakyRelu { a, alpha } => {
+            let av = values(*a);
+            let mut g = grad_out.clone();
+            for (gv, &xv) in g.data_mut().iter_mut().zip(av.data()) {
+                if xv <= 0.0 {
+                    *gv *= *alpha;
+                }
+            }
+            vec![(*a, g)]
+        }
+        Op::Elu { a, alpha } => {
+            // d/dx = 1 for x > 0, else alpha*e^x = y + alpha (from the
+            // stored output y).
+            let av = values(*a);
+            let mut g = grad_out.clone();
+            for ((gv, &xv), &y) in g.data_mut().iter_mut().zip(av.data()).zip(out_value.data()) {
+                if xv <= 0.0 {
+                    *gv *= y + *alpha;
+                }
+            }
+            vec![(*a, g)]
+        }
+        Op::SoftmaxRows { a } => {
+            // dx_i = y_i * (g_i - sum_j g_j y_j) per row.
+            let mut g = grad_out.clone();
+            for r in 0..g.rows() {
+                let y = out_value.row(r);
+                let dot: f32 = g.row(r).iter().zip(y).map(|(gv, yv)| gv * yv).sum();
+                for (gv, &yv) in g.row_mut(r).iter_mut().zip(y) {
+                    *gv = yv * (*gv - dot);
+                }
+            }
+            vec![(*a, g)]
+        }
+        Op::Sigmoid { a } => {
+            // y(1-y) from the stored output.
+            let mut g = grad_out.clone();
+            for (gv, &y) in g.data_mut().iter_mut().zip(out_value.data()) {
+                *gv *= y * (1.0 - y);
+            }
+            vec![(*a, g)]
+        }
+        Op::Tanh { a } => {
+            let mut g = grad_out.clone();
+            for (gv, &y) in g.data_mut().iter_mut().zip(out_value.data()) {
+                *gv *= 1.0 - y * y;
+            }
+            vec![(*a, g)]
+        }
+        Op::Gather { a, idx } => {
+            let av = values(*a);
+            vec![(*a, grad_out.scatter_add_rows(idx, av.rows()))]
+        }
+        Op::ScatterAdd { a, idx } => vec![(*a, grad_out.gather_rows(idx))],
+        Op::RowSum { a } => {
+            let av = values(*a);
+            let mut g = Matrix::zeros(av.rows(), av.cols());
+            for r in 0..g.rows() {
+                let go = grad_out.get(r, 0);
+                for v in g.row_mut(r) {
+                    *v = go;
+                }
+            }
+            vec![(*a, g)]
+        }
+        Op::SumAll { a } => {
+            let av = values(*a);
+            vec![(*a, Matrix::full(av.rows(), av.cols(), grad_out.as_scalar()))]
+        }
+        Op::MeanAll { a } => {
+            let av = values(*a);
+            let k = grad_out.as_scalar() / av.len().max(1) as f32;
+            vec![(*a, Matrix::full(av.rows(), av.cols(), k))]
+        }
+        Op::BceWithLogits { logits, targets, pos_weight } => {
+            let x = values(*logits);
+            let go = grad_out.as_scalar() / x.len().max(1) as f32;
+            let mut g = Matrix::zeros(x.rows(), x.cols());
+            for ((gv, &xi), &ti) in g.data_mut().iter_mut().zip(x.data()).zip(targets.iter()) {
+                let w = if ti > 0.5 { *pos_weight } else { 1.0 };
+                *gv = go * w * (sigmoid(xi) - ti);
+            }
+            vec![(*logits, g)]
+        }
+        Op::Mse { pred, target } => {
+            let p = values(*pred);
+            let k = 2.0 * grad_out.as_scalar() / p.len().max(1) as f32;
+            vec![(*pred, p.sub(target).scale(k))]
+        }
+        Op::LayerNorm { a, gamma, beta, eps } => {
+            let x = values(*a);
+            let g = values(*gamma);
+            let (_, means, inv_stds) = layer_norm_forward(&x, &g, &values(*beta), *eps);
+            let n = x.cols() as f32;
+            let mut dx = Matrix::zeros(x.rows(), x.cols());
+            let mut dgamma = Matrix::zeros(1, x.cols());
+            let mut dbeta = Matrix::zeros(1, x.cols());
+            for r in 0..x.rows() {
+                let mean = means[r];
+                let inv_std = inv_stds[r];
+                let xr = x.row(r);
+                let gor = grad_out.row(r);
+                // xhat_i = (x_i - mean) * inv_std
+                // dgamma_j += go_j * xhat_j ; dbeta_j += go_j
+                // dxhat_i = go_i * gamma_i
+                // dx_i = inv_std/n * (n*dxhat_i - sum(dxhat) - xhat_i * sum(dxhat*xhat))
+                let mut sum_dxhat = 0.0f32;
+                let mut sum_dxhat_xhat = 0.0f32;
+                let mut dxhat = vec![0.0f32; xr.len()];
+                for j in 0..xr.len() {
+                    let xhat = (xr[j] - mean) * inv_std;
+                    let d = gor[j] * g.data()[j];
+                    dxhat[j] = d;
+                    sum_dxhat += d;
+                    sum_dxhat_xhat += d * xhat;
+                    dgamma.data_mut()[j] += gor[j] * xhat;
+                    dbeta.data_mut()[j] += gor[j];
+                }
+                let dxr = dx.row_mut(r);
+                for j in 0..dxr.len() {
+                    let xhat = (xr[j] - mean) * inv_std;
+                    dxr[j] = inv_std / n * (n * dxhat[j] - sum_dxhat - xhat * sum_dxhat_xhat);
+                }
+            }
+            vec![(*a, dx), (*gamma, dgamma), (*beta, dbeta)]
+        }
+        Op::MulMask { a, mask } => vec![(*a, grad_out.hadamard(mask))],
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the dense matrix kernels and autograd tape.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use trkx_tensor::{gradcheck, Matrix, Tape};
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..8, 1usize..8, 1usize..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_matches_naive((m, k, n) in dims(),
+                            seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::randn(m, k, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 1.0, &mut rng);
+        let c = a.matmul(&b);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a.get(i, kk) * b.get(kk, j);
+                }
+                prop_assert!((c.get(i, j) - acc).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_add((m, k, n) in dims(), seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::randn(m, k, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 1.0, &mut rng);
+        let c = Matrix::randn(k, n, 1.0, &mut rng);
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3), "max diff {}", lhs.max_abs_diff(&rhs));
+    }
+
+    #[test]
+    fn transpose_matmul_identity((m, k, n) in dims(), seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::randn(m, k, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 1.0, &mut rng);
+        // (AB)ᵀ = BᵀAᵀ
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn concat_then_slice_recovers(a in matrix_strategy(3, 2), b in matrix_strategy(3, 4)) {
+        let c = Matrix::concat_cols(&[&a, &b]);
+        prop_assert!(c.slice_cols(0, 2).approx_eq(&a, 0.0));
+        prop_assert!(c.slice_cols(2, 6).approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn gather_rows_selects(a in matrix_strategy(5, 3),
+                           idx in proptest::collection::vec(0u32..5, 1..10)) {
+        let g = a.gather_rows(&idx);
+        prop_assert_eq!(g.rows(), idx.len());
+        for (i, &r) in idx.iter().enumerate() {
+            prop_assert_eq!(g.row(i), a.row(r as usize));
+        }
+    }
+
+    #[test]
+    fn scatter_preserves_total_mass(a in matrix_strategy(6, 2),
+                                    idx in proptest::collection::vec(0u32..4, 6)) {
+        let s = a.scatter_add_rows(&idx, 4);
+        prop_assert!((s.sum() - a.sum()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn tape_linear_gradient_is_input(x in matrix_strategy(4, 3), w in matrix_strategy(3, 1)) {
+        // loss = sum(x·w) ⇒ dL/dw = column sums of x.
+        let mut t = Tape::new();
+        let xv = t.constant(x.clone());
+        let wv = t.leaf(w);
+        let y = t.matmul(xv, wv);
+        let loss = t.sum_all(y);
+        t.backward(loss);
+        let grad = t.grad(wv).unwrap();
+        let expect = x.col_sums().transpose();
+        prop_assert!(grad.approx_eq(&expect, 1e-4));
+    }
+
+    #[test]
+    fn gradcheck_random_composite(seed in 0u64..200) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Matrix::randn(3, 4, 0.5, &mut rng);
+        let w = Matrix::randn(4, 2, 0.5, &mut rng);
+        let idx = Arc::new(vec![2u32, 0, 1, 1]);
+        let report = gradcheck(&[x, w], 1e-2, move |t, v| {
+            let g = t.gather(v[0], idx.clone());
+            let h = t.matmul(g, v[1]);
+            let h = t.tanh(h);
+            let h2 = t.hadamard(h, h);
+            t.mean_all(h2)
+        });
+        prop_assert!(report.passes(3e-2), "{:?}", report);
+    }
+}

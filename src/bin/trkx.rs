@@ -1,0 +1,231 @@
+//! `trkx` command-line interface: simulate datasets, train the GNN
+//! stage, evaluate checkpoints, and run end-to-end track reconstruction.
+//!
+//! ```text
+//! trkx simulate  [--dataset ex3|ctd] [--scale 0.05] [--events 10] [--seed 42]
+//! trkx train     [--dataset ex3|ctd] [--scale 0.05] [--events 10] [--epochs 6]
+//!                [--sampler bulk|baseline] [--workers 1] [--out model.json]
+//! trkx evaluate  --model model.json [--dataset ex3|ctd] [--scale 0.05] [--events 10]
+//! trkx reconstruct [--particles 40] [--events 8] [--seed 7]
+//! ```
+
+use rand::{rngs::StdRng, SeedableRng};
+use trkx::ddp::{AllReduceStrategy, DdpConfig};
+use trkx::detector::{
+    dataset_stats, simulate_event, split_80_10_10, DatasetConfig, DetectorGeometry, GunConfig,
+};
+use trkx::pipeline::{
+    best_f1_threshold, evaluate, infer_logits, prepare_graphs, roc_auc, train_minibatch,
+    train_pipeline, Checkpoint, EmbeddingConfig, GnnTrainConfig, PipelineConfig, SamplerKind,
+};
+use trkx::sampling::ShadowConfig;
+
+fn arg<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn arg_str(args: &[String], key: &str, default: &str) -> String {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn dataset_config(args: &[String]) -> DatasetConfig {
+    let name = arg_str(args, "--dataset", "ex3");
+    let default_scale = if name == "ctd" { 0.003 } else { 0.05 };
+    let scale = arg(args, "--scale", default_scale);
+    match name.as_str() {
+        "ctd" => DatasetConfig::ctd_like(scale),
+        "ex3" => DatasetConfig::ex3_like(scale),
+        other => {
+            eprintln!("unknown dataset {other:?} (expected ex3 or ctd)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn gnn_config(args: &[String], dataset: &DatasetConfig) -> GnnTrainConfig {
+    GnnTrainConfig {
+        hidden: arg(args, "--hidden", 32),
+        gnn_layers: arg(args, "--layers", 4),
+        mlp_depth: dataset.mlp_layers,
+        epochs: arg(args, "--epochs", 6),
+        batch_size: arg(args, "--batch", 128),
+        learning_rate: arg(args, "--lr", 2e-3),
+        shadow: ShadowConfig {
+            depth: arg(args, "--shadow-depth", 2),
+            fanout: arg(args, "--shadow-fanout", 4),
+        },
+        seed: arg(args, "--seed", 42),
+        ..Default::default()
+    }
+}
+
+fn cmd_simulate(args: &[String]) {
+    let cfg = dataset_config(args);
+    let events = arg(args, "--events", 10usize);
+    let seed = arg(args, "--seed", 42u64);
+    let graphs = cfg.generate(events, seed);
+    let stats = dataset_stats(&graphs);
+    println!("dataset           : {}", cfg.name);
+    println!("graphs            : {}", stats.graphs);
+    println!("avg vertices      : {:.1}", stats.avg_vertices);
+    println!("avg edges         : {:.1}", stats.avg_edges);
+    println!("edge/vertex ratio : {:.2}", stats.avg_edges / stats.avg_vertices);
+    println!("true-edge fraction: {:.3}", stats.avg_positive_fraction);
+    println!("vertex features   : {}", cfg.num_vertex_features);
+    println!("edge features     : {}", cfg.num_edge_features);
+}
+
+fn cmd_train(args: &[String]) {
+    let cfg = dataset_config(args);
+    let events = arg(args, "--events", 10usize);
+    let seed = arg(args, "--seed", 42u64);
+    let out = arg_str(args, "--out", "model.json");
+    let graphs = cfg.generate(events, seed);
+    let (tr, va, _) = split_80_10_10(graphs.len());
+    let prepared = prepare_graphs(&graphs);
+    let gnn_cfg = gnn_config(args, &cfg);
+    let sampler = match arg_str(args, "--sampler", "bulk").as_str() {
+        "baseline" => SamplerKind::Baseline,
+        _ => SamplerKind::Bulk { k: arg(args, "--bulk-k", 4) },
+    };
+    let workers = arg(args, "--workers", 1usize);
+    let ddp = DdpConfig::new(workers, AllReduceStrategy::Coalesced);
+    println!("training on {} ({} train / {} val graphs)...", cfg.name, tr.len(), va.len());
+    let result = train_minibatch(&gnn_cfg, sampler, ddp, &prepared[tr], &prepared[va.clone()]);
+    for e in &result.epochs {
+        println!(
+            "epoch {:>2}: loss {:.4}  val P {:.3} R {:.3}  ({:.1}s)",
+            e.epoch,
+            e.train_loss,
+            e.val_precision,
+            e.val_recall,
+            e.timing.total_s()
+        );
+    }
+    let ckpt = Checkpoint::from_params(&result.model.params());
+    match ckpt.save_json(&out) {
+        Ok(()) => println!("saved checkpoint ({} scalars) to {out}", ckpt.numel()),
+        Err(e) => {
+            eprintln!("failed to save checkpoint: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_evaluate(args: &[String]) {
+    let model_path = arg_str(args, "--model", "model.json");
+    let cfg = dataset_config(args);
+    let events = arg(args, "--events", 10usize);
+    let seed = arg(args, "--seed", 42u64);
+    let graphs = cfg.generate(events, seed);
+    let (_, _, te) = split_80_10_10(graphs.len());
+    let prepared = prepare_graphs(&graphs);
+    let test = &prepared[te];
+
+    let gnn_cfg = gnn_config(args, &cfg);
+    let mut rng = StdRng::seed_from_u64(gnn_cfg.seed);
+    let mut model = trkx::ignn::InteractionGnn::new(
+        gnn_cfg.ignn_config(cfg.num_vertex_features, cfg.num_edge_features),
+        &mut rng,
+    );
+    let ckpt = match Checkpoint::load_json(&model_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("failed to load {model_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut params = model.params_mut();
+    if let Err(e) = ckpt.apply_to(&mut params) {
+        eprintln!("checkpoint does not match the configured model: {e}");
+        std::process::exit(1);
+    }
+
+    let stats = evaluate(&model, test, 0.5);
+    println!("test graphs : {}", test.len());
+    println!("precision   : {:.4}", stats.precision());
+    println!("recall      : {:.4}", stats.recall());
+    println!("f1          : {:.4}", stats.f1());
+    // Score-based metrics over the pooled test edges.
+    let mut logits = Vec::new();
+    let mut labels = Vec::new();
+    for g in test {
+        logits.extend(infer_logits(&model, g));
+        labels.extend_from_slice(&g.labels);
+    }
+    println!("roc auc     : {:.4}", roc_auc(&logits, &labels));
+    let best = best_f1_threshold(&logits, &labels, 19);
+    println!(
+        "best f1     : {:.4} at threshold {:.2} (P {:.3} R {:.3})",
+        best.f1, best.threshold, best.precision, best.recall
+    );
+}
+
+fn cmd_reconstruct(args: &[String]) {
+    let particles = arg(args, "--particles", 40usize);
+    let events = arg(args, "--events", 8usize);
+    let seed = arg(args, "--seed", 7u64);
+    let geometry = DetectorGeometry::default();
+    let gun = GunConfig::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let all: Vec<_> = (0..events + 2)
+        .map(|_| simulate_event(&geometry, &gun, particles, 0.1, &mut rng))
+        .collect();
+    let (train, rest) = all.split_at(events);
+    let (val, test) = rest.split_at(1);
+
+    let config = PipelineConfig {
+        embedding: EmbeddingConfig { epochs: 15, ..Default::default() },
+        gnn: GnnTrainConfig {
+            hidden: 32,
+            gnn_layers: 4,
+            epochs: arg(args, "--epochs", 8),
+            batch_size: 128,
+            shadow: ShadowConfig { depth: 2, fanout: 4 },
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    println!("training the five-stage pipeline on {events} events...");
+    let (pipeline, report) = train_pipeline(config, train, val);
+    println!(
+        "construction eff {:.3} / filter R {:.3} / GNN P {:.3} R {:.3}",
+        report.construction_efficiency,
+        report.filter_recall,
+        report.gnn_val_precision,
+        report.gnn_val_recall
+    );
+    let result = pipeline.reconstruct(&test[0]);
+    println!(
+        "test event: {} hits, kept {} edges, track efficiency {:.3}, purity {:.3}",
+        test[0].num_hits(),
+        result.edges_kept,
+        result.metrics.efficiency(),
+        result.metrics.purity()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("evaluate") => cmd_evaluate(&args[1..]),
+        Some("reconstruct") => cmd_reconstruct(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: trkx <simulate|train|evaluate|reconstruct> [options]\n\
+                 see the module docs at the top of src/bin/trkx.rs"
+            );
+            std::process::exit(2);
+        }
+    }
+}

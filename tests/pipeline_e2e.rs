@@ -1,0 +1,66 @@
+//! End-to-end integration test: the five-stage pipeline trained on small
+//! synthetic events must actually reconstruct tracks.
+
+use rand::{rngs::StdRng, SeedableRng};
+use trkx::detector::{simulate_event, DetectorGeometry, GunConfig};
+use trkx::pipeline::{
+    train_pipeline, EmbeddingConfig, GnnTrainConfig, PipelineConfig, SamplerKind,
+};
+use trkx::sampling::ShadowConfig;
+
+#[test]
+fn five_stage_pipeline_reconstructs_tracks() {
+    let geometry = DetectorGeometry::default();
+    let gun = GunConfig::default();
+    let mut rng = StdRng::seed_from_u64(1234);
+    let events: Vec<_> =
+        (0..6).map(|_| simulate_event(&geometry, &gun, 25, 0.1, &mut rng)).collect();
+    let (train, val) = events.split_at(5);
+
+    let config = PipelineConfig {
+        vertex_features: 6,
+        edge_features: 2,
+        embedding: EmbeddingConfig { epochs: 12, ..Default::default() },
+        gnn: GnnTrainConfig {
+            hidden: 24,
+            gnn_layers: 3,
+            epochs: 6,
+            batch_size: 64,
+            shadow: ShadowConfig { depth: 2, fanout: 4 },
+            ..Default::default()
+        },
+        gnn_sampler: SamplerKind::Bulk { k: 4 },
+        ..Default::default()
+    };
+
+    let (pipeline, report) = train_pipeline(config, train, val);
+
+    // Stage-level sanity: each stage must do real work.
+    assert!(
+        report.construction_efficiency > 0.85,
+        "graph construction lost too many truth edges: {}",
+        report.construction_efficiency
+    );
+    assert!(report.filter_recall > 0.8, "filter recall {}", report.filter_recall);
+    assert!(
+        report.gnn_val_recall > 0.5 && report.gnn_val_precision > 0.5,
+        "GNN failed to learn: P {} R {}",
+        report.gnn_val_precision,
+        report.gnn_val_recall
+    );
+    assert!(
+        report.val_track_metrics.efficiency() > 0.25,
+        "track efficiency {} ({} truth, {} reco, {} matched)",
+        report.val_track_metrics.efficiency(),
+        report.val_track_metrics.num_true_tracks,
+        report.val_track_metrics.num_reco_tracks,
+        report.val_track_metrics.num_matched
+    );
+
+    // Inference on a fresh event runs the whole chain.
+    let test_event = simulate_event(&geometry, &gun, 25, 0.1, &mut rng);
+    let result = pipeline.reconstruct(&test_event);
+    assert!(result.metrics.num_reco_tracks > 0, "no tracks reconstructed");
+    assert!(result.edges_kept > 0);
+    assert_eq!(result.component_of_hit.len(), test_event.num_hits());
+}

@@ -1,0 +1,89 @@
+//! Statistical equivalence of the baseline and bulk ShaDow samplers on a
+//! realistic event graph, plus cross-crate structural invariants.
+
+use rand::{rngs::StdRng, SeedableRng};
+use trkx::detector::DatasetConfig;
+use trkx::sampling::{
+    vertex_batches, BulkShadowSampler, SamplerGraph, ShadowConfig, ShadowSampler,
+};
+
+fn event_sampler_graph() -> SamplerGraph {
+    let g = &DatasetConfig::ex3_like(0.03).generate(1, 9)[0];
+    SamplerGraph::new(g.num_nodes, &g.src, &g.dst)
+}
+
+#[test]
+fn bulk_and_baseline_sample_the_same_distribution() {
+    let graph = event_sampler_graph();
+    let cfg = ShadowConfig { depth: 3, fanout: 6 };
+    let mut rng = StdRng::seed_from_u64(1);
+    let batches = vertex_batches(graph.num_nodes, 64, &mut rng);
+
+    // Accumulate node/edge counts per strategy over several seeds.
+    let mut base_nodes = 0usize;
+    let mut base_edges = 0usize;
+    let mut bulk_nodes = 0usize;
+    let mut bulk_edges = 0usize;
+    for seed in 0..5u64 {
+        let mut srng = StdRng::seed_from_u64(seed);
+        for b in &batches {
+            let sg = ShadowSampler::new(cfg).sample_batch(&graph, b, &mut srng);
+            base_nodes += sg.num_nodes();
+            base_edges += sg.num_edges();
+        }
+        for sg in BulkShadowSampler::new(cfg).sample_batches(&graph, &batches, seed) {
+            bulk_nodes += sg.num_nodes();
+            bulk_edges += sg.num_edges();
+        }
+    }
+    let node_ratio = base_nodes as f64 / bulk_nodes as f64;
+    let edge_ratio = base_edges as f64 / bulk_edges as f64;
+    assert!((0.93..1.07).contains(&node_ratio), "node ratio {node_ratio}");
+    assert!((0.9..1.1).contains(&edge_ratio), "edge ratio {edge_ratio}");
+}
+
+#[test]
+fn every_sampled_edge_is_a_real_candidate_edge() {
+    let g = &DatasetConfig::ex3_like(0.02).generate(1, 10)[0];
+    let graph = SamplerGraph::new(g.num_nodes, &g.src, &g.dst);
+    let cfg = ShadowConfig { depth: 2, fanout: 4 };
+    let batches = vec![(0..32u32).collect::<Vec<_>>(), (32..64u32).collect()];
+    for sg in BulkShadowSampler::new(cfg).sample_batches(&graph, &batches, 3) {
+        sg.validate(&graph);
+        // Original edge ids index into the event graph's edge arrays and
+        // reproduce the right endpoints.
+        for (i, &id) in sg.orig_edge_ids.iter().enumerate() {
+            let (ls, ld) = (sg.sub_src[i] as usize, sg.sub_dst[i] as usize);
+            assert_eq!(g.src[id as usize], sg.node_map[ls]);
+            assert_eq!(g.dst[id as usize], sg.node_map[ld]);
+        }
+    }
+}
+
+#[test]
+fn subgraph_labels_match_parent_labels() {
+    // The training path fetches labels through orig_edge_ids; verify the
+    // mapping preserves the truth signal (sampled true-edge fraction is
+    // in the same ballpark as the parent graph's).
+    let g = &DatasetConfig::ex3_like(0.03).generate(1, 12)[0];
+    let graph = SamplerGraph::new(g.num_nodes, &g.src, &g.dst);
+    let parent_frac =
+        g.labels.iter().filter(|&&l| l > 0.5).count() as f64 / g.labels.len() as f64;
+    let mut rng = StdRng::seed_from_u64(2);
+    let batches = vertex_batches(g.num_nodes, 128, &mut rng);
+    let subs = BulkShadowSampler::new(ShadowConfig { depth: 3, fanout: 6 })
+        .sample_batches(&graph, &batches, 8);
+    let mut pos = 0usize;
+    let mut tot = 0usize;
+    for sg in &subs {
+        for &id in &sg.orig_edge_ids {
+            pos += (g.labels[id as usize] > 0.5) as usize;
+            tot += 1;
+        }
+    }
+    let sampled_frac = pos as f64 / tot as f64;
+    assert!(
+        (sampled_frac - parent_frac).abs() < 0.15,
+        "sampled true-edge fraction {sampled_frac:.3} vs parent {parent_frac:.3}"
+    );
+}
