@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints (warnings are errors), release build,
+# and the full workspace test suite. Run from the repo root.
+set -euo pipefail
+
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --workspace --release
+cargo test -q --workspace --release

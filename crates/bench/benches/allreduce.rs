@@ -13,7 +13,10 @@ use trkx_nn::Param;
 fn bench_allreduce(c: &mut Criterion) {
     let mut group = c.benchmark_group("allreduce");
     group.sample_size(10);
-    let icfg = IgnnConfig::new(6, 2).with_hidden(64).with_gnn_layers(8).with_mlp_depth(2);
+    let icfg = IgnnConfig::new(6, 2)
+        .with_hidden(64)
+        .with_gnn_layers(8)
+        .with_mlp_depth(2);
     let mut rng = StdRng::seed_from_u64(0);
     let template = InteractionGnn::new(icfg, &mut rng);
     let shapes: Vec<(usize, usize)> = template

@@ -16,7 +16,14 @@ use trkx_tensor::Tape;
 fn step(model: &mut InteractionGnn, opt: &mut Adam, g: &PreparedGraph) -> f32 {
     let mut tape = Tape::new();
     let mut bind = Bindings::new();
-    let logits = model.forward(&mut tape, &mut bind, &g.x, &g.y, g.src.clone(), g.dst.clone());
+    let logits = model.forward(
+        &mut tape,
+        &mut bind,
+        &g.x,
+        &g.y,
+        g.src.clone(),
+        g.dst.clone(),
+    );
     let loss = bce_with_logits(&mut tape, logits, &g.labels, 1.0);
     let v = tape.value(loss).as_scalar();
     tape.backward(loss);
@@ -55,9 +62,12 @@ fn bench_ignn(c: &mut Criterion) {
         let prepared = prepare_graphs(&cfg.generate(1, 5));
         let g = &prepared[0];
         let batch: Vec<u32> = (0..256.min(g.num_nodes as u32)).collect();
-        let sub = BulkShadowSampler::new(ShadowConfig { depth: 3, fanout: 6 })
-            .sample_batches(&g.sampler, &[batch], 3)
-            .remove(0);
+        let sub = BulkShadowSampler::new(ShadowConfig {
+            depth: 3,
+            fanout: 6,
+        })
+        .sample_batches(&g.sampler, &[batch], 3)
+        .remove(0);
         let (x, y, labels) = g.subgraph_matrices(&sub);
         let sub_prepared = PreparedGraph {
             num_nodes: sub.num_nodes(),
@@ -73,7 +83,10 @@ fn bench_ignn(c: &mut Criterion) {
         let mut model = InteractionGnn::new(icfg, &mut rng);
         let mut opt = Adam::new(1e-3);
         group.bench_with_input(
-            BenchmarkId::new("shadow_batch256", format!("{} edges", sub_prepared.num_edges())),
+            BenchmarkId::new(
+                "shadow_batch256",
+                format!("{} edges", sub_prepared.num_edges()),
+            ),
             &sub_prepared,
             |b, g| b.iter(|| std::hint::black_box(step(&mut model, &mut opt, g))),
         );

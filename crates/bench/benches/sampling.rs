@@ -5,9 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{rngs::StdRng, SeedableRng};
 use trkx_detector::DatasetConfig;
-use trkx_sampling::{
-    vertex_batches, BulkShadowSampler, SamplerGraph, ShadowConfig, ShadowSampler,
-};
+use trkx_sampling::{vertex_batches, BulkShadowSampler, SamplerGraph, ShadowConfig, ShadowSampler};
 
 fn bench_sampling(c: &mut Criterion) {
     let mut group = c.benchmark_group("shadow_sampling");
@@ -22,18 +20,25 @@ fn bench_sampling(c: &mut Criterion) {
         let graph = SamplerGraph::new(g.num_nodes, &g.src, &g.dst);
         let mut rng = StdRng::seed_from_u64(1);
         let batches = vertex_batches(g.num_nodes, 256, &mut rng);
-        let shadow = ShadowConfig { depth: 3, fanout: 6 };
+        let shadow = ShadowConfig {
+            depth: 3,
+            fanout: 6,
+        };
 
-        group.bench_with_input(BenchmarkId::new("baseline", name), &batches, |b, batches| {
-            b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(2);
-                for batch in batches {
-                    std::hint::black_box(
-                        ShadowSampler::new(shadow).sample_batch(&graph, batch, &mut rng),
-                    );
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("baseline", name),
+            &batches,
+            |b, batches| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(2);
+                    for batch in batches {
+                        std::hint::black_box(
+                            ShadowSampler::new(shadow).sample_batch(&graph, batch, &mut rng),
+                        );
+                    }
+                })
+            },
+        );
         for k in [2usize, 4] {
             group.bench_with_input(
                 BenchmarkId::new(format!("bulk_k{k}"), name),

@@ -1,0 +1,83 @@
+//! Criterion microbenchmarks for the autograd hot path: one full IGNN
+//! train step (forward + backward + Adam update) on a synthetic graph,
+//! plus the individual matmul/transpose kernels it spends its time in.
+//!
+//! Companion to `src/bin/trainstep.rs`, which emits machine-readable
+//! `BENCH_trainstep.json` including an allocations-per-step count.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
+use trkx_bench::trainstep::{run_step, StepScratch, SyntheticGraph};
+use trkx_ignn::{IgnnConfig, InteractionGnn};
+use trkx_nn::Adam;
+use trkx_tensor::Matrix;
+
+fn bench_trainstep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trainstep");
+    group.sample_size(10);
+
+    for &(nodes, edges) in &[(256usize, 1024usize), (1024, 4096)] {
+        let g = SyntheticGraph::generate(nodes, edges, 7);
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = IgnnConfig::new(g.x.cols(), g.y.cols())
+            .with_hidden(32)
+            .with_gnn_layers(4)
+            .with_mlp_depth(2);
+        let mut model = InteractionGnn::new(cfg, &mut rng);
+        let mut opt = Adam::new(1e-3);
+        let mut scratch = StepScratch::new();
+        group.bench_with_input(
+            BenchmarkId::new("ignn_step", format!("{nodes}n_{edges}e")),
+            &g,
+            |b, g| {
+                b.iter(|| black_box(run_step(&mut model, &mut opt, g, &mut scratch)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+
+    let mut rng = StdRng::seed_from_u64(3);
+    // Shapes matching the IGNN hot path: (edges x 6h) * (6h x h) etc.
+    for &(m, k, n) in &[(4096usize, 192usize, 32usize), (1024, 128, 128)] {
+        let a = Matrix::randn(m, k, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 1.0, &mut rng);
+        let bt = b.transpose();
+        let at = a.transpose();
+        group.bench_function(BenchmarkId::new("matmul", format!("{m}x{k}x{n}")), |bch| {
+            bch.iter(|| black_box(a.matmul(&b)));
+        });
+        group.bench_function(
+            BenchmarkId::new("matmul_nt", format!("{m}x{k}x{n}")),
+            |bch| {
+                bch.iter(|| black_box(a.matmul_nt(&bt)));
+            },
+        );
+        group.bench_function(
+            BenchmarkId::new("matmul_tn", format!("{m}x{k}x{n}")),
+            |bch| {
+                bch.iter(|| black_box(at.matmul_tn(&b)));
+            },
+        );
+    }
+
+    let big = Matrix::randn(2048, 384, 1.0, &mut rng);
+    group.bench_function("transpose_2048x384", |bch| {
+        bch.iter(|| black_box(big.transpose()));
+    });
+
+    let idx: Arc<Vec<u32>> = Arc::new((0..8192u32).map(|i| (i * 37) % 2048).collect());
+    group.bench_function("gather_8192_from_2048x64", |bch| {
+        let src = Matrix::randn(2048, 64, 1.0, &mut rng);
+        bch.iter(|| black_box(src.gather_rows(&idx)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trainstep, bench_kernels);
+criterion_main!(benches);

@@ -29,7 +29,10 @@ fn allreduce_ablation() {
     println!("## 1. All-reduce strategy (alpha-beta model, NVLink-3 constants)\n");
     let model = CommCostModel::nvlink3();
     // The paper's IGNN: hidden 64, 8 layers -> count the real tensors.
-    let icfg = IgnnConfig::new(14, 8).with_hidden(64).with_gnn_layers(8).with_mlp_depth(3);
+    let icfg = IgnnConfig::new(14, 8)
+        .with_hidden(64)
+        .with_gnn_layers(8)
+        .with_mlp_depth(3);
     let mut rng = StdRng::seed_from_u64(0);
     let net = trkx_ignn::InteractionGnn::new(icfg, &mut rng);
     let sizes: Vec<usize> = net.params().iter().map(|p| p.numel() * 4).collect();
@@ -55,7 +58,10 @@ fn allreduce_ablation() {
 fn bucket_size_ablation() {
     println!("## 1b. Bucket-size sweep (PyTorch-DDP-style middle ground)\n");
     let model = CommCostModel::nvlink3();
-    let icfg = IgnnConfig::new(14, 8).with_hidden(64).with_gnn_layers(8).with_mlp_depth(3);
+    let icfg = IgnnConfig::new(14, 8)
+        .with_hidden(64)
+        .with_gnn_layers(8)
+        .with_mlp_depth(3);
     let mut rng = StdRng::seed_from_u64(0);
     let net = trkx_ignn::InteractionGnn::new(icfg, &mut rng);
     let sizes: Vec<usize> = net.params().iter().map(|p| p.numel() * 4).collect();
@@ -87,7 +93,10 @@ fn bulk_k_ablation() {
     let graph = SamplerGraph::new(g.num_nodes, &g.src, &g.dst);
     let mut rng = StdRng::seed_from_u64(1);
     let batches = vertex_batches(g.num_nodes, 256, &mut rng);
-    let cfg = ShadowConfig { depth: 3, fanout: 6 };
+    let cfg = ShadowConfig {
+        depth: 3,
+        fanout: 6,
+    };
     let mut t = Table::new(&["k", "calls", "time/minibatch (ms)"]);
     // Baseline: k = 1 via the sequential sampler.
     let reps = 3;
@@ -98,7 +107,11 @@ fn bulk_k_ablation() {
         }
     }
     let per_batch = t0.elapsed().as_secs_f64() * 1e3 / (reps * batches.len()) as f64;
-    t.row(vec!["1 (baseline)".into(), batches.len().to_string(), format!("{per_batch:.2}")]);
+    t.row(vec![
+        "1 (baseline)".into(),
+        batches.len().to_string(),
+        format!("{per_batch:.2}"),
+    ]);
     for k in [1usize, 2, 4, 8] {
         let k = k.min(batches.len());
         let t0 = Instant::now();
@@ -129,7 +142,10 @@ fn extraction_ablation() {
             trkx_sampling::walk_touched_set(
                 &graph,
                 (i as u32 * 7) % g.num_nodes as u32,
-                ShadowConfig { depth: 3, fanout: 6 },
+                ShadowConfig {
+                    depth: 3,
+                    fanout: 6,
+                },
                 &mut rng2,
             )
         })
@@ -142,7 +158,10 @@ fn extraction_ablation() {
     for sel in &selections {
         let _ = extract_induced_direct(&graph.directed, sel);
     }
-    t.row(vec!["hash-map per call (baseline)".into(), format!("{:.2}", t0.elapsed().as_secs_f64() * 1e3)]);
+    t.row(vec![
+        "hash-map per call (baseline)".into(),
+        format!("{:.2}", t0.elapsed().as_secs_f64() * 1e3),
+    ]);
 
     let t0 = Instant::now();
     let mut ex = InducedExtractor::new(g.num_nodes);
@@ -151,7 +170,10 @@ fn extraction_ablation() {
         edges.clear();
         let _ = ex.extract_into(&graph.directed, sel, &mut edges);
     }
-    t.row(vec!["generation-stamped scratch (bulk)".into(), format!("{:.2}", t0.elapsed().as_secs_f64() * 1e3)]);
+    t.row(vec![
+        "generation-stamped scratch (bulk)".into(),
+        format!("{:.2}", t0.elapsed().as_secs_f64() * 1e3),
+    ]);
 
     let t0 = Instant::now();
     for sel in selections.iter().take(64) {
@@ -179,38 +201,72 @@ fn sampler_family_ablation() {
     {
         let mut rng = StdRng::seed_from_u64(5);
         let (n, e, c, ms) = time(&mut || {
-            let s = ShadowSampler::new(ShadowConfig { depth: 3, fanout: 6 })
-                .sample_batch(&graph, &batch, &mut rng);
+            let s = ShadowSampler::new(ShadowConfig {
+                depth: 3,
+                fanout: 6,
+            })
+            .sample_batch(&graph, &batch, &mut rng);
             (s.num_nodes(), s.num_edges(), s.num_components())
         });
-        t.row(vec!["ShaDow d=3 s=6".into(), n.to_string(), e.to_string(), c.to_string(), format!("{ms:.2}")]);
+        t.row(vec![
+            "ShaDow d=3 s=6".into(),
+            n.to_string(),
+            e.to_string(),
+            c.to_string(),
+            format!("{ms:.2}"),
+        ]);
     }
     {
         let (n, e, c, ms) = time(&mut || {
-            let s = BulkShadowSampler::new(ShadowConfig { depth: 3, fanout: 6 })
-                .sample_batches(&graph, std::slice::from_ref(&batch), 5)
-                .remove(0);
+            let s = BulkShadowSampler::new(ShadowConfig {
+                depth: 3,
+                fanout: 6,
+            })
+            .sample_batches(&graph, std::slice::from_ref(&batch), 5)
+            .remove(0);
             (s.num_nodes(), s.num_edges(), s.num_components())
         });
-        t.row(vec!["ShaDow bulk d=3 s=6".into(), n.to_string(), e.to_string(), c.to_string(), format!("{ms:.2}")]);
+        t.row(vec![
+            "ShaDow bulk d=3 s=6".into(),
+            n.to_string(),
+            e.to_string(),
+            c.to_string(),
+            format!("{ms:.2}"),
+        ]);
     }
     {
         let mut rng = StdRng::seed_from_u64(6);
         let (n, e, c, ms) = time(&mut || {
-            let s = NodeWiseSampler::new(NodeWiseConfig { fanouts: vec![6, 6, 6] })
-                .sample_batch(&graph, &batch, &mut rng);
+            let s = NodeWiseSampler::new(NodeWiseConfig {
+                fanouts: vec![6, 6, 6],
+            })
+            .sample_batch(&graph, &batch, &mut rng);
             (s.num_nodes(), s.num_edges(), s.num_components())
         });
-        t.row(vec!["node-wise [6,6,6]".into(), n.to_string(), e.to_string(), c.to_string(), format!("{ms:.2}")]);
+        t.row(vec![
+            "node-wise [6,6,6]".into(),
+            n.to_string(),
+            e.to_string(),
+            c.to_string(),
+            format!("{ms:.2}"),
+        ]);
     }
     {
         let mut rng = StdRng::seed_from_u64(7);
         let (n, e, c, ms) = time(&mut || {
-            let s = LayerWiseSampler::new(LayerWiseConfig { layer_sizes: vec![512, 512, 512] })
-                .sample_batch(&graph, &batch, &mut rng);
+            let s = LayerWiseSampler::new(LayerWiseConfig {
+                layer_sizes: vec![512, 512, 512],
+            })
+            .sample_batch(&graph, &batch, &mut rng);
             (s.num_nodes(), s.num_edges(), s.num_components())
         });
-        t.row(vec!["layer-wise [512x3]".into(), n.to_string(), e.to_string(), c.to_string(), format!("{ms:.2}")]);
+        t.row(vec![
+            "layer-wise [512x3]".into(),
+            n.to_string(),
+            e.to_string(),
+            c.to_string(),
+            format!("{ms:.2}"),
+        ]);
     }
     t.print();
 }

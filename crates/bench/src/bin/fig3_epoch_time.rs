@@ -50,8 +50,16 @@ fn run_dataset(
     );
 
     let arms = [
-        Arm { name: "PyG-style", sampler_is_bulk: false, strategy: AllReduceStrategy::PerTensor },
-        Arm { name: "ours", sampler_is_bulk: true, strategy: AllReduceStrategy::Coalesced },
+        Arm {
+            name: "PyG-style",
+            sampler_is_bulk: false,
+            strategy: AllReduceStrategy::PerTensor,
+        },
+        Arm {
+            name: "ours",
+            sampler_is_bulk: true,
+            strategy: AllReduceStrategy::Coalesced,
+        },
     ];
 
     let mut table = Table::new(&[
@@ -77,7 +85,10 @@ fn run_dataset(
                 epochs,
                 batch_size: 256,
                 learning_rate: 2e-3,
-                shadow: ShadowConfig { depth: 3, fanout: 6 },
+                shadow: ShadowConfig {
+                    depth: 3,
+                    fanout: 6,
+                },
                 seed: 5,
                 ..Default::default()
             };
@@ -89,7 +100,11 @@ fn run_dataset(
             let r = train_minibatch_simulated(
                 &cfg,
                 sampler,
-                DdpConfig { workers: p, strategy: arm.strategy, cost_model: trkx_ddp::CommCostModel::nvlink3() },
+                DdpConfig {
+                    workers: p,
+                    strategy: arm.strategy,
+                    cost_model: trkx_ddp::CommCostModel::nvlink3(),
+                },
                 train,
                 val,
             );
@@ -97,12 +112,21 @@ fn run_dataset(
             let n = r.epochs.len() as f64;
             let sample_s = r.epochs.iter().map(|e| e.timing.sampling_s).sum::<f64>() / n;
             let train_s = r.epochs.iter().map(|e| e.timing.train_s).sum::<f64>() / n;
-            let comm_s = r.epochs.iter().map(|e| e.timing.comm_virtual_s).sum::<f64>() / n;
+            let comm_s = r
+                .epochs
+                .iter()
+                .map(|e| e.timing.comm_virtual_s)
+                .sum::<f64>()
+                / n;
             let total = sample_s + train_s + comm_s;
             let (su_sample, su_comm, su_total) = match baseline {
                 None => {
                     baseline = Some((sample_s, comm_s, total));
-                    ("1.00x".to_string(), "1.00x".to_string(), "1.00x".to_string())
+                    (
+                        "1.00x".to_string(),
+                        "1.00x".to_string(),
+                        "1.00x".to_string(),
+                    )
                 }
                 Some((bs, bc, bt)) => (
                     format!("{:.2}x", bs / sample_s.max(1e-12)),
@@ -163,7 +187,21 @@ fn main() {
     // Paper: CTD measured at P in {1, 2, 4} (PyG timed out at 4); Ex3 at
     // P in {1, 2, 4, 8}.
     let ctd = DatasetConfig::ctd_like(ctd_scale);
-    run_dataset(&ctd, &ctd.generate(n_graphs, 99), &[1, 2, 4], epochs, hidden, layers);
+    run_dataset(
+        &ctd,
+        &ctd.generate(n_graphs, 99),
+        &[1, 2, 4],
+        epochs,
+        hidden,
+        layers,
+    );
     let ex3 = DatasetConfig::ex3_like(ex3_scale);
-    run_dataset(&ex3, &ex3.generate(n_graphs, 99), &[1, 2, 4, 8], epochs, hidden, layers);
+    run_dataset(
+        &ex3,
+        &ex3.generate(n_graphs, 99),
+        &[1, 2, 4, 8],
+        epochs,
+        hidden,
+        layers,
+    );
 }

@@ -50,7 +50,10 @@ fn main() {
         epochs,
         batch_size: batch,
         learning_rate: 2e-3,
-        shadow: ShadowConfig { depth: 3, fanout: 6 },
+        shadow: ShadowConfig {
+            depth: 3,
+            fanout: 6,
+        },
         seed: 17,
         ..Default::default()
     };
@@ -67,20 +70,24 @@ fn main() {
 
     println!("training full-graph arm (budget {budget} activation floats)...");
     let full = train_full_graph(&cfg, train, val, Some(budget));
-    println!("  skipped {} / {} graphs\n", full.skipped_graphs, train.len());
+    println!(
+        "  skipped {} / {} graphs\n",
+        full.skipped_graphs,
+        train.len()
+    );
     println!("training ShaDow PyG-style baseline arm...");
     let pyg = train_minibatch(&cfg, SamplerKind::Baseline, DdpConfig::single(), train, val);
     println!("training ShaDow bulk (ours) arm...\n");
-    let ours = train_minibatch(&cfg, SamplerKind::Bulk { k: 4 }, DdpConfig::single(), train, val);
+    let ours = train_minibatch(
+        &cfg,
+        SamplerKind::Bulk { k: 4 },
+        DdpConfig::single(),
+        train,
+        val,
+    );
 
     let mut table = Table::new(&[
-        "epoch",
-        "full P",
-        "full R",
-        "PyG P",
-        "PyG R",
-        "ours P",
-        "ours R",
+        "epoch", "full P", "full R", "PyG P", "PyG R", "ours P", "ours R",
     ]);
     for e in 0..epochs {
         table.row(vec![
@@ -116,10 +123,18 @@ fn main() {
         "- minibatch (ours) vs full-graph: P {:.3} vs {:.3} ({}), R {:.3} vs {:.3} ({})",
         op,
         fp,
-        if op > fp { "minibatch higher, as in paper" } else { "UNEXPECTED" },
+        if op > fp {
+            "minibatch higher, as in paper"
+        } else {
+            "UNEXPECTED"
+        },
         or,
         fr,
-        if or > fr { "minibatch higher, as in paper" } else { "UNEXPECTED" },
+        if or > fr {
+            "minibatch higher, as in paper"
+        } else {
+            "UNEXPECTED"
+        },
     );
     println!(
         "- ours vs PyG-style: |dP| {:.3}, |dR| {:.3} ({})",

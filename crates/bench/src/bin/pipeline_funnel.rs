@@ -32,19 +32,28 @@ fn main() {
     let (val, _) = rest.split_at(1);
 
     let config = PipelineConfig {
-        embedding: EmbeddingConfig { epochs: 15, ..Default::default() },
+        embedding: EmbeddingConfig {
+            epochs: 15,
+            ..Default::default()
+        },
         gnn: GnnTrainConfig {
             hidden: 32,
             gnn_layers: 4,
             epochs,
             batch_size: 128,
-            shadow: ShadowConfig { depth: 2, fanout: 4 },
+            shadow: ShadowConfig {
+                depth: 2,
+                fanout: 4,
+            },
             ..Default::default()
         },
         gnn_sampler: SamplerKind::Bulk { k: 4 },
         ..Default::default()
     };
-    println!("# Pipeline funnel ({} train events, {} particles each)\n", n_events, particles);
+    println!(
+        "# Pipeline funnel ({} train events, {} particles each)\n",
+        n_events, particles
+    );
     let (pipeline, report) = train_pipeline(config, train, val);
 
     // Walk a validation event through the funnel, reporting at each cut.
@@ -57,8 +66,7 @@ fn main() {
         trkx_detector::vertex_features(event, nf),
     );
     let emb = pipeline.embedding.embed(&feats);
-    let constructed =
-        trkx_core::build_graph_from_embeddings(event, &emb, pipeline.radius);
+    let constructed = trkx_core::build_graph_from_embeddings(event, &emb, pipeline.radius);
     let truth_total = event.truth_edges().len();
 
     let mut table = Table::new(&["stage", "edges", "true edges kept", "purity", "AUC"]);
@@ -118,8 +126,12 @@ fn main() {
     };
     let prepared_pruned = prepare_graphs(std::slice::from_ref(&pruned));
     let gnn_logits = infer_logits(&pipeline.gnn, &prepared_pruned[0]);
-    let gnn_kept: Vec<usize> =
-        gnn_logits.iter().enumerate().filter(|(_, &l)| l > 0.0).map(|(i, _)| i).collect();
+    let gnn_kept: Vec<usize> = gnn_logits
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l > 0.0)
+        .map(|(i, _)| i)
+        .collect();
     let gnn_true = gnn_kept.iter().filter(|&&i| pruned.labels[i] > 0.5).count();
     table.row(vec![
         "4. IGNN".into(),

@@ -52,7 +52,10 @@ fn main() {
         "2".into(),
     ]);
 
-    for cfg in [DatasetConfig::ctd_like(ctd_scale), DatasetConfig::ex3_like(ex3_scale)] {
+    for cfg in [
+        DatasetConfig::ctd_like(ctd_scale),
+        DatasetConfig::ex3_like(ex3_scale),
+    ] {
         let graphs = cfg.generate(n_graphs, 2024);
         let stats = dataset_stats(&graphs);
         table.row(vec![

@@ -23,7 +23,10 @@ pub struct Table {
 
 impl Table {
     pub fn new(headers: &[&str]) -> Self {
-        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     pub fn row(&mut self, cells: Vec<String>) {
@@ -67,6 +70,8 @@ impl Table {
         let _ = writeln!(lock, "{}", self.render());
     }
 }
+
+pub mod trainstep;
 
 /// Parse `--key value` style CLI overrides (harnesses keep flags minimal).
 pub fn arg_value<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
@@ -116,8 +121,10 @@ mod tests {
 
     #[test]
     fn arg_value_parses_and_defaults() {
-        let args: Vec<String> =
-            ["--scale", "0.25", "--epochs", "7"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--scale", "0.25", "--epochs", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(arg_value(&args, "--scale", 1.0f64), 0.25);
         assert_eq!(arg_value(&args, "--epochs", 1usize), 7);
         assert_eq!(arg_value(&args, "--missing", 42i32), 42);

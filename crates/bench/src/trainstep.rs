@@ -1,0 +1,76 @@
+//! Shared harness for the train-step microbenchmarks (`benches/trainstep.rs`
+//! and `src/bin/trainstep.rs`): a deterministic synthetic event graph and
+//! one full forward + backward + Adam step of the Interaction GNN on it.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::sync::Arc;
+use trkx_ignn::InteractionGnn;
+use trkx_nn::{bce_with_logits, Adam, Bindings, Optimizer};
+use trkx_tensor::{Matrix, Tape};
+
+/// A random graph with the shape of a prepared event: node/edge features,
+/// COO endpoints, and binary edge labels.
+pub struct SyntheticGraph {
+    pub x: Matrix,
+    pub y: Matrix,
+    pub src: Arc<Vec<u32>>,
+    pub dst: Arc<Vec<u32>>,
+    pub labels: Vec<f32>,
+}
+
+impl SyntheticGraph {
+    /// Deterministic graph with `nodes` vertices and `edges` edges.
+    pub fn generate(nodes: usize, edges: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Matrix::randn(nodes, 3, 1.0, &mut rng);
+        let y = Matrix::randn(edges, 2, 1.0, &mut rng);
+        let src: Vec<u32> = (0..edges).map(|_| rng.gen_range(0..nodes as u32)).collect();
+        let dst: Vec<u32> = (0..edges).map(|_| rng.gen_range(0..nodes as u32)).collect();
+        let labels: Vec<f32> = (0..edges).map(|_| f32::from(rng.gen_bool(0.3))).collect();
+        Self {
+            x,
+            y,
+            src: Arc::new(src),
+            dst: Arc::new(dst),
+            labels,
+        }
+    }
+}
+
+/// Reusable per-step state (tape + bindings), kept across steps so the
+/// tape's buffer pool can recycle activation and gradient buffers.
+#[derive(Default)]
+pub struct StepScratch {
+    pub tape: Tape,
+    pub bind: Bindings,
+}
+
+impl StepScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// One full training step; returns the loss.
+pub fn run_step(
+    model: &mut InteractionGnn,
+    opt: &mut Adam,
+    g: &SyntheticGraph,
+    scratch: &mut StepScratch,
+) -> f32 {
+    let tape = &mut scratch.tape;
+    let bind = &mut scratch.bind;
+    tape.reset();
+    bind.reset();
+    let logits = model.forward(tape, bind, &g.x, &g.y, g.src.clone(), g.dst.clone());
+    let loss = bce_with_logits(tape, logits, &g.labels, 1.0);
+    let v = tape.value(loss).as_scalar();
+    tape.backward(loss);
+    let mut params = model.params_mut();
+    bind.harvest(tape, &mut params);
+    opt.step(&mut params);
+    for p in params {
+        p.zero_grad();
+    }
+    v
+}

@@ -28,7 +28,11 @@ pub struct Checkpoint {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CheckpointError {
     MissingTensor(String),
-    ShapeMismatch { name: String, expected: (usize, usize), found: (usize, usize) },
+    ShapeMismatch {
+        name: String,
+        expected: (usize, usize),
+        found: (usize, usize),
+    },
     Io(String),
     Parse(String),
 }
@@ -37,7 +41,11 @@ impl std::fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CheckpointError::MissingTensor(n) => write!(f, "checkpoint missing tensor {n}"),
-            CheckpointError::ShapeMismatch { name, expected, found } => write!(
+            CheckpointError::ShapeMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
                 f,
                 "tensor {name}: expected {}x{}, checkpoint has {}x{}",
                 expected.0, expected.1, found.0, found.1
@@ -65,7 +73,10 @@ impl Checkpoint {
             );
             assert!(prev.is_none(), "duplicate parameter name {}", p.name());
         }
-        Self { version: 1, tensors }
+        Self {
+            version: 1,
+            tensors,
+        }
     }
 
     /// Restore values into `params` by name. Every param must be present
@@ -97,14 +108,14 @@ impl Checkpoint {
 
     /// Serialise to a JSON file.
     pub fn save_json(&self, path: impl AsRef<std::path::Path>) -> Result<(), CheckpointError> {
-        let json = serde_json::to_string(self).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+        let json =
+            serde_json::to_string(self).map_err(|e| CheckpointError::Parse(e.to_string()))?;
         std::fs::write(path, json).map_err(|e| CheckpointError::Io(e.to_string()))
     }
 
     /// Load from a JSON file.
     pub fn load_json(path: impl AsRef<std::path::Path>) -> Result<Self, CheckpointError> {
-        let json =
-            std::fs::read_to_string(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        let json = std::fs::read_to_string(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
         serde_json::from_str(&json).map_err(|e| CheckpointError::Parse(e.to_string()))
     }
 }
@@ -120,7 +131,11 @@ mod tests {
     #[test]
     fn roundtrip_restores_predictions() {
         let graphs = prepare_graphs(&DatasetConfig::ex3_like(0.01).generate(1, 3));
-        let cfg = GnnTrainConfig { hidden: 8, gnn_layers: 2, ..Default::default() };
+        let cfg = GnnTrainConfig {
+            hidden: 8,
+            gnn_layers: 2,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let model = InteractionGnn::new(cfg.ignn_config(6, 2), &mut rng);
         let before = infer_logits(&model, &graphs[0]);
@@ -132,7 +147,10 @@ mod tests {
         let mut rng2 = StdRng::seed_from_u64(2);
         let mut other = InteractionGnn::new(cfg.ignn_config(6, 2), &mut rng2);
         let different = infer_logits(&other, &graphs[0]);
-        assert!(before.iter().zip(&different).any(|(a, b)| (a - b).abs() > 1e-6));
+        assert!(before
+            .iter()
+            .zip(&different)
+            .any(|(a, b)| (a - b).abs() > 1e-6));
 
         // ...until the checkpoint is applied.
         let mut params = other.params_mut();
@@ -171,6 +189,9 @@ mod tests {
         let ckpt = Checkpoint::from_params(&[&p_src]);
         let mut p_dst = Param::new("w", Matrix::zeros(3, 2));
         let err = ckpt.apply_to(&mut [&mut p_dst]).unwrap_err();
-        assert!(matches!(err, CheckpointError::ShapeMismatch { .. }), "{err}");
+        assert!(
+            matches!(err, CheckpointError::ShapeMismatch { .. }),
+            "{err}"
+        );
     }
 }

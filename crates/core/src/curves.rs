@@ -20,7 +20,11 @@ pub fn roc_auc(scores: &[f32], labels: &[f32]) -> f64 {
         return 0.5;
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     // Average ranks over tie groups.
     let mut rank_sum_pos = 0.0f64;
     let mut i = 0;
@@ -86,7 +90,11 @@ pub fn efficiency_vs_pt(
             .collect();
         let total = in_bin.len();
         let n_matched = in_bin.iter().filter(|&&i| matched[i]).count();
-        let eff = if total == 0 { 0.0 } else { n_matched as f64 / total as f64 };
+        let eff = if total == 0 {
+            0.0
+        } else {
+            n_matched as f64 / total as f64
+        };
         out.push((lo, hi, eff, total));
     }
     out
@@ -134,7 +142,10 @@ mod tests {
         let labels: Vec<f32> = (0..100).map(|i| if i > 40 { 1.0 } else { 0.0 }).collect();
         let sweep = threshold_sweep(&logits, &labels, 9);
         for w in sweep.windows(2) {
-            assert!(w[1].recall <= w[0].recall + 1e-9, "recall not non-increasing");
+            assert!(
+                w[1].recall <= w[0].recall + 1e-9,
+                "recall not non-increasing"
+            );
         }
         let best = best_f1_threshold(&logits, &labels, 9);
         assert!(best.f1 >= sweep[0].f1 && best.f1 >= sweep.last().unwrap().f1);

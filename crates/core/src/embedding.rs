@@ -63,8 +63,10 @@ pub fn build_pairs(
                 if c == d {
                     continue;
                 }
-                let same = match (event.hits[c as usize].particle, event.hits[d as usize].particle)
-                {
+                let same = match (
+                    event.hits[c as usize].particle,
+                    event.hits[d as usize].particle,
+                ) {
                     (Some(x), Some(y)) => x == y,
                     _ => false,
                 };
@@ -90,7 +92,10 @@ impl EmbeddingStage {
     pub fn new(node_features: usize, config: EmbeddingConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut sizes = vec![node_features];
-        sizes.extend(std::iter::repeat_n(config.hidden, config.depth.saturating_sub(1)));
+        sizes.extend(std::iter::repeat_n(
+            config.hidden,
+            config.depth.saturating_sub(1),
+        ));
         sizes.push(config.dim);
         let mlp = Mlp::new(
             MlpConfig::new(&sizes).with_activation(Activation::Tanh),
@@ -106,6 +111,8 @@ impl EmbeddingStage {
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xABCD);
         let mut opt = Adam::new(self.config.learning_rate);
         let mut last_loss = 0.0;
+        let mut tape = Tape::new();
+        let mut bind = Bindings::new();
         for _epoch in 0..self.config.epochs {
             let mut loss_sum = 0.0;
             for (event, x) in events {
@@ -114,9 +121,9 @@ impl EmbeddingStage {
                 if pi.is_empty() {
                     continue;
                 }
-                let mut tape = Tape::new();
-                let mut bind = Bindings::new();
-                let xv = tape.constant((*x).clone());
+                tape.reset();
+                bind.reset();
+                let xv = tape.constant_copied(x);
                 let emb = self.mlp.forward(&mut tape, &mut bind, xv);
                 let loss =
                     contrastive_hinge_loss(&mut tape, emb, &pi, &pj, &labels, self.config.margin);
@@ -151,7 +158,13 @@ mod tests {
 
     fn event_and_features(seed: u64, nf: usize) -> (Event, Matrix) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let ev = simulate_event(&DetectorGeometry::default(), &GunConfig::default(), 25, 0.1, &mut rng);
+        let ev = simulate_event(
+            &DetectorGeometry::default(),
+            &GunConfig::default(),
+            25,
+            0.1,
+            &mut rng,
+        );
         let x = Matrix::from_vec(ev.num_hits(), nf, vertex_features(&ev, nf));
         (ev, x)
     }
@@ -178,9 +191,11 @@ mod tests {
     #[test]
     fn training_reduces_loss_and_separates() {
         let (ev, x) = event_and_features(3, 6);
-        let mut cfg = EmbeddingConfig::default();
-        cfg.epochs = 1;
-        cfg.seed = 5;
+        let mut cfg = EmbeddingConfig {
+            epochs: 1,
+            seed: 5,
+            ..Default::default()
+        };
         let mut stage = EmbeddingStage::new(6, cfg.clone());
         let first = stage.train(&[(&ev, &x)]);
         cfg.epochs = 30;
@@ -198,8 +213,7 @@ mod tests {
                 .map(|(p, q)| (p - q) * (p - q))
                 .sum()
         };
-        let pos_mean: f32 =
-            truth.iter().map(|&(a, b)| d2(a, b)).sum::<f32>() / truth.len() as f32;
+        let pos_mean: f32 = truth.iter().map(|&(a, b)| d2(a, b)).sum::<f32>() / truth.len() as f32;
         let mut rng = StdRng::seed_from_u64(7);
         let n = ev.num_hits() as u32;
         let neg_mean: f32 = (0..200)

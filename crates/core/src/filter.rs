@@ -6,7 +6,9 @@
 use crate::gnn_stage::PreparedGraph;
 use rand::{rngs::StdRng, SeedableRng};
 use std::sync::Arc;
-use trkx_nn::{bce_with_logits, Activation, Adam, Bindings, BinaryStats, Mlp, MlpConfig, Optimizer};
+use trkx_nn::{
+    bce_with_logits, Activation, Adam, BinaryStats, Bindings, Mlp, MlpConfig, Optimizer,
+};
 use trkx_tensor::{Tape, Var};
 
 /// Filter-stage hyperparameters.
@@ -48,7 +50,10 @@ impl FilterStage {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let input = 2 * node_features + edge_features;
         let mut sizes = vec![input];
-        sizes.extend(std::iter::repeat_n(config.hidden, config.depth.saturating_sub(1)));
+        sizes.extend(std::iter::repeat_n(
+            config.hidden,
+            config.depth.saturating_sub(1),
+        ));
         sizes.push(1);
         let mlp = Mlp::new(
             MlpConfig::new(&sizes).with_activation(Activation::Relu),
@@ -59,8 +64,8 @@ impl FilterStage {
     }
 
     fn forward(&self, tape: &mut Tape, bind: &mut Bindings, g: &PreparedGraph) -> Var {
-        let x = tape.constant(g.x.clone());
-        let y = tape.constant(g.y.clone());
+        let x = tape.constant_copied(&g.x);
+        let y = tape.constant_copied(&g.y);
         let xs = tape.gather(x, Arc::clone(&g.src));
         let xd = tape.gather(x, Arc::clone(&g.dst));
         let input = tape.concat_cols(&[xs, xd, y]);
@@ -71,17 +76,18 @@ impl FilterStage {
     pub fn train(&mut self, graphs: &[PreparedGraph]) -> f32 {
         let mut opt = Adam::new(self.config.learning_rate);
         let mut last = 0.0;
+        let mut tape = Tape::new();
+        let mut bind = Bindings::new();
         for _ in 0..self.config.epochs {
             let mut loss_sum = 0.0;
             for g in graphs {
                 if g.labels.is_empty() {
                     continue;
                 }
-                let mut tape = Tape::new();
-                let mut bind = Bindings::new();
+                tape.reset();
+                bind.reset();
                 let logits = self.forward(&mut tape, &mut bind, g);
-                let loss =
-                    bce_with_logits(&mut tape, logits, &g.labels, self.config.pos_weight);
+                let loss = bce_with_logits(&mut tape, logits, &g.labels, self.config.pos_weight);
                 loss_sum += tape.value(loss).as_scalar();
                 tape.backward(loss);
                 let mut params = self.mlp.params_mut();
@@ -146,8 +152,10 @@ mod tests {
     #[test]
     fn filter_learns_to_separate() {
         let graphs = small_graphs();
-        let mut cfg = FilterConfig::default();
-        cfg.epochs = 25;
+        let cfg = FilterConfig {
+            epochs: 25,
+            ..Default::default()
+        };
         let mut stage = FilterStage::new(6, 2, cfg);
         let loss = stage.train(&graphs);
         assert!(loss.is_finite());
@@ -171,8 +179,10 @@ mod tests {
     #[test]
     fn kept_edges_shrink_graph_but_keep_truth() {
         let graphs = small_graphs();
-        let mut cfg = FilterConfig::default();
-        cfg.epochs = 25;
+        let cfg = FilterConfig {
+            epochs: 25,
+            ..Default::default()
+        };
         let mut stage = FilterStage::new(6, 2, cfg);
         stage.train(&graphs);
         for g in &graphs {

@@ -11,7 +11,7 @@ use std::time::Instant;
 use trkx_ddp::{run_workers, AllReducer, DdpConfig, EpochTiming};
 use trkx_detector::EventGraph;
 use trkx_ignn::{IgnnConfig, InteractionGnn};
-use trkx_nn::{bce_with_logits, Adam, Bindings, BinaryStats, Optimizer};
+use trkx_nn::{bce_with_logits, Adam, BinaryStats, Bindings, Optimizer};
 use trkx_sampling::{
     shard_batch, vertex_batches, BulkShadowSampler, SampledSubgraph, SamplerGraph, ShadowConfig,
     ShadowSampler,
@@ -54,8 +54,11 @@ impl PreparedGraph {
     pub fn subgraph_matrices(&self, sg: &SampledSubgraph) -> (Matrix, Matrix, Vec<f32>) {
         let x_sub = self.x.gather_rows(&sg.node_map);
         let y_sub = self.y.gather_rows(&sg.orig_edge_ids);
-        let labels: Vec<f32> =
-            sg.orig_edge_ids.iter().map(|&id| self.labels[id as usize]).collect();
+        let labels: Vec<f32> = sg
+            .orig_edge_ids
+            .iter()
+            .map(|&id| self.labels[id as usize])
+            .collect();
         (x_sub, y_sub, labels)
     }
 }
@@ -101,7 +104,10 @@ impl Default for GnnTrainConfig {
             epochs: 30,
             batch_size: 256,
             learning_rate: 1e-3,
-            shadow: ShadowConfig { depth: 3, fanout: 6 },
+            shadow: ShadowConfig {
+                depth: 3,
+                fanout: 6,
+            },
             threshold: 0.5,
             pos_weight: None,
             seed: 0,
@@ -154,7 +160,14 @@ pub struct TrainResult {
 pub fn infer_logits(model: &InteractionGnn, g: &PreparedGraph) -> Vec<f32> {
     let mut tape = Tape::new();
     let mut bind = Bindings::new();
-    let logits = model.forward(&mut tape, &mut bind, &g.x, &g.y, g.src.clone(), g.dst.clone());
+    let logits = model.forward(
+        &mut tape,
+        &mut bind,
+        &g.x,
+        &g.y,
+        g.src.clone(),
+        g.dst.clone(),
+    );
     tape.value(logits).data().to_vec()
 }
 
@@ -170,6 +183,8 @@ pub fn evaluate(model: &InteractionGnn, graphs: &[PreparedGraph], threshold: f32
 
 #[allow(clippy::too_many_arguments)]
 fn train_step(
+    tape: &mut Tape,
+    bind: &mut Bindings,
     model: &mut InteractionGnn,
     opt: &mut Adam,
     x: &Matrix,
@@ -182,14 +197,16 @@ fn train_step(
 ) -> f32 {
     let mut loss_value = 0.0;
     if !labels.is_empty() {
-        let mut tape = Tape::new();
-        let mut bind = Bindings::new();
-        let logits = model.forward(&mut tape, &mut bind, x, y, src, dst);
-        let loss = bce_with_logits(&mut tape, logits, labels, pos_weight);
+        // Reuse the caller's tape across steps: reset() parks all buffers
+        // in the tape's pool, so steady-state steps allocate nothing.
+        tape.reset();
+        bind.reset();
+        let logits = model.forward(tape, bind, x, y, src, dst);
+        let loss = bce_with_logits(tape, logits, labels, pos_weight);
         loss_value = tape.value(loss).as_scalar();
         tape.backward(loss);
         let mut params = model.params_mut();
-        bind.harvest(&tape, &mut params);
+        bind.harvest(tape, &mut params);
     }
     // Collective + update happen unconditionally so every DDP rank makes
     // the same number of calls even when its shard sampled no edges.
@@ -232,11 +249,15 @@ pub fn train_full_graph(
     let skipped_graphs = train.len() - usable.len();
 
     let mut epochs = Vec::with_capacity(cfg.epochs);
+    let mut tape = Tape::new();
+    let mut bind = Bindings::new();
     for epoch in 0..cfg.epochs {
         let t0 = Instant::now();
         let mut loss_sum = 0.0;
         for g in &usable {
             loss_sum += train_step(
+                &mut tape,
+                &mut bind,
                 &mut model,
                 &mut opt,
                 &g.x,
@@ -255,10 +276,18 @@ pub fn train_full_graph(
             train_loss: loss_sum / usable.len().max(1) as f32,
             val_precision: stats.precision(),
             val_recall: stats.recall(),
-            timing: EpochTiming { sampling_s: 0.0, train_s, comm_virtual_s: 0.0 },
+            timing: EpochTiming {
+                sampling_s: 0.0,
+                train_s,
+                comm_virtual_s: 0.0,
+            },
         });
     }
-    TrainResult { model, epochs, skipped_graphs }
+    TrainResult {
+        model,
+        epochs,
+        skipped_graphs,
+    }
 }
 
 /// The per-epoch step schedule: `(graph index, global batch)` pairs.
@@ -313,6 +342,8 @@ pub fn train_minibatch(
     let results = run_workers(p, |rank| {
         let mut model = init_model.clone();
         let mut opt = Adam::new(cfg.learning_rate);
+        let mut tape = Tape::new();
+        let mut bind = Bindings::new();
         let mut records: Vec<WorkerEpochRecord> = Vec::new();
         let mut comm_seen = 0.0f64;
         for (epoch, schedule) in schedules.iter().enumerate() {
@@ -360,10 +391,8 @@ pub fn train_minibatch(
                         out
                     }
                     SamplerKind::Bulk { .. } => {
-                        let seed =
-                            cfg.seed ^ (epoch as u64) << 48 ^ (i as u64) << 16 ^ rank as u64;
-                        BulkShadowSampler::new(cfg.shadow)
-                            .sample_batches(&g.sampler, &shards, seed)
+                        let seed = cfg.seed ^ (epoch as u64) << 48 ^ (i as u64) << 16 ^ rank as u64;
+                        BulkShadowSampler::new(cfg.shadow).sample_batches(&g.sampler, &shards, seed)
                     }
                 };
                 sampling_s += t_sample.elapsed().as_secs_f64();
@@ -372,6 +401,8 @@ pub fn train_minibatch(
                 for sg in &subgraphs {
                     let (x_sub, y_sub, labels) = g.subgraph_matrices(sg);
                     loss_sum += train_step(
+                        &mut tape,
+                        &mut bind,
                         &mut model,
                         &mut opt,
                         &x_sub,
@@ -394,7 +425,11 @@ pub fn train_minibatch(
             let comm_epoch = comm_total - comm_seen;
             comm_seen = comm_total;
 
-            let timing = EpochTiming { sampling_s, train_s, comm_virtual_s: comm_epoch };
+            let timing = EpochTiming {
+                sampling_s,
+                train_s,
+                comm_virtual_s: comm_epoch,
+            };
             let val_metrics = if rank == 0 {
                 let stats = evaluate(&model, val, cfg.threshold);
                 Some((stats.precision(), stats.recall()))
@@ -424,7 +459,11 @@ pub fn train_minibatch(
             timing,
         });
     }
-    TrainResult { model, epochs, skipped_graphs: 0 }
+    TrainResult {
+        model,
+        epochs,
+        skipped_graphs: 0,
+    }
 }
 
 /// Single-threaded *simulation* of the same synchronous DDP run as
@@ -454,10 +493,12 @@ pub fn train_minibatch_simulated(
     let mut opt = Adam::new(cfg.learning_rate);
     let pos_weight = cfg.derive_pos_weight(train);
     let p = ddp.workers;
-    let tensor_bytes: Vec<usize> =
-        model.params().iter().map(|prm| prm.numel() * 4).collect();
+    let tensor_bytes: Vec<usize> = model.params().iter().map(|prm| prm.numel() * 4).collect();
 
     let mut epochs = Vec::with_capacity(cfg.epochs);
+    // Ranks run sequentially here, so one reusable tape serves them all.
+    let mut tape = Tape::new();
+    let mut bind = Bindings::new();
     for epoch in 0..cfg.epochs {
         let schedule = build_schedule(train, cfg.batch_size, cfg.seed, epoch);
         let mut sampling_rank = vec![0.0f64; p];
@@ -502,10 +543,8 @@ pub fn train_minibatch_simulated(
                         })
                         .collect(),
                     SamplerKind::Bulk { .. } => {
-                        let seed =
-                            cfg.seed ^ (epoch as u64) << 48 ^ (i as u64) << 16 ^ rank as u64;
-                        BulkShadowSampler::new(cfg.shadow)
-                            .sample_batches(&g.sampler, &shards, seed)
+                        let seed = cfg.seed ^ (epoch as u64) << 48 ^ (i as u64) << 16 ^ rank as u64;
+                        BulkShadowSampler::new(cfg.shadow).sample_batches(&g.sampler, &shards, seed)
                     }
                 };
                 sampling_rank[rank] += t.elapsed().as_secs_f64();
@@ -518,8 +557,8 @@ pub fn train_minibatch_simulated(
                     let t = Instant::now();
                     let (x_sub, y_sub, labels) = g.subgraph_matrices(sg);
                     if !labels.is_empty() {
-                        let mut tape = Tape::new();
-                        let mut bind = Bindings::new();
+                        tape.reset();
+                        bind.reset();
                         let logits = model.forward(
                             &mut tape,
                             &mut bind,
@@ -542,8 +581,7 @@ pub fn train_minibatch_simulated(
                 let inv = 1.0 / p as f32;
                 let mut params = model.params_mut();
                 for prm in params.iter_mut() {
-                    let g = prm.grad.scale(inv);
-                    prm.grad = g;
+                    prm.grad.apply(|v| v * inv);
                 }
                 if p > 1 {
                     comm_s += match ddp.strategy {
@@ -581,7 +619,11 @@ pub fn train_minibatch_simulated(
             timing,
         });
     }
-    TrainResult { model, epochs, skipped_graphs: 0 }
+    TrainResult {
+        model,
+        epochs,
+        skipped_graphs: 0,
+    }
 }
 
 #[cfg(test)]
@@ -608,11 +650,13 @@ mod tests {
             epochs: 2,
             batch_size: 32,
             learning_rate: 2e-3,
-            shadow: ShadowConfig { depth: 2, fanout: 4 },
+            shadow: ShadowConfig {
+                depth: 2,
+                fanout: 4,
+            },
             threshold: 0.5,
             pos_weight: None,
             seed: 3,
-            ..Default::default()
         }
     }
 
@@ -645,7 +689,13 @@ mod tests {
     fn minibatch_baseline_trains() {
         let (train, val) = tiny_dataset();
         let cfg = quick_cfg();
-        let r = train_minibatch(&cfg, SamplerKind::Baseline, DdpConfig::single(), &train, &val);
+        let r = train_minibatch(
+            &cfg,
+            SamplerKind::Baseline,
+            DdpConfig::single(),
+            &train,
+            &val,
+        );
         assert_eq!(r.epochs.len(), cfg.epochs);
         assert!(r.epochs.iter().all(|e| e.train_loss.is_finite()));
         assert!(r.epochs[0].timing.sampling_s > 0.0);
@@ -659,10 +709,20 @@ mod tests {
         let (train, val) = tiny_dataset();
         let mut cfg = quick_cfg();
         cfg.epochs = 3;
-        let base =
-            train_minibatch(&cfg, SamplerKind::Baseline, DdpConfig::single(), &train, &val);
-        let bulk =
-            train_minibatch(&cfg, SamplerKind::Bulk { k: 4 }, DdpConfig::single(), &train, &val);
+        let base = train_minibatch(
+            &cfg,
+            SamplerKind::Baseline,
+            DdpConfig::single(),
+            &train,
+            &val,
+        );
+        let bulk = train_minibatch(
+            &cfg,
+            SamplerKind::Bulk { k: 4 },
+            DdpConfig::single(),
+            &train,
+            &val,
+        );
         let b = base.epochs.last().unwrap();
         let k = bulk.epochs.last().unwrap();
         // Same training quality ballpark (identical distribution, noisy).
@@ -764,7 +824,10 @@ mod tests {
         );
         let s1 = t1.epochs[0].timing.train_s;
         let s4 = t4.epochs[0].timing.train_s;
-        assert!(s4 < s1, "train time did not shrink: P=1 {s1:.3}s vs P=4 {s4:.3}s");
+        assert!(
+            s4 < s1,
+            "train time did not shrink: P=1 {s1:.3}s vs P=4 {s4:.3}s"
+        );
     }
 
     #[test]

@@ -47,7 +47,11 @@ pub fn build_graph_from_embeddings(
     embeddings: &Matrix,
     radius: f32,
 ) -> ConstructedGraph {
-    build_graph_with_method(event, embeddings, ConstructionMethod::FixedRadius { radius })
+    build_graph_with_method(
+        event,
+        embeddings,
+        ConstructionMethod::FixedRadius { radius },
+    )
 }
 
 /// Stage 2 with an explicit construction method (radius or kNN).
@@ -59,13 +63,10 @@ pub fn build_graph_with_method(
     assert_eq!(embeddings.rows(), event.num_hits(), "one embedding per hit");
     let dim = embeddings.cols();
     let pairs = match method {
-        ConstructionMethod::FixedRadius { radius } => {
-            radius_graph(embeddings.data(), dim, radius)
-        }
+        ConstructionMethod::FixedRadius { radius } => radius_graph(embeddings.data(), dim, radius),
         ConstructionMethod::Knn { k } => knn_graph(embeddings.data(), dim, k),
     };
-    let truth: std::collections::HashSet<(u32, u32)> =
-        event.truth_edges().into_iter().collect();
+    let truth: std::collections::HashSet<(u32, u32)> = event.truth_edges().into_iter().collect();
     let mut src = Vec::new();
     let mut dst = Vec::new();
     let mut labels = Vec::new();
@@ -91,7 +92,13 @@ pub fn build_graph_with_method(
     } else {
         found as f64 / labels.len() as f64
     };
-    ConstructedGraph { src, dst, labels, edge_efficiency, edge_purity }
+    ConstructedGraph {
+        src,
+        dst,
+        labels,
+        edge_efficiency,
+        edge_purity,
+    }
 }
 
 /// Choose the smallest radius achieving at least `target_efficiency`
@@ -123,7 +130,13 @@ mod tests {
 
     fn event(seed: u64) -> Event {
         let mut rng = StdRng::seed_from_u64(seed);
-        simulate_event(&DetectorGeometry::default(), &GunConfig::default(), 20, 0.1, &mut rng)
+        simulate_event(
+            &DetectorGeometry::default(),
+            &GunConfig::default(),
+            20,
+            0.1,
+            &mut rng,
+        )
     }
 
     /// An oracle embedding: each particle at its own location, noise far
@@ -218,6 +231,10 @@ mod tests {
         });
         let r = tune_radius(&ev, &emb, 0.9, 2.0);
         let g = build_graph_from_embeddings(&ev, &emb, r);
-        assert!(g.edge_efficiency >= 0.88, "efficiency {} at r {r}", g.edge_efficiency);
+        assert!(
+            g.edge_efficiency >= 0.88,
+            "efficiency {} at r {r}",
+            g.edge_efficiency
+        );
     }
 }

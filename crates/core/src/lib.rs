@@ -35,13 +35,15 @@ pub use embedding::{EmbeddingConfig, EmbeddingStage};
 pub use filter::{FilterConfig, FilterStage};
 pub use gnn_stage::{
     evaluate, infer_logits, prepare_graphs, train_full_graph, train_minibatch,
-    train_minibatch_simulated, EpochRecord,
-    GnnTrainConfig, PreparedGraph, SamplerKind, TrainResult,
+    train_minibatch_simulated, EpochRecord, GnnTrainConfig, PreparedGraph, SamplerKind,
+    TrainResult,
 };
 pub use graph_construction::{
     build_graph_from_embeddings, build_graph_with_method, tune_radius, ConstructedGraph,
     ConstructionMethod,
 };
 pub use metrics::{match_tracks, EdgeMetrics, TrackMetrics};
-pub use pipeline::{train_pipeline, PipelineBundle, PipelineConfig, PipelineReport, TrainedPipeline};
+pub use pipeline::{
+    train_pipeline, PipelineBundle, PipelineConfig, PipelineReport, TrainedPipeline,
+};
 pub use tracks::{build_tracks, build_tracks_oracle, TrackBuildResult};

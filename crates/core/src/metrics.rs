@@ -13,7 +13,8 @@ pub struct EdgeMetrics {
 
 impl EdgeMetrics {
     pub fn add_graph(&mut self, logits: &[f32], labels: &[f32], threshold: f32) {
-        self.stats.merge(&BinaryStats::from_logits(logits, labels, threshold));
+        self.stats
+            .merge(&BinaryStats::from_logits(logits, labels, threshold));
     }
 
     pub fn precision(&self) -> f64 {
@@ -120,7 +121,14 @@ mod tests {
         let comp = [0u32, 0, 0, 1, 1, 1];
         let part = [Some(7u32), Some(7), Some(7), Some(9), Some(9), Some(9)];
         let m = match_tracks(&comp, &part, 3);
-        assert_eq!(m, TrackMetrics { num_true_tracks: 2, num_reco_tracks: 2, num_matched: 2 });
+        assert_eq!(
+            m,
+            TrackMetrics {
+                num_true_tracks: 2,
+                num_reco_tracks: 2,
+                num_matched: 2
+            }
+        );
         assert_eq!(m.efficiency(), 1.0);
         assert_eq!(m.purity(), 1.0);
     }
@@ -171,7 +179,11 @@ mod tests {
 
     #[test]
     fn degenerate_metrics() {
-        let m = TrackMetrics { num_true_tracks: 0, num_reco_tracks: 0, num_matched: 0 };
+        let m = TrackMetrics {
+            num_true_tracks: 0,
+            num_reco_tracks: 0,
+            num_matched: 0,
+        };
         assert_eq!(m.efficiency(), 1.0);
         assert_eq!(m.purity(), 1.0);
     }

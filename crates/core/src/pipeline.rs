@@ -133,7 +133,9 @@ pub fn train_pipeline(
         let g = build_graph_from_embeddings(event, &emb, radius);
         construction_eff += g.edge_efficiency;
         construction_pur += g.edge_purity;
-        train_graphs.push(event_graph_from_edges(event, g.src, g.dst, g.labels, nf, ef));
+        train_graphs.push(event_graph_from_edges(
+            event, g.src, g.dst, g.labels, nf, ef,
+        ));
     }
     construction_eff /= train_events.len() as f64;
     construction_pur /= train_events.len() as f64;
@@ -183,8 +185,11 @@ pub fn train_pipeline(
     let last = gnn_result.epochs.last().expect("at least one epoch");
 
     // Stage 5: track building on validation events.
-    let mut val_track_metrics =
-        TrackMetrics { num_true_tracks: 0, num_reco_tracks: 0, num_matched: 0 };
+    let mut val_track_metrics = TrackMetrics {
+        num_true_tracks: 0,
+        num_reco_tracks: 0,
+        num_matched: 0,
+    };
     for (g, pg) in pruned_val.iter().zip(&prepared_pruned_val) {
         let logits = infer_logits(&gnn_result.model, pg);
         let r = build_tracks(g, &logits, config.track_threshold, config.min_hits);
@@ -201,8 +206,13 @@ pub fn train_pipeline(
         gnn_val_recall: last.val_recall,
         val_track_metrics,
     };
-    let pipeline =
-        TrainedPipeline { config, embedding, radius, filter, gnn: gnn_result.model };
+    let pipeline = TrainedPipeline {
+        config,
+        embedding,
+        radius,
+        filter,
+        gnn: gnn_result.model,
+    };
     (pipeline, report)
 }
 
@@ -242,8 +252,7 @@ impl TrainedPipeline {
     ) -> Result<Self, crate::checkpoint::CheckpointError> {
         use crate::checkpoint::CheckpointError;
         use rand::{rngs::StdRng, SeedableRng};
-        let json =
-            std::fs::read_to_string(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        let json = std::fs::read_to_string(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
         let bundle: PipelineBundle =
             serde_json::from_str(&json).map_err(|e| CheckpointError::Parse(e.to_string()))?;
         let (nf, ef) = (bundle.config.vertex_features, bundle.config.edge_features);
@@ -254,7 +263,13 @@ impl TrainedPipeline {
         let mut rng = StdRng::seed_from_u64(bundle.config.gnn.seed);
         let mut gnn = InteractionGnn::new(bundle.config.gnn.ignn_config(nf, ef), &mut rng);
         bundle.gnn.apply_to(&mut gnn.params_mut())?;
-        Ok(Self { config: bundle.config, embedding, radius: bundle.radius, filter, gnn })
+        Ok(Self {
+            config: bundle.config,
+            embedding,
+            radius: bundle.radius,
+            filter,
+            gnn,
+        })
     }
 
     /// Run the full inference pipeline on a new event.
@@ -272,6 +287,11 @@ impl TrainedPipeline {
         let pruned = event_graph_from_edges(event, src, dst, labels, nf, ef);
         let prepared_pruned = PreparedGraph::from_event_graph(&pruned);
         let logits = infer_logits(&self.gnn, &prepared_pruned);
-        build_tracks(&pruned, &logits, self.config.track_threshold, self.config.min_hits)
+        build_tracks(
+            &pruned,
+            &logits,
+            self.config.track_threshold,
+            self.config.min_hits,
+        )
     }
 }

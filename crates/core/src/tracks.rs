@@ -28,7 +28,11 @@ pub fn build_tracks(
     threshold: f32,
     min_hits: usize,
 ) -> TrackBuildResult {
-    assert_eq!(edge_logits.len(), graph.num_edges(), "one logit per edge required");
+    assert_eq!(
+        edge_logits.len(),
+        graph.num_edges(),
+        "one logit per edge required"
+    );
     let logit_cut = {
         let p = threshold.clamp(1e-6, 1.0 - 1e-6);
         (p / (1.0 - p)).ln()
@@ -42,10 +46,13 @@ pub fn build_tracks(
         .map(|((&s, &d), _)| (s, d))
         .collect();
     let component_of_hit = connected_components(graph.num_nodes, &kept);
-    let particle_of_hit: Vec<Option<u32>> =
-        graph.event.hits.iter().map(|h| h.particle).collect();
+    let particle_of_hit: Vec<Option<u32>> = graph.event.hits.iter().map(|h| h.particle).collect();
     let metrics = match_tracks(&component_of_hit, &particle_of_hit, min_hits);
-    TrackBuildResult { component_of_hit, edges_kept: kept.len(), metrics }
+    TrackBuildResult {
+        component_of_hit,
+        edges_kept: kept.len(),
+        metrics,
+    }
 }
 
 /// Track building with oracle labels instead of logits — the upper bound
@@ -53,7 +60,11 @@ pub fn build_tracks(
 /// the experiment harnesses.
 pub fn build_tracks_oracle(graph: &EventGraph, min_hits: usize) -> TrackBuildResult {
     // Labels are 0/1; map to ±10 logits.
-    let logits: Vec<f32> = graph.labels.iter().map(|&l| if l > 0.5 { 10.0 } else { -10.0 }).collect();
+    let logits: Vec<f32> = graph
+        .labels
+        .iter()
+        .map(|&l| if l > 0.5 { 10.0 } else { -10.0 })
+        .collect();
     build_tracks(graph, &logits, 0.5, min_hits)
 }
 

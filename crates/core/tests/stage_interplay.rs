@@ -11,7 +11,12 @@ use trkx_detector::{
 };
 use trkx_tensor::Matrix;
 
-fn event_graph_from(ev: &trkx_detector::Event, src: Vec<u32>, dst: Vec<u32>, labels: Vec<f32>) -> EventGraph {
+fn event_graph_from(
+    ev: &trkx_detector::Event,
+    src: Vec<u32>,
+    dst: Vec<u32>,
+    labels: Vec<f32>,
+) -> EventGraph {
     EventGraph {
         num_nodes: ev.num_hits(),
         y: edge_features(ev, &src, &dst, 2),
@@ -28,9 +33,21 @@ fn event_graph_from(ev: &trkx_detector::Event, src: Vec<u32>, dst: Vec<u32>, lab
 #[test]
 fn embedding_to_construction_preserves_truth_subset() {
     let mut rng = StdRng::seed_from_u64(3);
-    let ev = simulate_event(&DetectorGeometry::default(), &GunConfig::default(), 20, 0.1, &mut rng);
+    let ev = simulate_event(
+        &DetectorGeometry::default(),
+        &GunConfig::default(),
+        20,
+        0.1,
+        &mut rng,
+    );
     let x = Matrix::from_vec(ev.num_hits(), 6, vertex_features(&ev, 6));
-    let mut stage = EmbeddingStage::new(6, EmbeddingConfig { epochs: 10, ..Default::default() });
+    let mut stage = EmbeddingStage::new(
+        6,
+        EmbeddingConfig {
+            epochs: 10,
+            ..Default::default()
+        },
+    );
     stage.train(&[(&ev, &x)]);
     let emb = stage.embed(&x);
     let g = build_graph_from_embeddings(&ev, &emb, 1.5);
@@ -46,11 +63,24 @@ fn embedding_to_construction_preserves_truth_subset() {
 #[test]
 fn filter_pruning_preserves_label_alignment() {
     let mut rng = StdRng::seed_from_u64(4);
-    let ev = simulate_event(&DetectorGeometry::default(), &GunConfig::default(), 25, 0.1, &mut rng);
+    let ev = simulate_event(
+        &DetectorGeometry::default(),
+        &GunConfig::default(),
+        25,
+        0.1,
+        &mut rng,
+    );
     let g0 = trkx_detector::candidate_graph(&ev, 0.25, 0.4);
     let graph = event_graph_from(&ev, g0.src, g0.dst, g0.labels);
     let prepared = prepare_graphs(std::slice::from_ref(&graph));
-    let mut filter = FilterStage::new(6, 2, FilterConfig { epochs: 10, ..Default::default() });
+    let mut filter = FilterStage::new(
+        6,
+        2,
+        FilterConfig {
+            epochs: 10,
+            ..Default::default()
+        },
+    );
     filter.train(&prepared);
     let kept = filter.kept_edges(&prepared[0]);
     // Build the pruned graph and re-check that labels still match
@@ -61,14 +91,24 @@ fn filter_pruning_preserves_label_alignment() {
             (Some(a), Some(b)) => a == b,
             _ => false,
         };
-        assert_eq!(graph.labels[i] > 0.5, same, "label misaligned after pruning at {i}");
+        assert_eq!(
+            graph.labels[i] > 0.5,
+            same,
+            "label misaligned after pruning at {i}"
+        );
     }
 }
 
 #[test]
 fn prepared_graph_matrices_match_raw_arrays() {
     let mut rng = StdRng::seed_from_u64(5);
-    let ev = simulate_event(&DetectorGeometry::default(), &GunConfig::default(), 15, 0.1, &mut rng);
+    let ev = simulate_event(
+        &DetectorGeometry::default(),
+        &GunConfig::default(),
+        15,
+        0.1,
+        &mut rng,
+    );
     let g0 = trkx_detector::candidate_graph(&ev, 0.3, 0.4);
     let graph = event_graph_from(&ev, g0.src, g0.dst, g0.labels);
     let p = PreparedGraph::from_event_graph(&graph);

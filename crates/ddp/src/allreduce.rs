@@ -89,8 +89,7 @@ impl AllReducer {
                 *v *= inv;
             }
             // Cost accounting once per collective call.
-            *self.virtual_seconds.lock() +=
-                self.cost.ring_allreduce_time(buf.len() * 4, self.p);
+            *self.virtual_seconds.lock() += self.cost.ring_allreduce_time(buf.len() * 4, self.p);
             self.calls.fetch_add(1, Ordering::Relaxed);
         }
         self.barrier.wait();
@@ -120,9 +119,8 @@ impl AllReducer {
                 }
             }
             AllReduceStrategy::Coalesced => {
-                let mut flat = trkx_nn::flatten_grads(
-                    &params.iter().map(|p| &**p).collect::<Vec<_>>(),
-                );
+                let mut flat =
+                    trkx_nn::flatten_grads(&params.iter().map(|p| &**p).collect::<Vec<_>>());
                 self.allreduce(rank, &mut flat);
                 trkx_nn::unflatten_grads(&flat, params);
             }
@@ -142,9 +140,8 @@ impl AllReducer {
                         end += 1;
                     }
                     let bucket = &mut params[start..end];
-                    let mut flat = trkx_nn::flatten_grads(
-                        &bucket.iter().map(|p| &**p).collect::<Vec<_>>(),
-                    );
+                    let mut flat =
+                        trkx_nn::flatten_grads(&bucket.iter().map(|p| &**p).collect::<Vec<_>>());
                     self.allreduce(rank, &mut flat);
                     trkx_nn::unflatten_grads(&flat, bucket);
                     start = end;
@@ -186,7 +183,9 @@ pub fn run_workers<R: Send>(p: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
         }
     })
     .expect("worker scope failed");
-    out.into_iter().map(|r| r.expect("missing worker result")).collect()
+    out.into_iter()
+        .map(|r| r.expect("missing worker result"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -240,8 +239,7 @@ mod tests {
             (0..3)
                 .map(|i| {
                     let mut prm = Param::new(format!("p{i}"), Matrix::zeros(2, 2));
-                    prm.grad =
-                        Matrix::from_fn(2, 2, |r, c| (rank * 10 + i * 4 + r * 2 + c) as f32);
+                    prm.grad = Matrix::from_fn(2, 2, |r, c| (rank * 10 + i * 4 + r * 2 + c) as f32);
                     prm
                 })
                 .collect()
@@ -252,11 +250,17 @@ mod tests {
                 let mut params = make_params(rank);
                 let mut refs: Vec<&mut Param> = params.iter_mut().collect();
                 reducer.sync_gradients(rank, &mut refs, strategy);
-                params.iter().map(|p| p.grad.data().to_vec()).collect::<Vec<_>>()
+                params
+                    .iter()
+                    .map(|p| p.grad.data().to_vec())
+                    .collect::<Vec<_>>()
             });
             results.into_iter().next().unwrap()
         };
-        assert_eq!(run(AllReduceStrategy::PerTensor), run(AllReduceStrategy::Coalesced));
+        assert_eq!(
+            run(AllReduceStrategy::PerTensor),
+            run(AllReduceStrategy::Coalesced)
+        );
     }
 
     #[test]
@@ -294,15 +298,17 @@ mod tests {
                 let mut params: Vec<Param> = (0..6)
                     .map(|i| {
                         let mut prm = Param::new(format!("p{i}"), Matrix::zeros(4, 4));
-                        prm.grad = Matrix::from_fn(4, 4, |r, c| {
-                            (rank * 100 + i * 16 + r * 4 + c) as f32
-                        });
+                        prm.grad =
+                            Matrix::from_fn(4, 4, |r, c| (rank * 100 + i * 16 + r * 4 + c) as f32);
                         prm
                     })
                     .collect();
                 let mut refs: Vec<&mut Param> = params.iter_mut().collect();
                 reducer.sync_gradients(rank, &mut refs, strategy);
-                params.iter().map(|p| p.grad.data().to_vec()).collect::<Vec<_>>()
+                params
+                    .iter()
+                    .map(|p| p.grad.data().to_vec())
+                    .collect::<Vec<_>>()
             });
             (results.into_iter().next().unwrap(), reducer.num_calls())
         };
@@ -328,7 +334,11 @@ mod tests {
             let mut small = Param::new("small", Matrix::zeros(1, 1));
             small.grad = Matrix::scalar(rank as f32);
             let mut refs: Vec<&mut Param> = vec![&mut big, &mut small];
-            reducer.sync_gradients(rank, &mut refs, AllReduceStrategy::Bucketed { bucket_bytes: 16 });
+            reducer.sync_gradients(
+                rank,
+                &mut refs,
+                AllReduceStrategy::Bucketed { bucket_bytes: 16 },
+            );
             assert!((big.grad.get(0, 0) - 0.5).abs() < 1e-6);
             assert!((small.grad.as_scalar() - 0.5).abs() < 1e-6);
         });

@@ -28,12 +28,18 @@ impl CommCostModel {
     /// (paper §IV-A), ~10 µs effective per-call launch+sync latency
     /// (typical measured NCCL small-message latency).
     pub fn nvlink3() -> Self {
-        Self { latency_s: 10e-6, bandwidth_bytes_per_s: 100e9 }
+        Self {
+            latency_s: 10e-6,
+            bandwidth_bytes_per_s: 100e9,
+        }
     }
 
     /// A slower PCIe/Ethernet-like interconnect (for ablations).
     pub fn pcie() -> Self {
-        Self { latency_s: 30e-6, bandwidth_bytes_per_s: 16e9 }
+        Self {
+            latency_s: 30e-6,
+            bandwidth_bytes_per_s: 16e9,
+        }
     }
 
     /// Ring all-reduce time for one message of `bytes` over `p` ranks.
@@ -42,14 +48,16 @@ impl CommCostModel {
             return 0.0;
         }
         let steps = 2.0 * (p as f64 - 1.0);
-        steps * self.latency_s
-            + steps / p as f64 * bytes as f64 / self.bandwidth_bytes_per_s
+        steps * self.latency_s + steps / p as f64 * bytes as f64 / self.bandwidth_bytes_per_s
     }
 
     /// Total time for `tensors` separate all-reduce calls of the given
     /// sizes (the naive per-tensor path).
     pub fn per_tensor_time(&self, tensor_bytes: &[usize], p: usize) -> f64 {
-        tensor_bytes.iter().map(|&b| self.ring_allreduce_time(b, p)).sum()
+        tensor_bytes
+            .iter()
+            .map(|&b| self.ring_allreduce_time(b, p))
+            .sum()
     }
 
     /// Time for one coalesced call over the stacked buffer.
@@ -140,7 +148,10 @@ mod tests {
         // The saving is exactly 49 messages' worth of latency.
         let saving = per_tensor - coalesced;
         let expected = 49.0 * 6.0 * m.latency_s;
-        assert!((saving - expected).abs() / expected < 1e-6, "{saving} vs {expected}");
+        assert!(
+            (saving - expected).abs() / expected < 1e-6,
+            "{saving} vs {expected}"
+        );
     }
 
     #[test]

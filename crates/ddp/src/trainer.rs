@@ -17,11 +17,19 @@ pub struct DdpConfig {
 impl DdpConfig {
     /// Single-worker baseline (no communication).
     pub fn single() -> Self {
-        Self { workers: 1, strategy: AllReduceStrategy::Coalesced, cost_model: CommCostModel::nvlink3() }
+        Self {
+            workers: 1,
+            strategy: AllReduceStrategy::Coalesced,
+            cost_model: CommCostModel::nvlink3(),
+        }
     }
 
     pub fn new(workers: usize, strategy: AllReduceStrategy) -> Self {
-        Self { workers, strategy, cost_model: CommCostModel::nvlink3() }
+        Self {
+            workers,
+            strategy,
+            cost_model: CommCostModel::nvlink3(),
+        }
     }
 }
 
@@ -59,16 +67,35 @@ mod tests {
 
     #[test]
     fn total_sums_components() {
-        let t = EpochTiming { sampling_s: 1.0, train_s: 2.0, comm_virtual_s: 0.5 };
+        let t = EpochTiming {
+            sampling_s: 1.0,
+            train_s: 2.0,
+            comm_virtual_s: 0.5,
+        };
         assert_eq!(t.total_s(), 3.5);
     }
 
     #[test]
     fn max_merge_takes_slowest() {
-        let mut a = EpochTiming { sampling_s: 1.0, train_s: 5.0, comm_virtual_s: 0.1 };
-        let b = EpochTiming { sampling_s: 2.0, train_s: 4.0, comm_virtual_s: 0.2 };
+        let mut a = EpochTiming {
+            sampling_s: 1.0,
+            train_s: 5.0,
+            comm_virtual_s: 0.1,
+        };
+        let b = EpochTiming {
+            sampling_s: 2.0,
+            train_s: 4.0,
+            comm_virtual_s: 0.2,
+        };
         a.max_merge(&b);
-        assert_eq!(a, EpochTiming { sampling_s: 2.0, train_s: 5.0, comm_virtual_s: 0.2 });
+        assert_eq!(
+            a,
+            EpochTiming {
+                sampling_s: 2.0,
+                train_s: 5.0,
+                comm_virtual_s: 0.2
+            }
+        );
     }
 
     #[test]

@@ -14,7 +14,9 @@ fn many_rounds_with_varying_buffer_sizes() {
     let results = run_workers(p, |rank| {
         let mut sums = Vec::new();
         for (round, &n) in sizes.iter().enumerate() {
-            let mut buf: Vec<f32> = (0..n).map(|i| (rank * 1000 + round * 10 + i) as f32).collect();
+            let mut buf: Vec<f32> = (0..n)
+                .map(|i| (rank * 1000 + round * 10 + i) as f32)
+                .collect();
             reducer.allreduce(rank, &mut buf);
             sums.push(buf.iter().sum::<f32>());
         }
@@ -49,7 +51,10 @@ fn all_strategies_agree_on_random_gradients() {
             let mut params = make(rank);
             let mut refs: Vec<&mut Param> = params.iter_mut().collect();
             reducer.sync_gradients(rank, &mut refs, strategy);
-            params.iter().map(|p| p.grad.data().to_vec()).collect::<Vec<_>>()
+            params
+                .iter()
+                .map(|p| p.grad.data().to_vec())
+                .collect::<Vec<_>>()
         });
         results.into_iter().next().unwrap()
     };
@@ -67,9 +72,7 @@ fn all_strategies_agree_on_random_gradients() {
             .map(|t| {
                 let n = all[0][t].grad.len();
                 (0..n)
-                    .map(|i| {
-                        all.iter().map(|ps| ps[t].grad.data()[i]).sum::<f32>() / p as f32
-                    })
+                    .map(|i| all.iter().map(|ps| ps[t].grad.data()[i]).sum::<f32>() / p as f32)
                     .collect()
             })
             .collect()

@@ -14,9 +14,7 @@
 //! multiplicity is adjusted from a probe event, and the candidate-graph φ
 //! window is bisected to hit the target edge ratio.
 
-use crate::event::{
-    candidate_graph, simulate_event, tune_phi_window, DetectorGeometry, Event,
-};
+use crate::event::{candidate_graph, simulate_event, tune_phi_window, DetectorGeometry, Event};
 use crate::features::{edge_features, vertex_features};
 use crate::particle::GunConfig;
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -109,7 +107,13 @@ impl DatasetConfig {
     /// hits, from a probe event.
     fn calibrate_particles(&self, rng: &mut StdRng) -> usize {
         let probe_particles = 64.min(self.target_vertices.max(8));
-        let probe = simulate_event(&self.geometry, &self.gun, probe_particles, self.noise_fraction, rng);
+        let probe = simulate_event(
+            &self.geometry,
+            &self.gun,
+            probe_particles,
+            self.noise_fraction,
+            rng,
+        );
         let hits_per_particle = probe.num_hits() as f64 / probe_particles as f64;
         ((self.target_vertices as f64 / hits_per_particle).round() as usize).max(1)
     }
@@ -119,15 +123,29 @@ impl DatasetConfig {
         let mut rng = StdRng::seed_from_u64(seed);
         let n_particles = self.calibrate_particles(&mut rng);
         // Tune the φ window on a calibration event, reuse for all.
-        let cal = simulate_event(&self.geometry, &self.gun, n_particles, self.noise_fraction, &mut rng);
+        let cal = simulate_event(
+            &self.geometry,
+            &self.gun,
+            n_particles,
+            self.noise_fraction,
+            &mut rng,
+        );
         let phi_window = tune_phi_window(&cal, self.z_window, self.edge_ratio());
         (0..n_events)
             .map(|i| {
-                let mut ev_rng = StdRng::seed_from_u64(seed ^ (0xD1B54A32D192ED03u64.wrapping_mul(i as u64 + 1)));
+                let mut ev_rng = StdRng::seed_from_u64(
+                    seed ^ (0xD1B54A32D192ED03u64.wrapping_mul(i as u64 + 1)),
+                );
                 // Poisson-ish multiplicity fluctuation (±10%).
                 let jitter = 1.0 + 0.1 * (ev_rng.gen::<f64>() * 2.0 - 1.0);
                 let n = ((n_particles as f64 * jitter).round() as usize).max(1);
-                let event = simulate_event(&self.geometry, &self.gun, n, self.noise_fraction, &mut ev_rng);
+                let event = simulate_event(
+                    &self.geometry,
+                    &self.gun,
+                    n,
+                    self.noise_fraction,
+                    &mut ev_rng,
+                );
                 self.graph_of(event, phi_window)
             })
             .collect()
@@ -153,7 +171,13 @@ impl DatasetConfig {
 }
 
 /// The paper's 80/10/10 split: returns (train, val, test) index ranges.
-pub fn split_80_10_10(n: usize) -> (std::ops::Range<usize>, std::ops::Range<usize>, std::ops::Range<usize>) {
+pub fn split_80_10_10(
+    n: usize,
+) -> (
+    std::ops::Range<usize>,
+    std::ops::Range<usize>,
+    std::ops::Range<usize>,
+) {
     let train = n * 8 / 10;
     let val = n / 10;
     (0..train, train..train + val, train + val..n)
@@ -199,11 +223,21 @@ mod tests {
         let graphs = cfg.generate(4, 42);
         let stats = dataset_stats(&graphs);
         assert_eq!(stats.graphs, 4);
-        let v_err = (stats.avg_vertices - cfg.target_vertices as f64).abs()
-            / cfg.target_vertices as f64;
-        assert!(v_err < 0.25, "vertices {} vs target {}", stats.avg_vertices, cfg.target_vertices);
+        let v_err =
+            (stats.avg_vertices - cfg.target_vertices as f64).abs() / cfg.target_vertices as f64;
+        assert!(
+            v_err < 0.25,
+            "vertices {} vs target {}",
+            stats.avg_vertices,
+            cfg.target_vertices
+        );
         let e_err = (stats.avg_edges - cfg.target_edges as f64).abs() / cfg.target_edges as f64;
-        assert!(e_err < 0.35, "edges {} vs target {}", stats.avg_edges, cfg.target_edges);
+        assert!(
+            e_err < 0.35,
+            "edges {} vs target {}",
+            stats.avg_edges,
+            cfg.target_edges
+        );
     }
 
     #[test]
@@ -223,9 +257,23 @@ mod tests {
     #[test]
     fn feature_dims_match_table1() {
         let ctd = DatasetConfig::ctd_like(1.0);
-        assert_eq!((ctd.num_vertex_features, ctd.num_edge_features, ctd.mlp_layers), (14, 8, 3));
+        assert_eq!(
+            (
+                ctd.num_vertex_features,
+                ctd.num_edge_features,
+                ctd.mlp_layers
+            ),
+            (14, 8, 3)
+        );
         let ex3 = DatasetConfig::ex3_like(1.0);
-        assert_eq!((ex3.num_vertex_features, ex3.num_edge_features, ex3.mlp_layers), (6, 2, 2));
+        assert_eq!(
+            (
+                ex3.num_vertex_features,
+                ex3.num_edge_features,
+                ex3.mlp_layers
+            ),
+            (6, 2, 2)
+        );
     }
 
     #[test]

@@ -5,8 +5,8 @@
 use crate::helix::Helix;
 use crate::particle::{GunConfig, Particle};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
 
 /// An endcap disk: a plane at `z` instrumented over an annulus.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -130,7 +130,10 @@ impl Event {
         let mut edges = Vec::new();
         for (_, mut hits) in per_particle {
             hits.sort_by(|&a, &b| {
-                self.hits[a as usize].t.partial_cmp(&self.hits[b as usize].t).unwrap()
+                self.hits[a as usize]
+                    .t
+                    .partial_cmp(&self.hits[b as usize].t)
+                    .unwrap()
             });
             for w in hits.windows(2) {
                 edges.push((w[0], w[1]));
@@ -153,7 +156,10 @@ impl Event {
             .into_values()
             .map(|mut hits| {
                 hits.sort_by(|&a, &b| {
-                    self.hits[a as usize].t.partial_cmp(&self.hits[b as usize].t).unwrap()
+                    self.hits[a as usize]
+                        .t
+                        .partial_cmp(&self.hits[b as usize].t)
+                        .unwrap()
                 });
                 hits
             })
@@ -182,7 +188,9 @@ pub fn simulate_event(
         // crossings (inside the disk annulus), ordered along the track.
         let mut crossings: Vec<(u32, f32, f32, f32, f32)> = Vec::new();
         for (layer, &r) in geometry.layer_radii.iter().enumerate() {
-            let Some((x, y, z, arc)) = helix.at_radius(r) else { break };
+            let Some((x, y, z, arc)) = helix.at_radius(r) else {
+                break;
+            };
             if z.abs() > geometry.half_length {
                 break;
             }
@@ -240,7 +248,11 @@ pub fn simulate_event(
             t: 0.0,
         });
     }
-    Event { hits, num_particles: n_particles, geometry: geometry.clone() }
+    Event {
+        hits,
+        num_particles: n_particles,
+        geometry: geometry.clone(),
+    }
 }
 
 /// A candidate doublet graph over an event's hits: directed edges from
@@ -270,7 +282,11 @@ impl CandidateGraph {
 
     /// Edge list as pairs.
     pub fn edges(&self) -> Vec<(u32, u32)> {
-        self.src.iter().copied().zip(self.dst.iter().copied()).collect()
+        self.src
+            .iter()
+            .copied()
+            .zip(self.dst.iter().copied())
+            .collect()
     }
 }
 
@@ -298,7 +314,11 @@ pub fn candidate_graph(event: &Event, phi_window: f32, z_window: f32) -> Candida
     for bucket in &mut by_layer {
         bucket.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
     }
-    let mut g = CandidateGraph { src: Vec::new(), dst: Vec::new(), labels: Vec::new() };
+    let mut g = CandidateGraph {
+        src: Vec::new(),
+        dst: Vec::new(),
+        labels: Vec::new(),
+    };
     for l in 0..n_layers.saturating_sub(1) {
         let (inner, outer) = (&by_layer[l], &by_layer[l + 1]);
         if outer.is_empty() {
@@ -429,18 +449,18 @@ mod tests {
     fn candidate_graph_contains_most_truth_edges() {
         let ev = small_event(4);
         let g = candidate_graph(&ev, 0.3, 0.3);
-        let candidates: std::collections::HashSet<(u32, u32)> =
-            g.edges().into_iter().collect();
+        let candidates: std::collections::HashSet<(u32, u32)> = g.edges().into_iter().collect();
         let truth = ev.truth_edges();
         // Adjacent-layer truth edges should almost all be candidates
         // (only multi-layer skips are excluded by construction).
         let adjacent: Vec<_> = truth
             .iter()
-            .filter(|&&(a, b)| {
-                ev.hits[b as usize].layer == ev.hits[a as usize].layer + 1
-            })
+            .filter(|&&(a, b)| ev.hits[b as usize].layer == ev.hits[a as usize].layer + 1)
             .collect();
-        let found = adjacent.iter().filter(|&&&e| candidates.contains(&e)).count();
+        let found = adjacent
+            .iter()
+            .filter(|&&&e| candidates.contains(&e))
+            .count();
         assert!(
             found as f32 >= 0.95 * adjacent.len() as f32,
             "only {found}/{} adjacent truth edges are candidates",
@@ -475,7 +495,10 @@ mod tests {
         let target = 4.0;
         let w = tune_phi_window(&ev, 0.5, target);
         let ratio = candidate_graph(&ev, w, 0.5).num_edges() as f32 / ev.num_hits() as f32;
-        assert!((ratio - target).abs() / target < 0.25, "ratio {ratio} for target {target}");
+        assert!(
+            (ratio - target).abs() / target < 0.25,
+            "ratio {ratio} for target {target}"
+        );
     }
 
     #[test]
@@ -513,7 +536,11 @@ mod tests {
         let geom = DetectorGeometry::with_endcaps();
         let n_barrel = geom.layer_radii.len() as u32;
         // Forward-going gun: high |eta| so tracks exit through the endcaps.
-        let gun = GunConfig { eta_max: 1.2, pt_min: 1.0, ..Default::default() };
+        let gun = GunConfig {
+            eta_max: 1.2,
+            pt_min: 1.0,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(31);
         let ev = simulate_event(&geom, &gun, 300, 0.0, &mut rng);
         let disk_hits: Vec<&Hit> = ev.hits.iter().filter(|h| h.layer >= n_barrel).collect();
@@ -522,14 +549,20 @@ mod tests {
             let disk = &geom.disks[(h.layer - n_barrel) as usize];
             assert!((h.z - disk.z).abs() < 5e-3, "disk hit off-plane: z {}", h.z);
             let r = h.r();
-            assert!(r >= disk.r_min - 0.01 && r <= disk.r_max + 0.01, "r {r} outside annulus");
+            assert!(
+                r >= disk.r_min - 0.01 && r <= disk.r_max + 0.01,
+                "r {r} outside annulus"
+            );
         }
     }
 
     #[test]
     fn truth_order_follows_arc_length_with_endcaps() {
         let geom = DetectorGeometry::with_endcaps();
-        let gun = GunConfig { eta_max: 1.2, ..Default::default() };
+        let gun = GunConfig {
+            eta_max: 1.2,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(32);
         let ev = simulate_event(&geom, &gun, 100, 0.0, &mut rng);
         for track in ev.truth_tracks() {
@@ -551,7 +584,10 @@ mod tests {
         assert_eq!(geom.num_layers(), geom.layer_radii.len());
         let mut rng = StdRng::seed_from_u64(33);
         let ev = simulate_event(&geom, &GunConfig::default(), 40, 0.1, &mut rng);
-        assert!(ev.hits.iter().all(|h| (h.layer as usize) < geom.layer_radii.len()));
+        assert!(ev
+            .hits
+            .iter()
+            .all(|h| (h.layer as usize) < geom.layer_radii.len()));
         for &(a, b) in &ev.truth_edges() {
             assert!(ev.hits[b as usize].layer > ev.hits[a as usize].layer);
         }

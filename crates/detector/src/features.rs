@@ -13,7 +13,8 @@ use crate::event::{wrap_phi, Event, Hit};
 /// hash of the hit index and a channel tag) — stands in for cell/cluster
 /// channels the real detector would provide.
 fn pseudo_channel(hit_idx: usize, channel: u64) -> f32 {
-    let mut x = (hit_idx as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ channel.wrapping_mul(0xBF58476D1CE4E5B9);
+    let mut x = (hit_idx as u64).wrapping_mul(0x9E3779B97F4A7C15)
+        ^ channel.wrapping_mul(0xBF58476D1CE4E5B9);
     x ^= x >> 30;
     x = x.wrapping_mul(0xBF58476D1CE4E5B9);
     x ^= x >> 27;
@@ -37,13 +38,21 @@ fn hit_features(h: &Hit, idx: usize, geometry_max_r: f32, n: usize) -> Vec<f32> 
         phi.cos(),
         phi.sin(),
         (h.layer as f32 + 1.0) / 10.0,
-        if r > 0.0 { (h.z / r).clamp(-5.0, 5.0) } else { 0.0 },
+        if r > 0.0 {
+            (h.z / r).clamp(-5.0, 5.0)
+        } else {
+            0.0
+        },
         pseudo_channel(idx, 1), // cluster charge
         pseudo_channel(idx, 2), // cluster width φ
         pseudo_channel(idx, 3), // cluster width z
         pseudo_channel(idx, 4), // timing
     ];
-    assert!(n <= all.len(), "at most {} vertex features supported", all.len());
+    assert!(
+        n <= all.len(),
+        "at most {} vertex features supported",
+        all.len()
+    );
     all[..n].to_vec()
 }
 
@@ -74,7 +83,11 @@ fn pair_features(hi: &Hit, hj: &Hit, n: usize) -> Vec<f32> {
         // Curvature proxy: φ change per unit radial step.
         if dr.abs() > 1e-6 { dphi / dr } else { 0.0 },
     ];
-    assert!(n <= all.len(), "at most {} edge features supported", all.len());
+    assert!(
+        n <= all.len(),
+        "at most {} edge features supported",
+        all.len()
+    );
     all[..n].to_vec()
 }
 
@@ -84,7 +97,11 @@ pub fn edge_features(event: &Event, src: &[u32], dst: &[u32], n: usize) -> Vec<f
     assert_eq!(src.len(), dst.len(), "edge arrays length mismatch");
     let mut out = Vec::with_capacity(src.len() * n);
     for (&s, &d) in src.iter().zip(dst) {
-        out.extend(pair_features(&event.hits[s as usize], &event.hits[d as usize], n));
+        out.extend(pair_features(
+            &event.hits[s as usize],
+            &event.hits[d as usize],
+            n,
+        ));
     }
     out
 }
@@ -98,7 +115,13 @@ mod tests {
 
     fn event() -> Event {
         let mut rng = StdRng::seed_from_u64(1);
-        simulate_event(&DetectorGeometry::default(), &GunConfig::default(), 20, 0.1, &mut rng)
+        simulate_event(
+            &DetectorGeometry::default(),
+            &GunConfig::default(),
+            20,
+            0.1,
+            &mut rng,
+        )
     }
 
     #[test]

@@ -65,7 +65,11 @@ impl Helix {
         let half = s / (2.0 * self.radius);
         let chord = 2.0 * self.radius * half.sin();
         let dir = self.phi0 + self.turn * half;
-        (chord * dir.cos(), chord * dir.sin(), self.vz + s * self.cot_theta)
+        (
+            chord * dir.cos(),
+            chord * dir.sin(),
+            self.vz + s * self.cot_theta,
+        )
     }
 
     /// First crossing of the plane `z = z_plane` (an endcap disk), if the
@@ -91,7 +95,13 @@ mod tests {
 
     fn straightish() -> Particle {
         // Very high pT: nearly straight track.
-        Particle { pt: 1000.0, eta: 0.5, phi: 1.0, charge: 1, vz: 0.01 }
+        Particle {
+            pt: 1000.0,
+            eta: 0.5,
+            phi: 1.0,
+            charge: 1,
+            vz: 0.01,
+        }
     }
 
     #[test]
@@ -107,7 +117,13 @@ mod tests {
 
     #[test]
     fn low_pt_cannot_reach_far_layers() {
-        let p = Particle { pt: 0.1, eta: 0.0, phi: 0.0, charge: 1, vz: 0.0 };
+        let p = Particle {
+            pt: 0.1,
+            eta: 0.0,
+            phi: 0.0,
+            charge: 1,
+            vz: 0.0,
+        };
         let h = Helix::from_particle(&p, 2.0);
         // R = 0.1/0.5996 ≈ 0.1668 m, reach ≈ 0.334 m.
         assert!(h.at_radius(0.3).is_some());
@@ -116,7 +132,13 @@ mod tests {
 
     #[test]
     fn z_advances_with_eta() {
-        let p = Particle { pt: 2.0, eta: 1.0, phi: 0.0, charge: 1, vz: 0.0 };
+        let p = Particle {
+            pt: 2.0,
+            eta: 1.0,
+            phi: 0.0,
+            charge: 1,
+            vz: 0.0,
+        };
         let h = Helix::from_particle(&p, 2.0);
         let (_, _, z1, _) = h.at_radius(0.2).unwrap();
         let (_, _, z2, _) = h.at_radius(0.6).unwrap();
@@ -127,7 +149,13 @@ mod tests {
 
     #[test]
     fn opposite_charges_bend_opposite_ways() {
-        let mk = |q: i8| Particle { pt: 0.5, eta: 0.0, phi: 0.0, charge: q, vz: 0.0 };
+        let mk = |q: i8| Particle {
+            pt: 0.5,
+            eta: 0.0,
+            phi: 0.0,
+            charge: q,
+            vz: 0.0,
+        };
         let hp = Helix::from_particle(&mk(1), 2.0);
         let hm = Helix::from_particle(&mk(-1), 2.0);
         let (_, yp, _, _) = hp.at_radius(0.3).unwrap();
@@ -137,7 +165,13 @@ mod tests {
 
     #[test]
     fn at_arc_agrees_with_at_radius() {
-        let p = Particle { pt: 1.5, eta: 0.4, phi: -0.8, charge: 1, vz: 0.02 };
+        let p = Particle {
+            pt: 1.5,
+            eta: 0.4,
+            phi: -0.8,
+            charge: 1,
+            vz: 0.02,
+        };
         let h = Helix::from_particle(&p, 2.0);
         for r in [0.1f32, 0.4, 0.7] {
             let (x, y, z, arc) = h.at_radius(r).unwrap();
@@ -148,7 +182,13 @@ mod tests {
 
     #[test]
     fn at_z_crossing_lies_on_plane() {
-        let p = Particle { pt: 2.0, eta: 0.8, phi: 0.3, charge: -1, vz: 0.01 };
+        let p = Particle {
+            pt: 2.0,
+            eta: 0.8,
+            phi: 0.3,
+            charge: -1,
+            vz: 0.01,
+        };
         let h = Helix::from_particle(&p, 2.0);
         let (_, _, z, arc) = h.at_z(0.9).unwrap();
         assert!((z - 0.9).abs() < 1e-5);
@@ -159,14 +199,26 @@ mod tests {
 
     #[test]
     fn central_track_never_reaches_endcap() {
-        let p = Particle { pt: 1.0, eta: 0.0, phi: 0.0, charge: 1, vz: 0.0 };
+        let p = Particle {
+            pt: 1.0,
+            eta: 0.0,
+            phi: 0.0,
+            charge: 1,
+            vz: 0.0,
+        };
         let h = Helix::from_particle(&p, 2.0);
         assert!(h.at_z(1.0).is_none());
     }
 
     #[test]
     fn arc_length_monotone_in_radius() {
-        let p = Particle { pt: 1.0, eta: 0.3, phi: 0.7, charge: -1, vz: 0.0 };
+        let p = Particle {
+            pt: 1.0,
+            eta: 0.3,
+            phi: 0.7,
+            charge: -1,
+            vz: 0.0,
+        };
         let h = Helix::from_particle(&p, 2.0);
         let mut last = 0.0;
         for r in [0.1f32, 0.2, 0.3, 0.5, 0.8] {

@@ -39,7 +39,11 @@ pub fn save_dataset(
     seed: u64,
     graphs: &[EventGraph],
 ) -> Result<(), IoError> {
-    let file = DatasetFile { config: config.clone(), seed, graphs: graphs.to_vec() };
+    let file = DatasetFile {
+        config: config.clone(),
+        seed,
+        graphs: graphs.to_vec(),
+    };
     let json = serde_json::to_string(&file).map_err(IoError::Parse)?;
     std::fs::write(path, json).map_err(IoError::Io)
 }
@@ -92,7 +96,10 @@ mod tests {
         assert_eq!(loaded.graphs.len(), 2);
         assert_eq!(loaded.graphs[0].src, graphs[0].src);
         assert_eq!(loaded.graphs[0].x, graphs[0].x);
-        assert_eq!(loaded.graphs[1].event.num_hits(), graphs[1].event.num_hits());
+        assert_eq!(
+            loaded.graphs[1].event.num_hits(),
+            graphs[1].event.num_hits()
+        );
         let _ = std::fs::remove_file(path);
     }
 

@@ -19,8 +19,8 @@ pub mod particle;
 
 pub use datasets::{dataset_stats, split_80_10_10, DatasetConfig, DatasetStats, EventGraph};
 pub use event::{
-    candidate_graph, simulate_event, tune_phi_window, wrap_phi, CandidateGraph,
-    DetectorGeometry, Disk, Event, Hit,
+    candidate_graph, simulate_event, tune_phi_window, wrap_phi, CandidateGraph, DetectorGeometry,
+    Disk, Event, Hit,
 };
 pub use features::{edge_features, vertex_features};
 pub use helix::Helix;

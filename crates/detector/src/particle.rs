@@ -2,8 +2,8 @@
 //! transverse momentum, pseudorapidity, azimuth, and charge.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
 
 /// A charged particle produced at the beamline.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -44,7 +44,13 @@ pub struct GunConfig {
 
 impl Default for GunConfig {
     fn default() -> Self {
-        Self { pt_min: 0.5, pt_max: 5.0, pt_gamma: 2.0, eta_max: 1.2, vz_sigma: 0.02 }
+        Self {
+            pt_min: 0.5,
+            pt_max: 5.0,
+            pt_gamma: 2.0,
+            eta_max: 1.2,
+            vz_sigma: 0.02,
+        }
     }
 }
 
@@ -97,7 +103,12 @@ mod tests {
 
     #[test]
     fn pt_spectrum_is_falling() {
-        let cfg = GunConfig { pt_min: 0.5, pt_max: 10.0, pt_gamma: 2.5, ..Default::default() };
+        let cfg = GunConfig {
+            pt_min: 0.5,
+            pt_max: 10.0,
+            pt_gamma: 2.5,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let particles = cfg.sample_n(5000, &mut rng);
         let low = particles.iter().filter(|p| p.pt < 1.0).count();
@@ -109,13 +120,23 @@ mod tests {
     fn charges_are_balanced() {
         let cfg = GunConfig::default();
         let mut rng = StdRng::seed_from_u64(3);
-        let n_pos = cfg.sample_n(2000, &mut rng).iter().filter(|p| p.charge > 0).count();
+        let n_pos = cfg
+            .sample_n(2000, &mut rng)
+            .iter()
+            .filter(|p| p.charge > 0)
+            .count();
         assert!((800..1200).contains(&n_pos), "{n_pos}");
     }
 
     #[test]
     fn cot_theta_zero_at_midrapidity() {
-        let p = Particle { pt: 1.0, eta: 0.0, phi: 0.0, charge: 1, vz: 0.0 };
+        let p = Particle {
+            pt: 1.0,
+            eta: 0.0,
+            phi: 0.0,
+            charge: 1,
+            vz: 0.0,
+        };
         assert_eq!(p.cot_theta(), 0.0);
     }
 }

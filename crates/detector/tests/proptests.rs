@@ -10,11 +10,11 @@ use trkx_detector::{
 
 fn particle_strategy() -> impl Strategy<Value = Particle> {
     (
-        0.2f32..10.0,       // pt
-        -1.5f32..1.5,       // eta
-        -3.1f32..3.1,       // phi
-        prop::bool::ANY,    // charge sign
-        -0.05f32..0.05,     // vz
+        0.2f32..10.0,    // pt
+        -1.5f32..1.5,    // eta
+        -3.1f32..3.1,    // phi
+        prop::bool::ANY, // charge sign
+        -0.05f32..0.05,  // vz
     )
         .prop_map(|(pt, eta, phi, pos, vz)| Particle {
             pt,

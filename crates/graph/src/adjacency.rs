@@ -30,7 +30,11 @@ impl AdjList {
             edge_ids[p] = id as u32;
             cursor[s as usize] += 1;
         }
-        Self { offsets, neighbors, edge_ids }
+        Self {
+            offsets,
+            neighbors,
+            edge_ids,
+        }
     }
 
     /// Build the symmetrised (undirected) adjacency: each input edge
@@ -68,7 +72,10 @@ impl AdjList {
     #[inline]
     pub fn neighbors_with_ids(&self, v: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
         let (s, e) = (self.offsets[v as usize], self.offsets[v as usize + 1]);
-        self.neighbors[s..e].iter().copied().zip(self.edge_ids[s..e].iter().copied())
+        self.neighbors[s..e]
+            .iter()
+            .copied()
+            .zip(self.edge_ids[s..e].iter().copied())
     }
 
     /// Out-degree of `v`.

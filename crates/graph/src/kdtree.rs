@@ -24,7 +24,11 @@ impl KdTree {
         if n > 0 {
             build_recursive(&mut pts, &mut ids, dim, 0, 0, n);
         }
-        Self { dim, points: pts, ids }
+        Self {
+            dim,
+            points: pts,
+            ids,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -50,7 +54,15 @@ impl KdTree {
         out
     }
 
-    fn radius_rec(&self, q: &[f32], r2: f32, depth: usize, lo: usize, hi: usize, out: &mut Vec<u32>) {
+    fn radius_rec(
+        &self,
+        q: &[f32],
+        r2: f32,
+        depth: usize,
+        lo: usize,
+        hi: usize,
+        out: &mut Vec<u32>,
+    ) {
         if lo >= hi {
             return;
         }
@@ -85,7 +97,15 @@ impl KdTree {
         out
     }
 
-    fn knn_rec(&self, q: &[f32], k: usize, depth: usize, lo: usize, hi: usize, heap: &mut Vec<(f32, u32)>) {
+    fn knn_rec(
+        &self,
+        q: &[f32],
+        k: usize,
+        depth: usize,
+        lo: usize,
+        hi: usize,
+        heap: &mut Vec<(f32, u32)>,
+    ) {
         if lo >= hi {
             return;
         }
@@ -107,14 +127,25 @@ impl KdTree {
             ((mid + 1, hi), (lo, mid))
         };
         self.knn_rec(q, k, depth + 1, near.0, near.1, heap);
-        let worst = if heap.len() < k { f32::INFINITY } else { heap[0].0 };
+        let worst = if heap.len() < k {
+            f32::INFINITY
+        } else {
+            heap[0].0
+        };
         if delta * delta <= worst {
             self.knn_rec(q, k, depth + 1, far.0, far.1, heap);
         }
     }
 }
 
-fn build_recursive(pts: &mut [f32], ids: &mut [u32], dim: usize, depth: usize, lo: usize, hi: usize) {
+fn build_recursive(
+    pts: &mut [f32],
+    ids: &mut [u32],
+    dim: usize,
+    depth: usize,
+    lo: usize,
+    hi: usize,
+) {
     if hi - lo <= 1 {
         return;
     }
@@ -189,12 +220,22 @@ mod tests {
             let k = rng.gen_range(1usize..10);
             let got = tree.knn_query(&q, k);
             let mut dists: Vec<(f32, u32)> = (0..n)
-                .map(|i| (sq_dist(&points[i * dim..(i + 1) * dim], &q).sqrt(), i as u32))
+                .map(|i| {
+                    (
+                        sq_dist(&points[i * dim..(i + 1) * dim], &q).sqrt(),
+                        i as u32,
+                    )
+                })
                 .collect();
             dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
             assert_eq!(got.len(), k);
             for (g, e) in got.iter().zip(&dists) {
-                assert!((g.1 - e.0).abs() < 1e-5, "distance mismatch {} vs {}", g.1, e.0);
+                assert!(
+                    (g.1 - e.0).abs() < 1e-5,
+                    "distance mismatch {} vs {}",
+                    g.1,
+                    e.0
+                );
             }
         }
     }

@@ -64,7 +64,11 @@ pub fn knn_graph(points: &[f32], dim: usize, k: usize) -> Vec<(u32, u32)> {
                 .filter(move |&(j, _)| j as usize != i)
                 .take(k)
                 .map(move |(j, _)| {
-                    let (a, b) = if (i as u32) < j { (i as u32, j) } else { (j, i as u32) };
+                    let (a, b) = if (i as u32) < j {
+                        (i as u32, j)
+                    } else {
+                        (j, i as u32)
+                    };
                     (a, b)
                 })
                 .collect::<Vec<_>>()
@@ -85,7 +89,9 @@ mod tests {
     fn radius_graph_matches_brute_force() {
         let mut rng = StdRng::seed_from_u64(3);
         for dim in [2usize, 6] {
-            let points: Vec<f32> = (0..120 * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let points: Vec<f32> = (0..120 * dim)
+                .map(|_| rng.gen_range(-1.0f32..1.0))
+                .collect();
             let fast = radius_graph(&points, dim, 0.4);
             let brute = radius_graph_brute(&points, dim, 0.4);
             assert_eq!(fast, brute, "dim {dim}");
@@ -112,7 +118,11 @@ mod tests {
             deg[a as usize] += 1;
             deg[b as usize] += 1;
         }
-        assert!(deg.iter().all(|&d| d >= 4), "min degree {:?}", deg.iter().min());
+        assert!(
+            deg.iter().all(|&d| d >= 4),
+            "min degree {:?}",
+            deg.iter().min()
+        );
         // No self loops or duplicates.
         assert!(edges.iter().all(|&(a, b)| a < b));
         let mut sorted = edges.clone();

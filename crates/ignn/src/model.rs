@@ -68,7 +68,10 @@ impl IgnnConfig {
 
     fn mlp_sizes(&self, input: usize, output: usize) -> Vec<usize> {
         let mut sizes = vec![input];
-        sizes.extend(std::iter::repeat_n(self.hidden, self.mlp_depth.saturating_sub(1)));
+        sizes.extend(std::iter::repeat_n(
+            self.hidden,
+            self.mlp_depth.saturating_sub(1),
+        ));
         sizes.push(output);
         sizes
     }
@@ -115,23 +118,50 @@ impl InteractionGnn {
                 rng,
             )
         }
-        let node_encoder = mk(&config, &config.mlp_sizes(config.node_features, h), "node_enc", rng);
-        let edge_encoder = mk(&config, &config.mlp_sizes(config.edge_features, h), "edge_enc", rng);
+        let node_encoder = mk(
+            &config,
+            &config.mlp_sizes(config.node_features, h),
+            "node_enc",
+            rng,
+        );
+        let edge_encoder = mk(
+            &config,
+            &config.mlp_sizes(config.edge_features, h),
+            "edge_enc",
+            rng,
+        );
         let mut edge_mlps = Vec::with_capacity(config.gnn_layers);
         let mut node_mlps = Vec::with_capacity(config.gnn_layers.saturating_sub(1));
         for l in 0..config.gnn_layers {
             // Edge MLP input: [Y'(2h) X'src(2h) X'dst(2h)].
-            edge_mlps.push(mk(&config, &config.mlp_sizes(6 * h, h), &format!("edge_mlp.{l}"), rng));
+            edge_mlps.push(mk(
+                &config,
+                &config.mlp_sizes(6 * h, h),
+                &format!("edge_mlp.{l}"),
+                rng,
+            ));
             // Node MLP input: [M_src(h) M_dst(h) X'(2h)]. The final layer
             // has no node update: the decoder reads only Y^L (the paper
             // returns φ(Y^{L-1})), so a last node MLP would never receive
             // gradient.
             if l + 1 < config.gnn_layers {
-                node_mlps.push(mk(&config, &config.mlp_sizes(4 * h, h), &format!("node_mlp.{l}"), rng));
+                node_mlps.push(mk(
+                    &config,
+                    &config.mlp_sizes(4 * h, h),
+                    &format!("node_mlp.{l}"),
+                    rng,
+                ));
             }
         }
         let decoder = mk(&config, &config.mlp_sizes(h, 1), "decoder", rng);
-        Self { config, node_encoder, edge_encoder, edge_mlps, node_mlps, decoder }
+        Self {
+            config,
+            node_encoder,
+            edge_encoder,
+            edge_mlps,
+            node_mlps,
+            decoder,
+        }
     }
 
     /// Forward pass: returns per-edge logits (`m x 1`).
@@ -148,13 +178,21 @@ impl InteractionGnn {
         dst: Arc<Vec<u32>>,
     ) -> Var {
         let n = x.rows();
-        assert_eq!(x.cols(), self.config.node_features, "node feature dim mismatch");
-        assert_eq!(y.cols(), self.config.edge_features, "edge feature dim mismatch");
+        assert_eq!(
+            x.cols(),
+            self.config.node_features,
+            "node feature dim mismatch"
+        );
+        assert_eq!(
+            y.cols(),
+            self.config.edge_features,
+            "edge feature dim mismatch"
+        );
         assert_eq!(src.len(), y.rows(), "src length mismatch");
         assert_eq!(dst.len(), y.rows(), "dst length mismatch");
 
-        let xin = tape.constant(x.clone());
-        let yin = tape.constant(y.clone());
+        let xin = tape.constant_copied(x);
+        let yin = tape.constant_copied(y);
         let x0 = self.node_encoder.forward(tape, bind, xin);
         let y0 = self.edge_encoder.forward(tape, bind, yin);
         let mut xl = x0;
@@ -225,7 +263,10 @@ mod tests {
     use rand::{rngs::StdRng, SeedableRng};
 
     fn tiny_config() -> IgnnConfig {
-        IgnnConfig::new(3, 2).with_hidden(8).with_gnn_layers(2).with_mlp_depth(2)
+        IgnnConfig::new(3, 2)
+            .with_hidden(8)
+            .with_gnn_layers(2)
+            .with_mlp_depth(2)
     }
 
     fn tiny_graph() -> (Matrix, Matrix, Vec<u32>, Vec<u32>) {
@@ -309,7 +350,10 @@ mod tests {
         let mut x2 = x.clone();
         x2.set(0, 0, x2.get(0, 0) + 1.0);
         let perturbed = run(&x2);
-        assert!(base.max_abs_diff(&perturbed) > 1e-5, "perturbation had no effect");
+        assert!(
+            base.max_abs_diff(&perturbed) > 1e-5,
+            "perturbation had no effect"
+        );
     }
 
     #[test]
@@ -350,7 +394,10 @@ mod tests {
         let measured = tape.activation_floats();
         let estimated = cfg.estimate_activation_floats(4, 5);
         let ratio = estimated as f64 / measured as f64;
-        assert!((0.3..3.0).contains(&ratio), "estimate {estimated} vs measured {measured}");
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "estimate {estimated} vs measured {measured}"
+        );
     }
 
     #[test]
@@ -358,7 +405,10 @@ mod tests {
         // Finite-difference check of a handful of parameter elements of a
         // minimal IGNN against the full pipeline loss.
         let mut rng = StdRng::seed_from_u64(8);
-        let cfg = IgnnConfig::new(2, 1).with_hidden(4).with_gnn_layers(1).with_mlp_depth(2);
+        let cfg = IgnnConfig::new(2, 1)
+            .with_hidden(4)
+            .with_gnn_layers(1)
+            .with_mlp_depth(2);
         let mut model = InteractionGnn::new(cfg, &mut rng);
         let x = Matrix::randn(3, 2, 0.5, &mut rng);
         let y = Matrix::randn(3, 1, 0.5, &mut rng);
@@ -401,7 +451,7 @@ mod tests {
         let grads: Vec<Matrix> = model.params().iter().map(|p| p.grad.clone()).collect();
 
         let eps = 1e-2f32;
-        for pi in 0..grads.len() {
+        for (pi, g) in grads.iter().enumerate() {
             // Check the first element of every tensor.
             let orig = model.params()[pi].value.data()[0];
             model.params_mut()[pi].value.data_mut()[0] = orig + eps;
@@ -410,7 +460,7 @@ mod tests {
             let minus = loss_value(&model);
             model.params_mut()[pi].value.data_mut()[0] = orig;
             let numeric = (plus - minus) / (2.0 * eps);
-            let exact = grads[pi].data()[0];
+            let exact = g.data()[0];
             assert!(
                 (numeric - exact).abs() < 2e-2 + 0.1 * exact.abs(),
                 "param {pi}: numeric {numeric} vs analytic {exact}"

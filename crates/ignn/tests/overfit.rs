@@ -4,13 +4,16 @@
 use rand::{rngs::StdRng, SeedableRng};
 use std::sync::Arc;
 use trkx_ignn::{IgnnConfig, InteractionGnn};
-use trkx_nn::{bce_with_logits, Adam, Bindings, BinaryStats, Optimizer};
+use trkx_nn::{bce_with_logits, Adam, BinaryStats, Bindings, Optimizer};
 use trkx_tensor::{Matrix, Tape};
 
 #[test]
 fn ignn_overfits_tiny_graph() {
     let mut rng = StdRng::seed_from_u64(123);
-    let cfg = IgnnConfig::new(3, 2).with_hidden(16).with_gnn_layers(3).with_mlp_depth(2);
+    let cfg = IgnnConfig::new(3, 2)
+        .with_hidden(16)
+        .with_gnn_layers(3)
+        .with_mlp_depth(2);
     let mut model = InteractionGnn::new(cfg, &mut rng);
 
     // 6 nodes in two "tracks" (0-1-2 and 3-4-5) plus crossing fake edges.
@@ -36,7 +39,10 @@ fn ignn_overfits_tiny_graph() {
             p.zero_grad();
         }
     }
-    assert!(final_loss < 0.05, "IGNN failed to overfit: loss {final_loss}");
+    assert!(
+        final_loss < 0.05,
+        "IGNN failed to overfit: loss {final_loss}"
+    );
 
     // Perfect classification of the training edges.
     let mut tape = Tape::new();
@@ -59,7 +65,10 @@ fn deeper_network_propagates_information_farther() {
     let y = Matrix::from_fn(5, 1, |r, _| r as f32 * 0.1);
 
     for (layers, expect_effect) in [(1usize, false), (4usize, true)] {
-        let cfg = IgnnConfig::new(2, 1).with_hidden(8).with_gnn_layers(layers).with_mlp_depth(2);
+        let cfg = IgnnConfig::new(2, 1)
+            .with_hidden(8)
+            .with_gnn_layers(layers)
+            .with_mlp_depth(2);
         let model = InteractionGnn::new(cfg, &mut rng);
         let run = |x: &Matrix| {
             let mut tape = Tape::new();

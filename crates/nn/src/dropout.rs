@@ -14,17 +14,15 @@ pub struct Dropout {
 
 impl Dropout {
     pub fn new(p: f32) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0, 1)"
+        );
         Self { p }
     }
 
     /// Apply during training (draws a fresh mask from `rng`).
-    pub fn forward_train(
-        &self,
-        tape: &mut Tape,
-        x: Var,
-        rng: &mut impl Rng,
-    ) -> Var {
+    pub fn forward_train(&self, tape: &mut Tape, x: Var, rng: &mut impl Rng) -> Var {
         if self.p == 0.0 {
             return x;
         }

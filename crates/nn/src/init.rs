@@ -52,7 +52,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let w = kaiming_normal(100, 100, &mut rng);
         let mean = w.mean();
-        let var = w.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+        let var = w
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
             / (w.len() - 1) as f32;
         assert!((var - 0.02).abs() < 0.005, "var {var}");
     }

@@ -44,5 +44,5 @@ pub use loss::{bce_with_logits, contrastive_hinge_loss, BinaryStats};
 pub use mlp::{Activation, Mlp, MlpConfig};
 pub use norm::LayerNorm;
 pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
-pub use schedule::{Constant, CosineAnnealing, LrSchedule, Scheduler, StepDecay, Warmup};
 pub use param::{flatten_grads, unflatten_grads, Bindings, Param};
+pub use schedule::{Constant, CosineAnnealing, LrSchedule, Scheduler, StepDecay, Warmup};

@@ -16,7 +16,10 @@ impl Linear {
     /// Kaiming-uniform initialised layer.
     pub fn new(in_dim: usize, out_dim: usize, name: &str, rng: &mut impl Rng) -> Self {
         Self {
-            weight: Param::new(format!("{name}.weight"), init::kaiming_uniform(in_dim, out_dim, rng)),
+            weight: Param::new(
+                format!("{name}.weight"),
+                init::kaiming_uniform(in_dim, out_dim, rng),
+            ),
             bias: Param::new(format!("{name}.bias"), Matrix::zeros(1, out_dim)),
         }
     }
@@ -35,6 +38,16 @@ impl Linear {
         let b = bind.bind(tape, &self.bias);
         let xw = tape.matmul(x, w);
         tape.add_bias(xw, b)
+    }
+
+    /// Affine transform fused with ReLU (`relu(x W + b)` as one tape node)
+    /// — saves an activation-sized buffer and a full read/write pass per
+    /// hidden layer.
+    pub fn forward_relu(&self, tape: &mut Tape, bind: &mut Bindings, x: Var) -> Var {
+        let w = bind.bind(tape, &self.weight);
+        let b = bind.bind(tape, &self.bias);
+        let xw = tape.matmul(x, w);
+        tape.add_bias_relu(xw, b)
     }
 
     pub fn params(&self) -> Vec<&Param> {

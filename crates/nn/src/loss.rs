@@ -40,7 +40,11 @@ pub fn contrastive_hinge_loss(
     let d2 = tape.row_sum(sq); // n x 1
 
     let pos_mask = Arc::new(Matrix::from_vec(n, 1, labels.to_vec()));
-    let neg_mask = Arc::new(Matrix::from_vec(n, 1, labels.iter().map(|y| 1.0 - y).collect()));
+    let neg_mask = Arc::new(Matrix::from_vec(
+        n,
+        1,
+        labels.iter().map(|y| 1.0 - y).collect(),
+    ));
 
     // Positive term: y * d².
     let pos = tape.mul_mask(d2, pos_mask);
@@ -191,7 +195,15 @@ mod tests {
         let logits = [2.0, -2.0, 2.0, -2.0];
         let targets = [1.0, 0.0, 0.0, 1.0];
         let s = BinaryStats::from_logits(&logits, &targets, 0.5);
-        assert_eq!(s, BinaryStats { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            s,
+            BinaryStats {
+                tp: 1,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
         assert_eq!(s.precision(), 0.5);
         assert_eq!(s.recall(), 0.5);
         assert_eq!(s.f1(), 0.5);
@@ -210,9 +222,27 @@ mod tests {
 
     #[test]
     fn stats_merge_adds() {
-        let mut a = BinaryStats { tp: 1, fp: 2, tn: 3, fn_: 4 };
-        a.merge(&BinaryStats { tp: 10, fp: 20, tn: 30, fn_: 40 });
-        assert_eq!(a, BinaryStats { tp: 11, fp: 22, tn: 33, fn_: 44 });
+        let mut a = BinaryStats {
+            tp: 1,
+            fp: 2,
+            tn: 3,
+            fn_: 4,
+        };
+        a.merge(&BinaryStats {
+            tp: 10,
+            fp: 20,
+            tn: 30,
+            fn_: 40,
+        });
+        assert_eq!(
+            a,
+            BinaryStats {
+                tp: 11,
+                fp: 22,
+                tn: 33,
+                fn_: 44
+            }
+        );
     }
 
     #[test]

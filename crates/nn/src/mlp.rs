@@ -78,7 +78,10 @@ pub struct Mlp {
 
 impl Mlp {
     pub fn new(config: MlpConfig, name: &str, rng: &mut impl Rng) -> Self {
-        assert!(config.sizes.len() >= 2, "MLP needs at least input and output sizes");
+        assert!(
+            config.sizes.len() >= 2,
+            "MLP needs at least input and output sizes"
+        );
         let mut layers = Vec::new();
         let mut norms = Vec::new();
         for (i, w) in config.sizes.windows(2).enumerate() {
@@ -90,7 +93,11 @@ impl Mlp {
                 None
             });
         }
-        Self { layers, norms, config }
+        Self {
+            layers,
+            norms,
+            config,
+        }
     }
 
     pub fn in_dim(&self) -> usize {
@@ -109,13 +116,19 @@ impl Mlp {
     pub fn forward(&self, tape: &mut Tape, bind: &mut Bindings, mut x: Var) -> Var {
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            x = layer.forward(tape, bind, x);
             if i < last {
-                x = self.config.activation.apply(tape, x);
+                if self.config.activation == Activation::Relu {
+                    // Fused affine+ReLU: one tape node instead of two.
+                    x = layer.forward_relu(tape, bind, x);
+                } else {
+                    x = layer.forward(tape, bind, x);
+                    x = self.config.activation.apply(tape, x);
+                }
                 if let Some(ln) = &self.norms[i] {
                     x = ln.forward(tape, bind, x);
                 }
             } else {
+                x = layer.forward(tape, bind, x);
                 x = self.config.output_activation.apply(tape, x);
             }
         }
@@ -176,7 +189,11 @@ mod tests {
     fn layer_norm_adds_params() {
         let mut rng = StdRng::seed_from_u64(2);
         let plain = Mlp::new(MlpConfig::new(&[4, 8, 2]), "p", &mut rng);
-        let ln = Mlp::new(MlpConfig::new(&[4, 8, 2]).with_layer_norm(true), "n", &mut rng);
+        let ln = Mlp::new(
+            MlpConfig::new(&[4, 8, 2]).with_layer_norm(true),
+            "n",
+            &mut rng,
+        );
         assert_eq!(ln.num_parameters(), plain.num_parameters() + 16);
     }
 

@@ -45,7 +45,11 @@ mod tests {
         let ln = LayerNorm::new(4, "ln");
         let mut tape = Tape::new();
         let mut bind = Bindings::new();
-        let x = tape.constant(Matrix::from_vec(2, 4, vec![1., 2., 3., 4., 10., 10., 10., 10.]));
+        let x = tape.constant(Matrix::from_vec(
+            2,
+            4,
+            vec![1., 2., 3., 4., 10., 10., 10., 10.],
+        ));
         let y = ln.forward(&mut tape, &mut bind, x);
         let v = tape.value(y);
         // Row 0: mean 2.5, normalised values symmetric around 0.

@@ -21,7 +21,11 @@ pub struct Sgd {
 
 impl Sgd {
     pub fn new(lr: f32) -> Self {
-        Self { lr, momentum: 0.0, velocity: HashMap::new() }
+        Self {
+            lr,
+            momentum: 0.0,
+            velocity: HashMap::new(),
+        }
     }
 
     pub fn with_momentum(mut self, m: f32) -> Self {
@@ -34,15 +38,15 @@ impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [&mut Param]) {
         for p in params.iter_mut() {
             if self.momentum > 0.0 {
+                let momentum = self.momentum;
                 let v = self
                     .velocity
                     .entry(p.id())
                     .or_insert_with(|| Matrix::zeros(p.grad.rows(), p.grad.cols()));
-                // v = momentum*v + grad ; p -= lr*v
-                let mut nv = v.scale(self.momentum);
-                nv.add_assign(&p.grad);
-                p.value.axpy(-self.lr, &nv);
-                *v = nv;
+                // v = momentum*v + grad ; p -= lr*v, all in place.
+                v.apply(|x| x * momentum);
+                v.add_assign(&p.grad);
+                p.value.axpy(-self.lr, v);
             } else {
                 p.value.axpy(-self.lr, &p.grad);
             }
@@ -167,7 +171,11 @@ mod tests {
             quadratic_grad(&mut p);
             opt.step(&mut [&mut p]);
         }
-        assert!(p.value.data().iter().all(|v| (v - 3.0).abs() < 1e-3), "{:?}", p.value.data());
+        assert!(
+            p.value.data().iter().all(|v| (v - 3.0).abs() < 1e-3),
+            "{:?}",
+            p.value.data()
+        );
     }
 
     #[test]
@@ -192,7 +200,11 @@ mod tests {
             quadratic_grad(&mut p);
             opt.step(&mut [&mut p]);
         }
-        assert!(p.value.data().iter().all(|v| (v - 3.0).abs() < 1e-2), "{:?}", p.value.data());
+        assert!(
+            p.value.data().iter().all(|v| (v - 3.0).abs() < 1e-2),
+            "{:?}",
+            p.value.data()
+        );
         assert_eq!(opt.steps(), 300);
     }
 
@@ -206,7 +218,14 @@ mod tests {
             p.grad = Matrix::from_vec(
                 1,
                 2,
-                vec![2.0 * (p.value.get(0, 0) - 1.0), if t % 10 == 0 { 2.0 * (p.value.get(0, 1) - 1.0) } else { 0.0 }],
+                vec![
+                    2.0 * (p.value.get(0, 0) - 1.0),
+                    if t % 10 == 0 {
+                        2.0 * (p.value.get(0, 1) - 1.0)
+                    } else {
+                        0.0
+                    },
+                ],
             );
             opt.step(&mut [&mut p]);
         }

@@ -26,7 +26,12 @@ impl Param {
     /// original id so DDP replicas line up parameter-for-parameter).
     pub fn new(name: impl Into<String>, value: Matrix) -> Self {
         let grad = Matrix::zeros(value.rows(), value.cols());
-        Self { id: NEXT_PARAM_ID.fetch_add(1, Ordering::Relaxed), name: name.into(), value, grad }
+        Self {
+            id: NEXT_PARAM_ID.fetch_add(1, Ordering::Relaxed),
+            name: name.into(),
+            value,
+            grad,
+        }
     }
 
     pub fn id(&self) -> u64 {
@@ -63,10 +68,18 @@ impl Bindings {
     }
 
     /// Enter `p.value` as a gradient-tracked leaf and remember the pairing.
+    /// The value is copied into the tape's pooled storage, so repeated
+    /// binds across reused tapes allocate nothing.
     pub fn bind(&mut self, tape: &mut Tape, p: &Param) -> Var {
-        let v = tape.leaf(p.value.clone());
+        let v = tape.leaf_copied(&p.value);
         self.pairs.push((p.id, v));
         v
+    }
+
+    /// Forget all recorded pairings (keeps capacity). Call together with
+    /// [`Tape::reset`] when reusing tape and bindings across steps.
+    pub fn reset(&mut self) {
+        self.pairs.clear();
     }
 
     /// Number of recorded bindings.

@@ -73,7 +73,11 @@ pub struct Scheduler<S> {
 
 impl<S: LrSchedule> Scheduler<S> {
     pub fn new(base_lr: f32, schedule: S) -> Self {
-        Self { base_lr, schedule, step: 0 }
+        Self {
+            base_lr,
+            schedule,
+            step: 0,
+        }
     }
 
     /// Set the optimizer's learning rate for the current step, then
@@ -95,7 +99,10 @@ mod tests {
 
     #[test]
     fn step_decay_halves() {
-        let s = StepDecay { period: 10, gamma: 0.5 };
+        let s = StepDecay {
+            period: 10,
+            gamma: 0.5,
+        };
         assert_eq!(s.factor(0), 1.0);
         assert_eq!(s.factor(9), 1.0);
         assert_eq!(s.factor(10), 0.5);
@@ -104,7 +111,10 @@ mod tests {
 
     #[test]
     fn cosine_annealing_endpoints() {
-        let s = CosineAnnealing { total: 100, min_factor: 0.1 };
+        let s = CosineAnnealing {
+            total: 100,
+            min_factor: 0.1,
+        };
         assert!((s.factor(0) - 1.0).abs() < 1e-6);
         assert!((s.factor(50) - 0.55).abs() < 1e-3); // midpoint
         assert!((s.factor(100) - 0.1).abs() < 1e-6);
@@ -113,7 +123,13 @@ mod tests {
 
     #[test]
     fn warmup_ramps_then_delegates() {
-        let s = Warmup { warmup: 4, inner: StepDecay { period: 2, gamma: 0.5 } };
+        let s = Warmup {
+            warmup: 4,
+            inner: StepDecay {
+                period: 2,
+                gamma: 0.5,
+            },
+        };
         assert!((s.factor(0) - 0.25).abs() < 1e-6);
         assert!((s.factor(3) - 1.0).abs() < 1e-6);
         assert_eq!(s.factor(4), 1.0); // inner step 0
@@ -123,7 +139,13 @@ mod tests {
     #[test]
     fn scheduler_drives_optimizer() {
         let mut opt = Sgd::new(1.0);
-        let mut sched = Scheduler::new(0.8, StepDecay { period: 1, gamma: 0.5 });
+        let mut sched = Scheduler::new(
+            0.8,
+            StepDecay {
+                period: 1,
+                gamma: 0.5,
+            },
+        );
         sched.apply(&mut opt);
         assert!((opt.learning_rate() - 0.8).abs() < 1e-6);
         sched.apply(&mut opt);

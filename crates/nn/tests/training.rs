@@ -2,7 +2,7 @@
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use trkx_nn::{
-    bce_with_logits, contrastive_hinge_loss, Activation, Adam, Bindings, BinaryStats, Mlp,
+    bce_with_logits, contrastive_hinge_loss, Activation, Adam, BinaryStats, Bindings, Mlp,
     MlpConfig, Optimizer, Sgd,
 };
 use trkx_tensor::{Matrix, Tape};

@@ -55,7 +55,10 @@ mod tests {
     fn shard_batch_balances() {
         let batch: Vec<u32> = (0..10).collect();
         let shards = shard_batch(&batch, 4);
-        assert_eq!(shards.iter().map(|s| s.len()).collect::<Vec<_>>(), vec![3, 3, 2, 2]);
+        assert_eq!(
+            shards.iter().map(|s| s.len()).collect::<Vec<_>>(),
+            vec![3, 3, 2, 2]
+        );
         let all: Vec<u32> = shards.into_iter().flatten().collect();
         assert_eq!(all, batch);
     }

@@ -143,15 +143,21 @@ impl BulkShadowSampler {
             let mut picks: Vec<u32> = Vec::with_capacity(self.config.fanout);
             // Per-walk RNGs persist across the rows of one step so that
             // two rows of the same walk draw from one stream.
-            let mut rngs: Vec<RowRng> =
-                (0..total).map(|w| RowRng::new(seed, step as u64, w as u64)).collect();
+            let mut rngs: Vec<RowRng> = (0..total)
+                .map(|w| RowRng::new(seed, step as u64, w as u64))
+                .collect();
             for (&owner, &vertex) in frontier_owner.iter().zip(&frontier_vertex) {
                 let (neighbors, _) = graph.undirected.row(vertex as usize);
                 if neighbors.is_empty() {
                     continue;
                 }
                 picks.clear();
-                floyd_sample(neighbors, self.config.fanout, &mut rngs[owner as usize], &mut picks);
+                floyd_sample(
+                    neighbors,
+                    self.config.fanout,
+                    &mut rngs[owner as usize],
+                    &mut picks,
+                );
                 touched[owner as usize].extend_from_slice(&picks);
                 for &v in &picks {
                     next_owner.push(owner);
@@ -169,34 +175,33 @@ impl BulkShadowSampler {
         // selection SpGEMM of Fig. 2), with the generation-stamped
         // extractor amortised across all k·b extractions. Parallel across
         // walks when hardware threads exist.
-        let components: Vec<WalkComponent> =
-            if rayon::current_num_threads() > 1 && total > 8 {
-                touched
-                    .into_par_iter()
-                    .map_init(
-                        || InducedExtractor::new(graph.num_nodes),
-                        |extractor, mut nodes| {
-                            nodes.sort_unstable();
-                            nodes.dedup();
-                            let mut edges = Vec::new();
-                            extractor.extract_into(&graph.directed, &nodes, &mut edges);
-                            (nodes, edges)
-                        },
-                    )
-                    .collect()
-            } else {
-                let mut extractor = InducedExtractor::new(graph.num_nodes);
-                touched
-                    .into_iter()
-                    .map(|mut nodes| {
+        let components: Vec<WalkComponent> = if rayon::current_num_threads() > 1 && total > 8 {
+            touched
+                .into_par_iter()
+                .map_init(
+                    || InducedExtractor::new(graph.num_nodes),
+                    |extractor, mut nodes| {
                         nodes.sort_unstable();
                         nodes.dedup();
                         let mut edges = Vec::new();
                         extractor.extract_into(&graph.directed, &nodes, &mut edges);
                         (nodes, edges)
-                    })
-                    .collect()
-            };
+                    },
+                )
+                .collect()
+        } else {
+            let mut extractor = InducedExtractor::new(graph.num_nodes);
+            touched
+                .into_iter()
+                .map(|mut nodes| {
+                    nodes.sort_unstable();
+                    nodes.dedup();
+                    let mut edges = Vec::new();
+                    extractor.extract_into(&graph.directed, &nodes, &mut edges);
+                    (nodes, edges)
+                })
+                .collect()
+        };
 
         // Reassemble per minibatch, preserving batch order.
         let mut out = Vec::with_capacity(batches.len());
@@ -239,7 +244,10 @@ mod tests {
     #[test]
     fn bulk_sampling_structure_is_valid() {
         let g = ladder_graph(12);
-        let sampler = BulkShadowSampler::new(ShadowConfig { depth: 2, fanout: 3 });
+        let sampler = BulkShadowSampler::new(ShadowConfig {
+            depth: 2,
+            fanout: 3,
+        });
         let batches = vec![vec![0u32, 5, 11], vec![12u32, 20], vec![3u32]];
         let subs = sampler.sample_batches(&g, &batches, 99);
         assert_eq!(subs.len(), 3);
@@ -256,7 +264,10 @@ mod tests {
     fn bulk_is_deterministic_in_seed() {
         let g = ladder_graph(10);
         // Fanout 1 on a degree-3 graph forces a random choice per step.
-        let sampler = BulkShadowSampler::new(ShadowConfig { depth: 3, fanout: 1 });
+        let sampler = BulkShadowSampler::new(ShadowConfig {
+            depth: 3,
+            fanout: 1,
+        });
         let batches = vec![vec![0u32, 7], vec![15u32, 3]];
         let a = sampler.sample_batches(&g, &batches, 5);
         let b = sampler.sample_batches(&g, &batches, 5);
@@ -335,7 +346,10 @@ mod tests {
         use crate::shadow::ShadowSampler;
         use rand::SeedableRng;
         let g = ladder_graph(16);
-        let cfg = ShadowConfig { depth: 2, fanout: 2 };
+        let cfg = ShadowConfig {
+            depth: 2,
+            fanout: 2,
+        };
         let batch: Vec<u32> = (0..8u32).collect();
         let mut base_nodes = 0usize;
         let mut bulk_nodes = 0usize;
@@ -346,7 +360,7 @@ mod tests {
                 &mut rand::rngs::StdRng::seed_from_u64(seed),
             );
             let bulk = BulkShadowSampler::new(cfg)
-                .sample_batches(&g, &[batch.clone()], seed)
+                .sample_batches(&g, std::slice::from_ref(&batch), seed)
                 .remove(0);
             base_nodes += base.num_nodes();
             bulk_nodes += bulk.num_nodes();
@@ -362,7 +376,10 @@ mod tests {
         // change which subgraph a batch receives beyond RNG stream
         // assignment. We verify per-batch component counts and validity.
         let g = ladder_graph(10);
-        let sampler = BulkShadowSampler::new(ShadowConfig { depth: 3, fanout: 2 });
+        let sampler = BulkShadowSampler::new(ShadowConfig {
+            depth: 3,
+            fanout: 2,
+        });
         let batches = vec![vec![1u32, 2], vec![3u32, 4], vec![5u32]];
         let stacked = sampler.sample_batches(&g, &batches, 42);
         assert_eq!(stacked.len(), 3);

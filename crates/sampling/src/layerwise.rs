@@ -68,11 +68,16 @@ impl LayerWiseSampler {
         let mut out = SampledSubgraph::empty();
         let edges = (0..sub.nrows()).flat_map(|r| {
             let (cols, ids) = sub.row(r);
-            cols.iter().zip(ids).map(move |(&c, &id)| (r as u32, c, id)).collect::<Vec<_>>()
+            cols.iter()
+                .zip(ids)
+                .map(move |(&c, &id)| (r as u32, c, id))
+                .collect::<Vec<_>>()
         });
         out.append_component(batch[0], &touched, edges);
         for &b in &batch[1..] {
-            let pos = touched.binary_search(&b).expect("batch vertex in touched set") as u32;
+            let pos = touched
+                .binary_search(&b)
+                .expect("batch vertex in touched set") as u32;
             out.batch_nodes.push(pos);
         }
         out
@@ -100,7 +105,9 @@ mod tests {
     #[test]
     fn layer_sizes_bound_growth() {
         let g = star_plus_path();
-        let sampler = LayerWiseSampler::new(LayerWiseConfig { layer_sizes: vec![2, 2] });
+        let sampler = LayerWiseSampler::new(LayerWiseConfig {
+            layer_sizes: vec![2, 2],
+        });
         let mut rng = StdRng::seed_from_u64(1);
         let sg = sampler.sample_batch(&g, &[1], &mut rng);
         // batch (1) + at most 2 + 2 sampled vertices.
@@ -111,7 +118,9 @@ mod tests {
     #[test]
     fn high_degree_vertices_sampled_more_often() {
         let g = star_plus_path();
-        let sampler = LayerWiseSampler::new(LayerWiseConfig { layer_sizes: vec![1] });
+        let sampler = LayerWiseSampler::new(LayerWiseConfig {
+            layer_sizes: vec![1],
+        });
         let mut hub_count = 0;
         for seed in 0..200 {
             let mut rng = StdRng::seed_from_u64(seed);
@@ -131,7 +140,9 @@ mod tests {
     #[test]
     fn batch_vertices_always_present() {
         let g = star_plus_path();
-        let sampler = LayerWiseSampler::new(LayerWiseConfig { layer_sizes: vec![3, 3] });
+        let sampler = LayerWiseSampler::new(LayerWiseConfig {
+            layer_sizes: vec![3, 3],
+        });
         let mut rng = StdRng::seed_from_u64(3);
         let batch = [0u32, 9, 11];
         let sg = sampler.sample_batch(&g, &batch, &mut rng);

@@ -39,7 +39,9 @@ impl NodeWiseSampler {
         for &fanout in self.config.fanouts.iter().rev() {
             let mut next = Vec::new();
             for &v in &frontier {
-                next.extend(crate::shadow::sample_distinct_neighbors(graph, v, fanout, rng));
+                next.extend(crate::shadow::sample_distinct_neighbors(
+                    graph, v, fanout, rng,
+                ));
             }
             touched.extend_from_slice(&next);
             frontier = next;
@@ -52,11 +54,16 @@ impl NodeWiseSampler {
         // with the first batch vertex, then register the rest.
         let edges = (0..sub.nrows()).flat_map(|r| {
             let (cols, ids) = sub.row(r);
-            cols.iter().zip(ids).map(move |(&c, &id)| (r as u32, c, id)).collect::<Vec<_>>()
+            cols.iter()
+                .zip(ids)
+                .map(move |(&c, &id)| (r as u32, c, id))
+                .collect::<Vec<_>>()
         });
         out.append_component(batch[0], &touched, edges);
         for &b in &batch[1..] {
-            let pos = touched.binary_search(&b).expect("batch vertex in touched set") as u32;
+            let pos = touched
+                .binary_search(&b)
+                .expect("batch vertex in touched set") as u32;
             out.batch_nodes.push(pos);
         }
         out
@@ -91,7 +98,9 @@ mod tests {
     #[test]
     fn sample_contains_all_batch_vertices() {
         let g = grid_graph();
-        let sampler = NodeWiseSampler::new(NodeWiseConfig { fanouts: vec![3, 2] });
+        let sampler = NodeWiseSampler::new(NodeWiseConfig {
+            fanouts: vec![3, 2],
+        });
         let mut rng = StdRng::seed_from_u64(1);
         let batch = [0u32, 15, 5];
         let sg = sampler.sample_batch(&g, &batch, &mut rng);
@@ -114,9 +123,11 @@ mod tests {
             shallow_n += NodeWiseSampler::new(NodeWiseConfig { fanouts: vec![1] })
                 .sample_batch(&g, &[5], &mut r1)
                 .num_nodes();
-            deep_n += NodeWiseSampler::new(NodeWiseConfig { fanouts: vec![3, 3] })
-                .sample_batch(&g, &[5], &mut r2)
-                .num_nodes();
+            deep_n += NodeWiseSampler::new(NodeWiseConfig {
+                fanouts: vec![3, 3],
+            })
+            .sample_batch(&g, &[5], &mut r2)
+            .num_nodes();
         }
         assert!(deep_n > shallow_n);
     }
@@ -124,7 +135,9 @@ mod tests {
     #[test]
     fn edges_come_from_parent_graph() {
         let g = grid_graph();
-        let sampler = NodeWiseSampler::new(NodeWiseConfig { fanouts: vec![4, 4] });
+        let sampler = NodeWiseSampler::new(NodeWiseConfig {
+            fanouts: vec![4, 4],
+        });
         let mut rng = StdRng::seed_from_u64(2);
         let sg = sampler.sample_batch(&g, &[0, 10], &mut rng);
         sg.validate(&g);

@@ -77,7 +77,10 @@ fn induced(graph: &SamplerGraph, mut touched: Vec<u32>) -> SampledSubgraph {
     let mut out = SampledSubgraph::empty();
     let edges = (0..sub.nrows()).flat_map(|r| {
         let (cols, ids) = sub.row(r);
-        cols.iter().zip(ids).map(move |(&c, &id)| (r as u32, c, id)).collect::<Vec<_>>()
+        cols.iter()
+            .zip(ids)
+            .map(move |(&c, &id)| (r as u32, c, id))
+            .collect::<Vec<_>>()
     });
     out.append_component(touched[0], &touched, edges);
     out
@@ -97,7 +100,10 @@ mod tests {
     #[test]
     fn walk_sampler_visits_connected_region() {
         let g = cycle_graph(50);
-        let sampler = SaintWalkSampler { num_roots: 2, walk_length: 5 };
+        let sampler = SaintWalkSampler {
+            num_roots: 2,
+            walk_length: 5,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let sg = sampler.sample(&g, &mut rng);
         // At most roots*(len+1) vertices, at least the roots.
@@ -111,7 +117,10 @@ mod tests {
         // On a cycle, a walk of length L visits a contiguous arc; the
         // induced subgraph must contain the arc's edges.
         let g = cycle_graph(20);
-        let sampler = SaintWalkSampler { num_roots: 1, walk_length: 4 };
+        let sampler = SaintWalkSampler {
+            num_roots: 1,
+            walk_length: 4,
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let sg = sampler.sample(&g, &mut rng);
         assert!(sg.num_edges() >= sg.num_nodes().saturating_sub(1));
@@ -125,7 +134,11 @@ mod tests {
         let sg = sampler.sample(&g, &mut rng);
         // 10 edges with distinct endpoints on a cycle: between 11 and 20
         // vertices.
-        assert!(sg.num_nodes() >= 11 && sg.num_nodes() <= 20, "{}", sg.num_nodes());
+        assert!(
+            sg.num_nodes() >= 11 && sg.num_nodes() <= 20,
+            "{}",
+            sg.num_nodes()
+        );
         sg.validate(&g);
         // Sampled edges must include at least the chosen ones; induced
         // closure can add more.
@@ -145,7 +158,10 @@ mod tests {
     #[test]
     fn samplers_are_deterministic_per_seed() {
         let g = cycle_graph(40);
-        let w = SaintWalkSampler { num_roots: 3, walk_length: 4 };
+        let w = SaintWalkSampler {
+            num_roots: 3,
+            walk_length: 4,
+        };
         let a = w.sample(&g, &mut StdRng::seed_from_u64(9));
         let b = w.sample(&g, &mut StdRng::seed_from_u64(9));
         assert_eq!(a, b);

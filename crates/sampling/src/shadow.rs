@@ -30,7 +30,10 @@ pub struct ShadowConfig {
 
 impl Default for ShadowConfig {
     fn default() -> Self {
-        Self { depth: 3, fanout: 6 }
+        Self {
+            depth: 3,
+            fanout: 6,
+        }
     }
 }
 
@@ -157,10 +160,26 @@ mod tests {
         let g = test_graph();
         let mut rng = StdRng::seed_from_u64(2);
         // depth 1 from vertex 0: only 0 and its direct neighbours.
-        let t = walk_touched_set(&g, 0, ShadowConfig { depth: 1, fanout: 10 }, &mut rng);
+        let t = walk_touched_set(
+            &g,
+            0,
+            ShadowConfig {
+                depth: 1,
+                fanout: 10,
+            },
+            &mut rng,
+        );
         assert_eq!(t, vec![0, 1, 10]);
         // depth 2 fans out further.
-        let t2 = walk_touched_set(&g, 0, ShadowConfig { depth: 2, fanout: 10 }, &mut rng);
+        let t2 = walk_touched_set(
+            &g,
+            0,
+            ShadowConfig {
+                depth: 2,
+                fanout: 10,
+            },
+            &mut rng,
+        );
         assert!(t2.len() > t.len());
         assert!(t2.contains(&0));
     }
@@ -168,7 +187,10 @@ mod tests {
     #[test]
     fn batch_yields_one_component_per_vertex() {
         let g = test_graph();
-        let sampler = ShadowSampler::new(ShadowConfig { depth: 2, fanout: 3 });
+        let sampler = ShadowSampler::new(ShadowConfig {
+            depth: 2,
+            fanout: 3,
+        });
         let mut rng = StdRng::seed_from_u64(3);
         let batch = [0u32, 5, 9];
         let sg = sampler.sample_batch(&g, &batch, &mut rng);
@@ -208,10 +230,26 @@ mod tests {
         for seed in 0..10 {
             let mut r1 = StdRng::seed_from_u64(seed);
             let mut r2 = StdRng::seed_from_u64(seed);
-            small_total +=
-                walk_touched_set(&g, 10, ShadowConfig { depth: 2, fanout: 2 }, &mut r1).len();
-            large_total +=
-                walk_touched_set(&g, 10, ShadowConfig { depth: 2, fanout: 8 }, &mut r2).len();
+            small_total += walk_touched_set(
+                &g,
+                10,
+                ShadowConfig {
+                    depth: 2,
+                    fanout: 2,
+                },
+                &mut r1,
+            )
+            .len();
+            large_total += walk_touched_set(
+                &g,
+                10,
+                ShadowConfig {
+                    depth: 2,
+                    fanout: 8,
+                },
+                &mut r2,
+            )
+            .len();
         }
         assert!(large_total > small_total);
     }

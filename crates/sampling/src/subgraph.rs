@@ -39,7 +39,11 @@ impl SamplerGraph {
         }
         let undirected =
             trkx_sparse::Coo::new(num_nodes, num_nodes, both_src, both_dst, ids).to_csr();
-        Self { num_nodes, directed, undirected }
+        Self {
+            num_nodes,
+            directed,
+            undirected,
+        }
     }
 
     pub fn num_edges(&self) -> usize {
@@ -129,7 +133,8 @@ impl SampledSubgraph {
             out.sub_src.extend(p.sub_src.iter().map(|&s| s + node_off));
             out.sub_dst.extend(p.sub_dst.iter().map(|&d| d + node_off));
             out.orig_edge_ids.extend_from_slice(&p.orig_edge_ids);
-            out.batch_nodes.extend(p.batch_nodes.iter().map(|&b| b + node_off));
+            out.batch_nodes
+                .extend(p.batch_nodes.iter().map(|&b| b + node_off));
         }
         out
     }
@@ -141,8 +146,16 @@ impl SampledSubgraph {
         assert_eq!(self.component_of_node.len(), self.num_nodes());
         assert!(self.sub_src.iter().all(|&v| v < n), "src out of range");
         assert!(self.sub_dst.iter().all(|&v| v < n), "dst out of range");
-        assert!(self.batch_nodes.iter().all(|&v| v < n), "batch node out of range");
-        for ((&s, &d), &id) in self.sub_src.iter().zip(&self.sub_dst).zip(&self.orig_edge_ids) {
+        assert!(
+            self.batch_nodes.iter().all(|&v| v < n),
+            "batch node out of range"
+        );
+        for ((&s, &d), &id) in self
+            .sub_src
+            .iter()
+            .zip(&self.sub_dst)
+            .zip(&self.orig_edge_ids)
+        {
             // Edges never cross components.
             assert_eq!(
                 self.component_of_node[s as usize], self.component_of_node[d as usize],
@@ -151,7 +164,11 @@ impl SampledSubgraph {
             // Each edge maps to a parent edge with matching endpoints.
             let (os, od) = (self.node_map[s as usize], self.node_map[d as usize]);
             let found = parent.directed.get(os as usize, od).map(|eid| eid == id);
-            assert_eq!(found, Some(true), "edge ({os},{od}) id {id} not in parent graph");
+            assert_eq!(
+                found,
+                Some(true),
+                "edge ({os},{od}) id {id} not in parent graph"
+            );
         }
     }
 }
@@ -181,7 +198,11 @@ mod tests {
         let g = graph();
         let mut sg = SampledSubgraph::empty();
         // Component for batch vertex 1 containing {0, 1, 2}.
-        sg.append_component(1, &[0, 1, 2], vec![(0, 1, 0), (1, 2, 1), (0, 2, 3)].into_iter());
+        sg.append_component(
+            1,
+            &[0, 1, 2],
+            vec![(0, 1, 0), (1, 2, 1), (0, 2, 3)].into_iter(),
+        );
         // Component for batch vertex 3 containing {2, 3}.
         sg.append_component(3, &[2, 3], vec![(0, 1, 2)].into_iter());
         assert_eq!(sg.num_nodes(), 5);

@@ -3,17 +3,14 @@
 
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
-use trkx_sampling::{
-    vertex_batches, BulkShadowSampler, SamplerGraph, ShadowConfig, ShadowSampler,
-};
+use trkx_sampling::{vertex_batches, BulkShadowSampler, SamplerGraph, ShadowConfig, ShadowSampler};
 
 /// Random connected-ish graph: n vertices, edges from a btree set.
 fn graph_strategy() -> impl Strategy<Value = SamplerGraph> {
     (4usize..24).prop_flat_map(|n| {
         proptest::collection::btree_set((0u32..n as u32, 0u32..n as u32), 1..n * 3).prop_map(
             move |edges| {
-                let edges: Vec<(u32, u32)> =
-                    edges.into_iter().filter(|(a, b)| a != b).collect();
+                let edges: Vec<(u32, u32)> = edges.into_iter().filter(|(a, b)| a != b).collect();
                 let src: Vec<u32> = edges.iter().map(|e| e.0).collect();
                 let dst: Vec<u32> = edges.iter().map(|e| e.1).collect();
                 SamplerGraph::new(n, &src, &dst)

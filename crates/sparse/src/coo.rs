@@ -24,14 +24,32 @@ impl<T: Copy> Coo<T> {
     pub fn new(nrows: usize, ncols: usize, rows: Vec<u32>, cols: Vec<u32>, vals: Vec<T>) -> Self {
         assert_eq!(rows.len(), cols.len(), "COO triplet length mismatch");
         assert_eq!(rows.len(), vals.len(), "COO triplet length mismatch");
-        debug_assert!(rows.iter().all(|&r| (r as usize) < nrows), "row index out of range");
-        debug_assert!(cols.iter().all(|&c| (c as usize) < ncols), "col index out of range");
-        Self { nrows, ncols, rows, cols, vals }
+        debug_assert!(
+            rows.iter().all(|&r| (r as usize) < nrows),
+            "row index out of range"
+        );
+        debug_assert!(
+            cols.iter().all(|&c| (c as usize) < ncols),
+            "col index out of range"
+        );
+        Self {
+            nrows,
+            ncols,
+            rows,
+            cols,
+            vals,
+        }
     }
 
     /// An empty `nrows x ncols` matrix.
     pub fn empty(nrows: usize, ncols: usize) -> Self {
-        Self { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+        Self {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     pub fn nrows(&self) -> usize {
@@ -158,7 +176,13 @@ mod tests {
     #[test]
     fn to_csr_counting_sort() {
         // Rows out of order, with an empty row.
-        let m = Coo::new(4, 4, vec![3, 0, 3, 0], vec![2, 1, 0, 3], vec![1.0f32, 2.0, 3.0, 4.0]);
+        let m = Coo::new(
+            4,
+            4,
+            vec![3, 0, 3, 0],
+            vec![2, 1, 0, 3],
+            vec![1.0f32, 2.0, 3.0, 4.0],
+        );
         let c = m.to_csr();
         assert_eq!(c.indptr(), &[0, 2, 2, 2, 4]);
         let (cols0, vals0) = c.row(0);

@@ -29,11 +29,27 @@ impl<T: Copy + Default> Csr<T> {
     ) -> Self {
         assert_eq!(indptr.len(), nrows + 1, "indptr length must be nrows+1");
         assert_eq!(indptr[0], 0, "indptr must start at 0");
-        assert_eq!(*indptr.last().unwrap(), indices.len(), "indptr end must equal nnz");
+        assert_eq!(
+            *indptr.last().unwrap(),
+            indices.len(),
+            "indptr end must equal nnz"
+        );
         assert_eq!(indices.len(), vals.len(), "indices/vals length mismatch");
-        debug_assert!(indptr.windows(2).all(|w| w[0] <= w[1]), "indptr must be nondecreasing");
-        debug_assert!(indices.iter().all(|&c| (c as usize) < ncols), "col index out of range");
-        Self { nrows, ncols, indptr, indices, vals }
+        debug_assert!(
+            indptr.windows(2).all(|w| w[0] <= w[1]),
+            "indptr must be nondecreasing"
+        );
+        debug_assert!(
+            indices.iter().all(|&c| (c as usize) < ncols),
+            "col index out of range"
+        );
+        Self {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            vals,
+        }
     }
 
     /// An empty matrix with no stored entries.
@@ -112,7 +128,13 @@ impl<T: Copy + Default> Csr<T> {
         for r in 0..self.nrows {
             rows.extend(std::iter::repeat_n(r as u32, self.row_nnz(r)));
         }
-        Coo::new(self.nrows, self.ncols, rows, self.indices.clone(), self.vals.clone())
+        Coo::new(
+            self.nrows,
+            self.ncols,
+            rows,
+            self.indices.clone(),
+            self.vals.clone(),
+        )
     }
 
     /// Transpose (CSR -> CSR of the transpose) via counting sort on columns.
@@ -219,7 +241,14 @@ mod tests {
 
     fn example() -> Csr<f32> {
         // 0 -> 1, 0 -> 2, 1 -> 2, 2 -> 0
-        Coo::new(3, 3, vec![0, 0, 1, 2], vec![1, 2, 2, 0], vec![1., 2., 3., 4.]).to_csr()
+        Coo::new(
+            3,
+            3,
+            vec![0, 0, 1, 2],
+            vec![1, 2, 2, 0],
+            vec![1., 2., 3., 4.],
+        )
+        .to_csr()
     }
 
     #[test]

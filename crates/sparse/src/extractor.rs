@@ -26,7 +26,11 @@ pub struct InducedExtractor {
 impl InducedExtractor {
     /// Scratch for graphs with up to `n` vertices.
     pub fn new(n: usize) -> Self {
-        Self { pos: vec![0; n], stamp: vec![0; n], generation: 0 }
+        Self {
+            pos: vec![0; n],
+            stamp: vec![0; n],
+            generation: 0,
+        }
     }
 
     /// Extract `a[sel, sel]` (vertices renumbered to `0..sel.len()`),
@@ -74,18 +78,19 @@ mod tests {
     use crate::spgemm::extract_induced_direct;
 
     fn sample_graph() -> Csr<u32> {
-        adjacency_with_edge_ids(
-            6,
-            &[0, 0, 1, 2, 3, 4, 5, 5],
-            &[1, 2, 3, 4, 5, 0, 1, 2],
-        )
+        adjacency_with_edge_ids(6, &[0, 0, 1, 2, 3, 4, 5, 5], &[1, 2, 3, 4, 5, 0, 1, 2])
     }
 
     #[test]
     fn matches_hashmap_extractor() {
         let a = sample_graph();
         let mut ex = InducedExtractor::new(6);
-        for sel in [vec![0u32, 1, 2], vec![3u32, 4, 5], vec![0u32, 5], vec![2u32]] {
+        for sel in [
+            vec![0u32, 1, 2],
+            vec![3u32, 4, 5],
+            vec![0u32, 5],
+            vec![2u32],
+        ] {
             let mut edges = Vec::new();
             ex.extract_into(&a, &sel, &mut edges);
             let reference = extract_induced_direct(&a, &sel);

@@ -45,7 +45,11 @@ impl Csr<f32> {
     }
 }
 
-fn assemble<T: Copy + Default>(nrows: usize, ncols: usize, rows: Vec<(Vec<u32>, Vec<T>)>) -> Csr<T> {
+fn assemble<T: Copy + Default>(
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<(Vec<u32>, Vec<T>)>,
+) -> Csr<T> {
     let mut indptr = Vec::with_capacity(nrows + 1);
     indptr.push(0usize);
     let nnz: usize = rows.iter().map(|(c, _)| c.len()).sum();
@@ -83,8 +87,11 @@ pub fn extract_induced_spgemm(a: &Csr<f32>, sel: &[u32]) -> Csr<f32> {
 /// [`extract_induced_spgemm`] on an id-valued matrix but without the f32
 /// detour; used by the per-vertex baseline sampler.
 pub fn extract_induced_direct(a: &Csr<u32>, sel: &[u32]) -> Csr<u32> {
-    let lookup: HashMap<u32, u32> =
-        sel.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+    let lookup: HashMap<u32, u32> = sel
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u32))
+        .collect();
     let mut indptr = Vec::with_capacity(sel.len() + 1);
     indptr.push(0usize);
     let mut indices = Vec::new();
@@ -127,9 +134,22 @@ mod tests {
 
     #[test]
     fn spgemm_matches_dense() {
-        let a = Coo::new(3, 4, vec![0, 0, 1, 2], vec![1, 3, 2, 0], vec![1., 2., 3., 4.]).to_csr();
-        let b = Coo::new(4, 2, vec![0, 1, 2, 3, 3], vec![0, 1, 0, 0, 1], vec![5., 6., 7., 8., 9.])
-            .to_csr();
+        let a = Coo::new(
+            3,
+            4,
+            vec![0, 0, 1, 2],
+            vec![1, 3, 2, 0],
+            vec![1., 2., 3., 4.],
+        )
+        .to_csr();
+        let b = Coo::new(
+            4,
+            2,
+            vec![0, 1, 2, 3, 3],
+            vec![0, 1, 0, 0, 1],
+            vec![5., 6., 7., 8., 9.],
+        )
+        .to_csr();
         let c = a.spgemm(&b);
         assert_eq!(c.to_dense(), dense_mul(&a.to_dense(), &b.to_dense()));
     }

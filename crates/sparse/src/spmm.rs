@@ -13,7 +13,11 @@ impl Csr<f32> {
     /// The dense operand is a flat slice to avoid a dependency on
     /// `trkx-tensor` from this substrate crate; callers wrap/unwrap.
     pub fn spmm(&self, dense: &[f32], k: usize) -> Vec<f32> {
-        assert_eq!(dense.len(), self.ncols() * k, "dense operand shape mismatch");
+        assert_eq!(
+            dense.len(),
+            self.ncols() * k,
+            "dense operand shape mismatch"
+        );
         let mut out = vec![0.0f32; self.nrows() * k];
         let body = |(r, out_row): (usize, &mut [f32])| {
             let (cols, vals) = self.row(r);
@@ -45,7 +49,14 @@ mod tests {
 
     #[test]
     fn spmm_matches_dense() {
-        let a = Coo::new(3, 3, vec![0, 0, 1, 2], vec![1, 2, 2, 0], vec![1., 2., 3., 4.]).to_csr();
+        let a = Coo::new(
+            3,
+            3,
+            vec![0, 0, 1, 2],
+            vec![1, 2, 2, 0],
+            vec![1., 2., 3., 4.],
+        )
+        .to_csr();
         // dense = I scaled by column index + 1 pattern, k=2
         let dense = vec![1., 0., 0., 1., 2., 2.];
         let out = a.spmm(&dense, 2);

@@ -8,12 +8,11 @@ use trkx_sparse::{
 };
 
 /// Random sparse matrix as (nrows, ncols, triplets with unique coords).
-fn sparse_strategy(
-    max_dim: usize,
-) -> impl Strategy<Value = (usize, usize, Vec<(u32, u32, f32)>)> {
+fn sparse_strategy(max_dim: usize) -> impl Strategy<Value = (usize, usize, Vec<(u32, u32, f32)>)> {
     (1..max_dim, 1..max_dim).prop_flat_map(|(r, c)| {
-        let coords = proptest::collection::btree_set((0..r as u32, 0..c as u32), 0..(r * c).min(24))
-            .prop_map(|set| set.into_iter().collect::<Vec<_>>());
+        let coords =
+            proptest::collection::btree_set((0..r as u32, 0..c as u32), 0..(r * c).min(24))
+                .prop_map(|set| set.into_iter().collect::<Vec<_>>());
         (Just(r), Just(c), coords).prop_flat_map(|(r, c, coords)| {
             let n = coords.len();
             (

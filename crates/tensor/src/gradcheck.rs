@@ -54,7 +54,10 @@ pub fn gradcheck(
         t.value(l).as_scalar()
     };
 
-    let mut report = GradCheckReport { max_abs_err: 0.0, max_rel_err: 0.0 };
+    let mut report = GradCheckReport {
+        max_abs_err: 0.0,
+        max_rel_err: 0.0,
+    };
     let mut work: Vec<Matrix> = inputs.to_vec();
     for (i, input) in inputs.iter().enumerate() {
         for e in 0..input.len() {

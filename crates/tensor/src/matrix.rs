@@ -3,15 +3,140 @@
 //! This is the storage type behind the autograd tape ([`crate::Tape`]) and
 //! everything the Interaction GNN computes on. Kernels switch to parallel
 //! execution above a size threshold so that small per-subgraph matrices do
-//! not pay thread-pool overhead.
+//! not pay thread-pool overhead; the matmul family is register-tiled with
+//! fixed-width column accumulators so the autovectorizer can keep partial
+//! sums in SIMD registers (strict-FP ordering otherwise forces a serial
+//! scalar add chain).
+//!
+//! Every dense kernel has an accumulate-into (`*_acc`) variant writing
+//! `out += result` into a caller-provided buffer — the autograd backward
+//! pass uses these to accumulate gradients in place with no per-op
+//! allocation (buffers come from [`crate::BufferPool`]).
 
 use rand::Rng;
 use rayon::prelude::*;
+use std::sync::OnceLock;
 
-/// Element count above which elementwise kernels use Rayon.
-const PAR_THRESHOLD: usize = 1 << 14;
-/// Output element count above which matmul uses Rayon.
-const PAR_MATMUL_THRESHOLD: usize = 1 << 10;
+/// Default element count above which elementwise kernels use Rayon.
+const DEFAULT_PAR_THRESHOLD: usize = 1 << 14;
+/// Default output element count above which matmul uses Rayon.
+const DEFAULT_PAR_MATMUL_THRESHOLD: usize = 1 << 10;
+
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok().and_then(|v| v.parse().ok())
+}
+
+/// Element count above which elementwise kernels use Rayon
+/// (override: `TRKX_PAR_THRESHOLD`).
+pub fn par_threshold() -> usize {
+    static V: OnceLock<usize> = OnceLock::new();
+    *V.get_or_init(|| env_usize("TRKX_PAR_THRESHOLD").unwrap_or(DEFAULT_PAR_THRESHOLD))
+}
+
+/// Output element count above which matmul kernels use Rayon
+/// (override: `TRKX_PAR_MATMUL_THRESHOLD`).
+pub fn par_matmul_threshold() -> usize {
+    static V: OnceLock<usize> = OnceLock::new();
+    *V.get_or_init(|| {
+        env_usize("TRKX_PAR_MATMUL_THRESHOLD").unwrap_or(DEFAULT_PAR_MATMUL_THRESHOLD)
+    })
+}
+
+/// Column-tile width of the matmul micro-kernels: 16 f32 lanes, so the
+/// per-tile accumulator array fits in four SSE (two AVX) registers and
+/// survives the whole reduction loop without touching memory.
+const NR: usize = 16;
+
+/// `out_row += a_row * B` for one output row, accumulating NR-wide column
+/// tiles in registers. `b` is `k x n` row-major with `k == a_row.len()`.
+#[inline]
+fn matmul_row_kernel(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
+    let mut j0 = 0;
+    while j0 < n {
+        let w = (n - j0).min(NR);
+        let mut acc = [0.0f32; NR];
+        if w == NR {
+            for (i, &a_ik) in a_row.iter().enumerate() {
+                let bt = &b[i * n + j0..i * n + j0 + NR];
+                for t in 0..NR {
+                    acc[t] += a_ik * bt[t];
+                }
+            }
+        } else {
+            for (i, &a_ik) in a_row.iter().enumerate() {
+                let bt = &b[i * n + j0..i * n + j0 + w];
+                for (a, &bv) in acc[..w].iter_mut().zip(bt) {
+                    *a += a_ik * bv;
+                }
+            }
+        }
+        for (o, &a) in out_row[j0..j0 + w].iter_mut().zip(&acc) {
+            *o += a;
+        }
+        j0 += NR;
+    }
+}
+
+/// `out_row += (Aᵀ)[i] * B` for output row `i` of `Aᵀ B`: walks `a` down
+/// column `i` (stride `m`) while streaming B row tiles.
+#[inline]
+fn matmul_tn_row_kernel(
+    a: &[f32],
+    i: usize,
+    m: usize,
+    k_rows: usize,
+    b: &[f32],
+    n: usize,
+    out_row: &mut [f32],
+) {
+    let mut j0 = 0;
+    while j0 < n {
+        let w = (n - j0).min(NR);
+        let mut acc = [0.0f32; NR];
+        if w == NR {
+            for r in 0..k_rows {
+                let a_ri = a[r * m + i];
+                let bt = &b[r * n + j0..r * n + j0 + NR];
+                for t in 0..NR {
+                    acc[t] += a_ri * bt[t];
+                }
+            }
+        } else {
+            for r in 0..k_rows {
+                let a_ri = a[r * m + i];
+                let bt = &b[r * n + j0..r * n + j0 + w];
+                for (a, &bv) in acc[..w].iter_mut().zip(bt) {
+                    *a += a_ri * bv;
+                }
+            }
+        }
+        for (o, &a) in out_row[j0..j0 + w].iter_mut().zip(&acc) {
+            *o += a;
+        }
+        j0 += NR;
+    }
+}
+
+/// Eight-lane dot product: breaks the float add dependency chain so LLVM
+/// vectorizes the reduction (a plain `zip().sum()` must stay scalar).
+#[inline]
+fn dot8(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    for c in 0..chunks {
+        let ac = &a[c * 8..c * 8 + 8];
+        let bc = &b[c * 8..c * 8 + 8];
+        for t in 0..8 {
+            lanes[t] += ac[t] * bc[t];
+        }
+    }
+    let mut tail = 0.0f32;
+    for t in chunks * 8..a.len() {
+        tail += a[t] * b[t];
+    }
+    lanes.iter().sum::<f32>() + tail
+}
 
 /// A dense row-major `f32` matrix.
 #[derive(Clone, PartialEq)]
@@ -36,7 +161,11 @@ impl std::fmt::Debug for Matrix {
 impl Matrix {
     /// A `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// A `rows x cols` matrix of ones.
@@ -46,12 +175,21 @@ impl Matrix {
 
     /// A `rows x cols` matrix filled with `v`.
     pub fn full(rows: usize, cols: usize, v: f32) -> Self {
-        Self { rows, cols, data: vec![v; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
     }
 
     /// Build from a row-major buffer. Panics if the length does not match.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer length {} != {rows}x{cols}", data.len());
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} != {rows}x{cols}",
+            data.len()
+        );
         Self { rows, cols, data }
     }
 
@@ -97,7 +235,13 @@ impl Matrix {
 
     /// The single element of a 1x1 matrix. Panics otherwise.
     pub fn as_scalar(&self) -> f32 {
-        assert_eq!((self.rows, self.cols), (1, 1), "as_scalar on {}x{}", self.rows, self.cols);
+        assert_eq!(
+            (self.rows, self.cols),
+            (1, 1),
+            "as_scalar on {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[0]
     }
 
@@ -157,126 +301,156 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Overwrite every element with `v`.
+    pub fn fill(&mut self, v: f32) {
+        self.data.fill(v);
+    }
+
+    /// Copy `other`'s contents into `self` (shapes must match).
+    pub fn copy_from(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "copy_from shape mismatch");
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Dense matrix product `self * b`. Parallel over output rows.
     pub fn matmul(&self, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, b.cols);
+        self.matmul_acc(b, &mut out);
+        out
+    }
+
+    /// `out += self * b`, accumulating into a caller-provided buffer.
+    pub fn matmul_acc(&self, b: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, b.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, b.rows, b.cols
         );
         let (m, k, n) = (self.rows, self.cols, b.cols);
-        let mut out = Matrix::zeros(m, n);
+        assert_eq!(out.shape(), (m, n), "matmul output shape mismatch");
         let a_data = &self.data;
         let b_data = &b.data;
         let body = |(r, out_row): (usize, &mut [f32])| {
-            let a_row = &a_data[r * k..(r + 1) * k];
-            // ikj loop order: stream through b rows, accumulate into out_row.
-            for (i, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = &b_data[i * n..(i + 1) * n];
-                for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
-                    *o += a_ik * b_kj;
-                }
-            }
+            matmul_row_kernel(&a_data[r * k..(r + 1) * k], b_data, n, out_row);
         };
-        if m * n >= PAR_MATMUL_THRESHOLD && m > 1 {
+        if m * n >= par_matmul_threshold() && m > 1 {
             out.data.par_chunks_mut(n).enumerate().for_each(body);
         } else {
             out.data.chunks_mut(n).enumerate().for_each(body);
         }
-        out
     }
 
     /// `selfᵀ * b` without materialising the transpose.
     pub fn matmul_tn(&self, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, b.cols);
+        self.matmul_tn_acc(b, &mut out);
+        out
+    }
+
+    /// `out += selfᵀ * b` without materialising the transpose.
+    pub fn matmul_tn_acc(&self, b: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, b.rows,
             "matmul_tn shape mismatch: ({}x{})ᵀ * {}x{}",
             self.rows, self.cols, b.rows, b.cols
         );
         let (m, k, n) = (self.cols, self.rows, b.cols);
-        // out[i][j] = sum_r self[r][i] * b[r][j]
-        let mut out = Matrix::zeros(m, n);
-        if m * n >= PAR_MATMUL_THRESHOLD && m > 1 {
-            let a = &self.data;
-            let bd = &b.data;
-            out.data.par_chunks_mut(n).enumerate().for_each(|(i, out_row)| {
-                for r in 0..k {
-                    let a_ri = a[r * m + i];
-                    if a_ri == 0.0 {
-                        continue;
-                    }
-                    let b_row = &bd[r * n..(r + 1) * n];
-                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                        *o += a_ri * bv;
-                    }
-                }
-            });
+        assert_eq!(out.shape(), (m, n), "matmul_tn output shape mismatch");
+        let a = &self.data;
+        let bd = &b.data;
+        let body = |(i, out_row): (usize, &mut [f32])| {
+            matmul_tn_row_kernel(a, i, m, k, bd, n, out_row);
+        };
+        if m * n >= par_matmul_threshold() && m > 1 {
+            out.data.par_chunks_mut(n).enumerate().for_each(body);
         } else {
-            for r in 0..k {
-                let a_row = self.row(r);
-                let b_row = b.row(r);
-                for (i, &a_ri) in a_row.iter().enumerate() {
-                    if a_ri == 0.0 {
-                        continue;
-                    }
-                    let out_row = &mut out.data[i * n..(i + 1) * n];
-                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                        *o += a_ri * bv;
-                    }
-                }
-            }
+            out.data.chunks_mut(n).enumerate().for_each(body);
         }
-        out
     }
 
     /// `self * bᵀ` without materialising the transpose.
     pub fn matmul_nt(&self, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, b.rows);
+        self.matmul_nt_acc(b, &mut out);
+        out
+    }
+
+    /// `out += self * bᵀ` without materialising the transpose.
+    pub fn matmul_nt_acc(&self, b: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, b.cols,
             "matmul_nt shape mismatch: {}x{} * ({}x{})ᵀ",
             self.rows, self.cols, b.rows, b.cols
         );
         let (m, k, n) = (self.rows, self.cols, b.rows);
-        let mut out = Matrix::zeros(m, n);
+        assert_eq!(out.shape(), (m, n), "matmul_nt output shape mismatch");
         let a = &self.data;
         let bd = &b.data;
         let body = |(r, out_row): (usize, &mut [f32])| {
             let a_row = &a[r * k..(r + 1) * k];
             for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &bd[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in a_row.iter().zip(b_row) {
-                    acc += av * bv;
-                }
-                *o = acc;
+                *o += dot8(a_row, &bd[j * k..(j + 1) * k]);
             }
         };
-        if m * n >= PAR_MATMUL_THRESHOLD && m > 1 {
+        if m * n >= par_matmul_threshold() && m > 1 {
             out.data.par_chunks_mut(n).enumerate().for_each(body);
         } else {
             out.data.chunks_mut(n).enumerate().for_each(body);
         }
+    }
+
+    /// Materialised transpose. Parallel over blocks of output rows, with
+    /// tiled traversal so the strided source reads stay cache-resident.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
         out
     }
 
-    /// Materialised transpose.
-    pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
-            }
+    /// Transpose into a caller-provided `cols x rows` buffer (overwrites).
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (self.cols, self.rows),
+            "transpose output shape mismatch"
+        );
+        // Tile edge: 32x32 f32 tiles = two 4 KiB pages of source touched
+        // per tile, well inside L1.
+        const TB: usize = 32;
+        let (rows, cols) = (self.rows, self.cols);
+        if rows == 0 || cols == 0 {
+            return;
         }
-        out
+        let src = &self.data;
+        // Each chunk covers up to TB output rows (= TB source columns).
+        let body = |(chunk_idx, out_chunk): (usize, &mut [f32])| {
+            let c0 = chunk_idx * TB;
+            let cw = out_chunk.len() / rows;
+            for r0 in (0..rows).step_by(TB) {
+                let rw = (rows - r0).min(TB);
+                for dc in 0..cw {
+                    let out_seg = &mut out_chunk[dc * rows + r0..dc * rows + r0 + rw];
+                    let c = c0 + dc;
+                    for (dr, o) in out_seg.iter_mut().enumerate() {
+                        *o = src[(r0 + dr) * cols + c];
+                    }
+                }
+            }
+        };
+        if rows * cols >= par_threshold() && cols > 1 {
+            out.data
+                .par_chunks_mut(TB * rows)
+                .enumerate()
+                .for_each(body);
+        } else {
+            out.data.chunks_mut(TB * rows).enumerate().for_each(body);
+        }
     }
 
     fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32 + Sync) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "elementwise shape mismatch");
         let mut out = self.clone();
-        if out.data.len() >= PAR_THRESHOLD {
+        if out.data.len() >= par_threshold() {
             out.data
                 .par_iter_mut()
                 .zip(other.data.par_iter())
@@ -307,7 +481,7 @@ impl Matrix {
     /// In-place `self += other`.
     pub fn add_assign(&mut self, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
-        if self.data.len() >= PAR_THRESHOLD {
+        if self.data.len() >= par_threshold() {
             self.data
                 .par_iter_mut()
                 .zip(other.data.par_iter())
@@ -316,6 +490,23 @@ impl Matrix {
             for (a, &b) in self.data.iter_mut().zip(&other.data) {
                 *a += b;
             }
+        }
+    }
+
+    /// In-place `self ⊙= other`.
+    pub fn mul_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "mul_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a *= b;
+        }
+    }
+
+    /// In-place fused multiply-accumulate `self += a ⊙ b`.
+    pub fn hadamard_acc(&mut self, a: &Matrix, b: &Matrix) {
+        assert_eq!(a.shape(), b.shape(), "hadamard_acc operand mismatch");
+        assert_eq!(self.shape(), a.shape(), "hadamard_acc shape mismatch");
+        for ((o, &av), &bv) in self.data.iter_mut().zip(&a.data).zip(&b.data) {
+            *o += av * bv;
         }
     }
 
@@ -335,23 +526,42 @@ impl Matrix {
     /// Apply `f` to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
         let mut out = self.clone();
-        if out.data.len() >= PAR_THRESHOLD {
-            out.data.par_iter_mut().for_each(|v| *v = f(*v));
-        } else {
-            out.data.iter_mut().for_each(|v| *v = f(*v));
-        }
+        out.apply(f);
         out
+    }
+
+    /// Apply `f` to every element in place.
+    pub fn apply(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        if self.data.len() >= par_threshold() {
+            self.data.par_iter_mut().for_each(|v| *v = f(*v));
+        } else {
+            self.data.iter_mut().for_each(|v| *v = f(*v));
+        }
     }
 
     /// Horizontal concatenation of matrices with equal row counts.
     pub fn concat_cols(parts: &[&Matrix]) -> Matrix {
         assert!(!parts.is_empty(), "concat_cols of nothing");
         let rows = parts[0].rows;
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        Self::concat_cols_into(parts, &mut out);
+        out
+    }
+
+    /// Horizontal concatenation into a caller-provided buffer (overwrites).
+    pub fn concat_cols_into(parts: &[&Matrix], out: &mut Matrix) {
+        assert!(!parts.is_empty(), "concat_cols of nothing");
+        let rows = parts[0].rows;
         for p in parts {
             assert_eq!(p.rows, rows, "concat_cols row mismatch");
         }
         let cols: usize = parts.iter().map(|p| p.cols).sum();
-        let mut out = Matrix::zeros(rows, cols);
+        assert_eq!(
+            out.shape(),
+            (rows, cols),
+            "concat_cols output shape mismatch"
+        );
         for r in 0..rows {
             let dst = out.row_mut(r);
             let mut off = 0;
@@ -360,7 +570,6 @@ impl Matrix {
                 off += p.cols;
             }
         }
-        out
     }
 
     /// Vertical concatenation of matrices with equal column counts.
@@ -378,18 +587,38 @@ impl Matrix {
 
     /// Copy the column range `[start, end)` into a new matrix.
     pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, end - start);
+        self.slice_cols_into(start, end, &mut out);
+        out
+    }
+
+    /// Copy the column range `[start, end)` into `out` (overwrites).
+    pub fn slice_cols_into(&self, start: usize, end: usize, out: &mut Matrix) {
         assert!(start <= end && end <= self.cols, "slice_cols out of range");
-        let w = end - start;
-        let mut out = Matrix::zeros(self.rows, w);
+        assert_eq!(
+            out.shape(),
+            (self.rows, end - start),
+            "slice_cols output shape mismatch"
+        );
         for r in 0..self.rows {
             out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
         }
-        out
     }
 
     /// `out[i, :] = self[idx[i], :]` — row gather.
     pub fn gather_rows(&self, idx: &[u32]) -> Matrix {
         let mut out = Matrix::zeros(idx.len(), self.cols);
+        self.gather_rows_into(idx, &mut out);
+        out
+    }
+
+    /// Row gather into a caller-provided buffer (overwrites).
+    pub fn gather_rows_into(&self, idx: &[u32], out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (idx.len(), self.cols),
+            "gather output shape mismatch"
+        );
         let cols = self.cols;
         let src = &self.data;
         let body = |(i, dst): (usize, &mut [f32])| {
@@ -397,19 +626,50 @@ impl Matrix {
             debug_assert!(r < self.rows, "gather_rows index {r} out of {}", self.rows);
             dst.copy_from_slice(&src[r * cols..(r + 1) * cols]);
         };
-        if idx.len() * cols >= PAR_THRESHOLD {
+        if idx.len() * cols >= par_threshold() {
             out.data.par_chunks_mut(cols).enumerate().for_each(body);
         } else {
             out.data.chunks_mut(cols).enumerate().for_each(body);
         }
-        out
+    }
+
+    /// `out[i, :] += self[idx[i], :]` — accumulating row gather (the
+    /// adjoint of scatter-add, used by its backward pass).
+    pub fn gather_rows_acc(&self, idx: &[u32], out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (idx.len(), self.cols),
+            "gather output shape mismatch"
+        );
+        let cols = self.cols;
+        for (i, &r) in idx.iter().enumerate() {
+            let r = r as usize;
+            debug_assert!(r < self.rows, "gather_rows index {r} out of {}", self.rows);
+            let src = &self.data[r * cols..(r + 1) * cols];
+            for (d, &s) in out.row_mut(i).iter_mut().zip(src) {
+                *d += s;
+            }
+        }
     }
 
     /// `out[idx[i], :] += self[i, :]` into a fresh `out_rows x cols` matrix —
     /// the row scatter-add used by GNN message aggregation.
     pub fn scatter_add_rows(&self, idx: &[u32], out_rows: usize) -> Matrix {
-        assert_eq!(idx.len(), self.rows, "scatter_add_rows index length mismatch");
         let mut out = Matrix::zeros(out_rows, self.cols);
+        self.scatter_rows_acc(idx, &mut out);
+        out
+    }
+
+    /// `out[idx[i], :] += self[i, :]`, accumulating into an existing
+    /// buffer. Serial: rows collide by construction.
+    pub fn scatter_rows_acc(&self, idx: &[u32], out: &mut Matrix) {
+        assert_eq!(
+            idx.len(),
+            self.rows,
+            "scatter_add_rows index length mismatch"
+        );
+        assert_eq!(out.cols, self.cols, "scatter_add_rows col mismatch");
+        let out_rows = out.rows;
         for (i, &r) in idx.iter().enumerate() {
             let r = r as usize;
             debug_assert!(r < out_rows, "scatter index {r} out of {out_rows}");
@@ -419,18 +679,27 @@ impl Matrix {
                 *d += s;
             }
         }
-        out
     }
 
     /// Column sums as a `1 x cols` matrix.
     pub fn col_sums(&self) -> Matrix {
         let mut out = Matrix::zeros(1, self.cols);
+        self.col_sums_acc(&mut out);
+        out
+    }
+
+    /// `out += column sums` into an existing `1 x cols` buffer.
+    pub fn col_sums_acc(&self, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (1, self.cols),
+            "col_sums output shape mismatch"
+        );
         for r in 0..self.rows {
             for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
                 *o += v;
             }
         }
-        out
     }
 
     /// Row sums as a `rows x 1` matrix.
@@ -444,7 +713,7 @@ impl Matrix {
 
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        if self.data.len() >= PAR_THRESHOLD {
+        if self.data.len() >= par_threshold() {
             self.data.par_iter().sum()
         } else {
             self.data.iter().sum()
@@ -532,8 +801,57 @@ mod tests {
     }
 
     #[test]
+    fn matmul_wide_shapes_match_naive() {
+        // Wide enough to exercise full NR tiles plus a ragged remainder.
+        let mut rng = StdRng::seed_from_u64(9);
+        for (m, k, n) in [(5usize, 7usize, 37usize), (3, 33, 16), (4, 16, 48)] {
+            let a = Matrix::randn(m, k, 1.0, &mut rng);
+            let b = Matrix::randn(k, n, 1.0, &mut rng);
+            let c = a.matmul(&b);
+            let mut naive = Matrix::zeros(m, n);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0;
+                    for kk in 0..k {
+                        acc += a.get(i, kk) * b.get(kk, j);
+                    }
+                    naive.set(i, j, acc);
+                }
+            }
+            assert!(c.approx_eq(&naive, 1e-3), "matmul {m}x{k}x{n}");
+            assert!(
+                a.transpose().matmul_tn(&b).approx_eq(&naive, 1e-3),
+                "tn {m}x{k}x{n}"
+            );
+            assert!(
+                a.matmul_nt(&b.transpose()).approx_eq(&naive, 1e-3),
+                "nt {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_acc_accumulates() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = Matrix::randn(3, 5, 1.0, &mut rng);
+        let b = Matrix::randn(5, 4, 1.0, &mut rng);
+        let base = Matrix::randn(3, 4, 1.0, &mut rng);
+        let mut out = base.clone();
+        a.matmul_acc(&b, &mut out);
+        let expect = base.add(&a.matmul(&b));
+        assert!(out.approx_eq(&expect, 1e-5));
+        // tn / nt accumulate variants.
+        let mut out_tn = base.clone();
+        a.transpose().matmul_tn_acc(&b, &mut out_tn);
+        assert!(out_tn.approx_eq(&expect, 1e-4));
+        let mut out_nt = base.clone();
+        a.matmul_nt_acc(&b.transpose(), &mut out_nt);
+        assert!(out_nt.approx_eq(&expect, 1e-4));
+    }
+
+    #[test]
     fn matmul_parallel_matches_serial() {
-        // Large enough to cross PAR_MATMUL_THRESHOLD.
+        // Large enough to cross the parallel matmul threshold.
         let mut rng = StdRng::seed_from_u64(3);
         let a = Matrix::randn(64, 32, 1.0, &mut rng);
         let b = Matrix::randn(32, 48, 1.0, &mut rng);
@@ -560,6 +878,20 @@ mod tests {
     }
 
     #[test]
+    fn transpose_blocked_matches_pointwise() {
+        // Larger than one 32x32 tile in both directions, ragged edges.
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Matrix::randn(70, 45, 1.0, &mut rng);
+        let t = a.transpose();
+        assert_eq!(t.shape(), (45, 70));
+        for r in 0..a.rows() {
+            for c in 0..a.cols() {
+                assert_eq!(t.get(c, r), a.get(r, c));
+            }
+        }
+    }
+
+    #[test]
     fn elementwise_ops() {
         let a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
         let b = Matrix::from_vec(2, 2, vec![5., 6., 7., 8.]);
@@ -573,6 +905,12 @@ mod tests {
         let mut d = a.clone();
         d.axpy(0.5, &b);
         assert_eq!(d.data(), &[3.5, 5., 6.5, 8.]);
+        let mut e = a.clone();
+        e.mul_assign(&b);
+        assert_eq!(e.data(), &[5., 12., 21., 32.]);
+        let mut f = a.clone();
+        f.hadamard_acc(&a, &b);
+        assert_eq!(f.data(), &[6., 14., 24., 36.]);
     }
 
     #[test]
@@ -602,6 +940,12 @@ mod tests {
         assert_eq!(s.row(0), a.row(0));
         assert_eq!(s.row(1), &[0., 0.]);
         assert_eq!(s.row(3), &[12., 14.]); // 2 * row 3
+
+        // Accumulating gather matches gather-then-add.
+        let mut acc = Matrix::ones(3, 2);
+        a.gather_rows_acc(&idx, &mut acc);
+        let expect = g.map(|v| v + 1.0);
+        assert!(acc.approx_eq(&expect, 0.0));
     }
 
     #[test]
@@ -619,7 +963,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let m = Matrix::randn(200, 200, 2.0, &mut rng);
         let mean = m.mean();
-        let var = m.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+        let var = m
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
             / (m.len() as f32 - 1.0);
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 4.0).abs() < 0.2, "var {var}");
@@ -628,5 +976,14 @@ mod tests {
     #[test]
     fn scalar_roundtrip() {
         assert_eq!(Matrix::scalar(3.5).as_scalar(), 3.5);
+    }
+
+    #[test]
+    fn thresholds_have_sane_defaults() {
+        // Env overrides are read once per process; absent overrides the
+        // defaults apply (dedicated override test lives in tests/ where it
+        // can own the process environment).
+        assert!(par_threshold() > 0);
+        assert!(par_matmul_threshold() > 0);
     }
 }

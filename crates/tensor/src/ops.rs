@@ -4,8 +4,16 @@
 //! Keeping the rules in one explicit `enum` (rather than closures) makes
 //! every backward rule unit-testable against finite differences
 //! (see [`crate::gradcheck`]) and keeps the tape `Send`.
+//!
+//! Both passes are zero-copy over tape storage: [`forward`] reads operand
+//! values from the tape's value slice by reference and draws its output
+//! buffer from the [`BufferPool`]; [`backward_into`] accumulates `+=` into
+//! per-parent gradient buffers held by a [`GradStore`], so evaluating an op
+//! or accumulating a gradient never clones an operand and (once the pool is
+//! warm) never allocates.
 
 use crate::matrix::Matrix;
+use crate::pool::BufferPool;
 use std::sync::Arc;
 
 /// Operation recorded on a tape node.
@@ -25,14 +33,24 @@ pub enum Op {
     Hadamard { a: usize, b: usize },
     /// `C = A + bias` with `bias` a `1 x cols` row broadcast over rows.
     AddBias { a: usize, bias: usize },
+    /// Fused `C = relu(A + bias)` — one pass instead of an AddBias node
+    /// plus a Relu node (saves a full activation buffer per MLP layer).
+    AddBiasRelu { a: usize, bias: usize },
     /// `C = k * A`.
     Scale { a: usize, k: f32 },
     /// `C = A + k` elementwise.
     AddScalar { a: usize, k: f32 },
     /// Horizontal concatenation of equal-row-count parents.
-    ConcatCols { parts: Vec<usize>, widths: Vec<usize> },
+    ConcatCols {
+        parts: Vec<usize>,
+        widths: Vec<usize>,
+    },
     /// Column slice `[start, start+width)` of the parent.
-    SliceCols { a: usize, start: usize },
+    SliceCols {
+        a: usize,
+        start: usize,
+        width: usize,
+    },
     /// `C = max(A, 0)`.
     Relu { a: usize },
     /// `C = A` where positive, `alpha * A` otherwise.
@@ -48,7 +66,11 @@ pub enum Op {
     /// `C[i, :] = A[idx[i], :]`.
     Gather { a: usize, idx: Arc<Vec<u32>> },
     /// `C[idx[i], :] += A[i, :]` into `out_rows` rows.
-    ScatterAdd { a: usize, idx: Arc<Vec<u32>> },
+    ScatterAdd {
+        a: usize,
+        idx: Arc<Vec<u32>>,
+        out_rows: usize,
+    },
     /// Row sums: `rows x cols -> rows x 1`.
     RowSum { a: usize },
     /// Scalar sum of all elements.
@@ -57,11 +79,20 @@ pub enum Op {
     MeanAll { a: usize },
     /// Numerically stable binary cross-entropy with logits, mean-reduced.
     /// `targets` has one entry per logit element (row-major).
-    BceWithLogits { logits: usize, targets: Arc<Vec<f32>>, pos_weight: f32 },
+    BceWithLogits {
+        logits: usize,
+        targets: Arc<Vec<f32>>,
+        pos_weight: f32,
+    },
     /// Mean squared error against a constant target, mean-reduced.
     Mse { pred: usize, target: Arc<Matrix> },
     /// Per-row LayerNorm with learned gain/offset (`1 x cols` each).
-    LayerNorm { a: usize, gamma: usize, beta: usize, eps: f32 },
+    LayerNorm {
+        a: usize,
+        gamma: usize,
+        beta: usize,
+        eps: f32,
+    },
     /// Elementwise multiply by a fixed mask (dropout, label weighting).
     MulMask { a: usize, mask: Arc<Matrix> },
 }
@@ -71,11 +102,10 @@ impl Op {
     pub fn parents(&self) -> Vec<usize> {
         match self {
             Op::Leaf | Op::Constant => vec![],
-            Op::MatMul { a, b }
-            | Op::Add { a, b }
-            | Op::Sub { a, b }
-            | Op::Hadamard { a, b } => vec![*a, *b],
-            Op::AddBias { a, bias } => vec![*a, *bias],
+            Op::MatMul { a, b } | Op::Add { a, b } | Op::Sub { a, b } | Op::Hadamard { a, b } => {
+                vec![*a, *b]
+            }
+            Op::AddBias { a, bias } | Op::AddBiasRelu { a, bias } => vec![*a, *bias],
             Op::Scale { a, .. }
             | Op::AddScalar { a, .. }
             | Op::SliceCols { a, .. }
@@ -99,47 +129,100 @@ impl Op {
     }
 }
 
-/// Compute the forward value of `op` given direct access to earlier node
-/// values (`value(i)` returns node `i`'s matrix).
-pub fn forward(op: &Op, value: &dyn Fn(usize) -> Matrix) -> Matrix {
+/// Compute the forward value of `op`. `values[i]` is node `i`'s value
+/// (borrowed — no operand is cloned); the output buffer comes from `pool`.
+pub fn forward(op: &Op, values: &[Matrix], pool: &mut BufferPool) -> Matrix {
     match op {
         Op::Leaf | Op::Constant => unreachable!("leaves carry their own value"),
-        Op::MatMul { a, b } => value(*a).matmul(&value(*b)),
-        Op::Add { a, b } => value(*a).add(&value(*b)),
-        Op::Sub { a, b } => value(*a).sub(&value(*b)),
-        Op::Hadamard { a, b } => value(*a).hadamard(&value(*b)),
+        Op::MatMul { a, b } => {
+            let (a, b) = (&values[*a], &values[*b]);
+            let mut out = pool.zeros(a.rows(), b.cols());
+            a.matmul_acc(b, &mut out);
+            out
+        }
+        Op::Add { a, b } => {
+            let mut out = pool.copy_of(&values[*a]);
+            out.add_assign(&values[*b]);
+            out
+        }
+        Op::Sub { a, b } => {
+            let mut out = pool.copy_of(&values[*a]);
+            out.axpy(-1.0, &values[*b]);
+            out
+        }
+        Op::Hadamard { a, b } => {
+            let mut out = pool.copy_of(&values[*a]);
+            out.mul_assign(&values[*b]);
+            out
+        }
         Op::AddBias { a, bias } => {
-            let a = value(*a);
-            let bias = value(*bias);
+            let (a, bias) = (&values[*a], &values[*bias]);
             assert_eq!(bias.rows(), 1, "bias must be a row vector");
             assert_eq!(bias.cols(), a.cols(), "bias width mismatch");
-            let mut out = a;
+            let mut out = pool.copy_of(a);
             for r in 0..out.rows() {
-                let row = out.row_mut(r);
-                for (o, &b) in row.iter_mut().zip(bias.data()) {
+                for (o, &b) in out.row_mut(r).iter_mut().zip(bias.data()) {
                     *o += b;
                 }
             }
             out
         }
-        Op::Scale { a, k } => value(*a).scale(*k),
-        Op::AddScalar { a, k } => value(*a).map(|v| v + *k),
+        Op::AddBiasRelu { a, bias } => {
+            let (a, bias) = (&values[*a], &values[*bias]);
+            assert_eq!(bias.rows(), 1, "bias must be a row vector");
+            assert_eq!(bias.cols(), a.cols(), "bias width mismatch");
+            let mut out = pool.copy_of(a);
+            for r in 0..out.rows() {
+                for (o, &b) in out.row_mut(r).iter_mut().zip(bias.data()) {
+                    *o = (*o + b).max(0.0);
+                }
+            }
+            out
+        }
+        Op::Scale { a, k } => {
+            let k = *k;
+            let mut out = pool.copy_of(&values[*a]);
+            out.apply(|v| v * k);
+            out
+        }
+        Op::AddScalar { a, k } => {
+            let k = *k;
+            let mut out = pool.copy_of(&values[*a]);
+            out.apply(|v| v + k);
+            out
+        }
         Op::ConcatCols { parts, .. } => {
-            let vals: Vec<Matrix> = parts.iter().map(|&p| value(p)).collect();
-            let refs: Vec<&Matrix> = vals.iter().collect();
-            Matrix::concat_cols(&refs)
+            let refs: Vec<&Matrix> = parts.iter().map(|&p| &values[p]).collect();
+            let cols: usize = refs.iter().map(|p| p.cols()).sum();
+            let mut out = pool.zeros(refs[0].rows(), cols);
+            Matrix::concat_cols_into(&refs, &mut out);
+            out
         }
-        Op::SliceCols { a, start } => {
-            // Width is implied by the node that records this op; the tape
-            // passes it via a wrapper. Recomputed in Tape::slice_cols.
-            unreachable!("SliceCols forward handled by tape (start={start}, a={a})")
+        Op::SliceCols { a, start, width } => {
+            let a = &values[*a];
+            let mut out = pool.zeros(a.rows(), *width);
+            a.slice_cols_into(*start, *start + *width, &mut out);
+            out
         }
-        Op::Relu { a } => value(*a).map(|v| v.max(0.0)),
-        Op::LeakyRelu { a, alpha } => value(*a).map(|v| if v > 0.0 { v } else { *alpha * v }),
-        Op::Elu { a, alpha } => value(*a).map(|v| if v > 0.0 { v } else { *alpha * (v.exp() - 1.0) }),
+        Op::Relu { a } => {
+            let mut out = pool.copy_of(&values[*a]);
+            out.apply(|v| v.max(0.0));
+            out
+        }
+        Op::LeakyRelu { a, alpha } => {
+            let alpha = *alpha;
+            let mut out = pool.copy_of(&values[*a]);
+            out.apply(|v| if v > 0.0 { v } else { alpha * v });
+            out
+        }
+        Op::Elu { a, alpha } => {
+            let alpha = *alpha;
+            let mut out = pool.copy_of(&values[*a]);
+            out.apply(|v| if v > 0.0 { v } else { alpha * (v.exp() - 1.0) });
+            out
+        }
         Op::SoftmaxRows { a } => {
-            let x = value(*a);
-            let mut out = x.clone();
+            let mut out = pool.copy_of(&values[*a]);
             for r in 0..out.rows() {
                 let row = out.row_mut(r);
                 let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -154,17 +237,44 @@ pub fn forward(op: &Op, value: &dyn Fn(usize) -> Matrix) -> Matrix {
             }
             out
         }
-        Op::Sigmoid { a } => value(*a).map(sigmoid),
-        Op::Tanh { a } => value(*a).map(f32::tanh),
-        Op::Gather { a, idx } => value(*a).gather_rows(idx),
-        Op::ScatterAdd { a, idx } => {
-            unreachable!("ScatterAdd forward handled by tape (a={a}, n={})", idx.len())
+        Op::Sigmoid { a } => {
+            let mut out = pool.copy_of(&values[*a]);
+            out.apply(sigmoid);
+            out
         }
-        Op::RowSum { a } => value(*a).row_sums(),
-        Op::SumAll { a } => Matrix::scalar(value(*a).sum()),
-        Op::MeanAll { a } => Matrix::scalar(value(*a).mean()),
-        Op::BceWithLogits { logits, targets, pos_weight } => {
-            let x = value(*logits);
+        Op::Tanh { a } => {
+            let mut out = pool.copy_of(&values[*a]);
+            out.apply(f32::tanh);
+            out
+        }
+        Op::Gather { a, idx } => {
+            let a = &values[*a];
+            let mut out = pool.zeros(idx.len(), a.cols());
+            a.gather_rows_into(idx, &mut out);
+            out
+        }
+        Op::ScatterAdd { a, idx, out_rows } => {
+            let a = &values[*a];
+            let mut out = pool.zeros(*out_rows, a.cols());
+            a.scatter_rows_acc(idx, &mut out);
+            out
+        }
+        Op::RowSum { a } => {
+            let a = &values[*a];
+            let mut out = pool.zeros(a.rows(), 1);
+            for r in 0..a.rows() {
+                out.data_mut()[r] = a.row(r).iter().sum();
+            }
+            out
+        }
+        Op::SumAll { a } => scalar_from(pool, values[*a].sum()),
+        Op::MeanAll { a } => scalar_from(pool, values[*a].mean()),
+        Op::BceWithLogits {
+            logits,
+            targets,
+            pos_weight,
+        } => {
+            let x = &values[*logits];
             assert_eq!(x.len(), targets.len(), "bce target length mismatch");
             let mut acc = 0.0f64;
             for (&xi, &ti) in x.data().iter().zip(targets.iter()) {
@@ -174,22 +284,59 @@ pub fn forward(op: &Op, value: &dyn Fn(usize) -> Matrix) -> Matrix {
                 let loss = xi.max(0.0) - xi * ti + (1.0 + (-xi.abs()).exp()).ln();
                 acc += (w * loss) as f64;
             }
-            Matrix::scalar((acc / x.len().max(1) as f64) as f32)
+            scalar_from(pool, (acc / x.len().max(1) as f64) as f32)
         }
         Op::Mse { pred, target } => {
-            let p = value(*pred);
+            let p = &values[*pred];
             assert_eq!(p.shape(), target.shape(), "mse shape mismatch");
-            let diff = p.sub(target);
-            Matrix::scalar(diff.data().iter().map(|v| v * v).sum::<f32>() / p.len().max(1) as f32)
+            let sse: f32 = p
+                .data()
+                .iter()
+                .zip(target.data())
+                .map(|(&pv, &tv)| (pv - tv) * (pv - tv))
+                .sum();
+            scalar_from(pool, sse / p.len().max(1) as f32)
         }
-        Op::LayerNorm { a, gamma, beta, eps } => {
-            let x = value(*a);
-            let g = value(*gamma);
-            let b = value(*beta);
-            layer_norm_forward(&x, &g, &b, *eps).0
+        Op::LayerNorm {
+            a,
+            gamma,
+            beta,
+            eps,
+        } => {
+            let (x, g, b) = (&values[*a], &values[*gamma], &values[*beta]);
+            assert_eq!(g.shape(), (1, x.cols()), "layernorm gamma shape");
+            assert_eq!(b.shape(), (1, x.cols()), "layernorm beta shape");
+            let n = x.cols() as f32;
+            let mut out = pool.copy_of(x);
+            for r in 0..out.rows() {
+                let row = out.row_mut(r);
+                let (mean, inv_std) = row_stats(row, n, *eps);
+                for (v, (&gv, &bv)) in row.iter_mut().zip(g.data().iter().zip(b.data())) {
+                    *v = (*v - mean) * inv_std * gv + bv;
+                }
+            }
+            out
         }
-        Op::MulMask { a, mask } => value(*a).hadamard(mask),
+        Op::MulMask { a, mask } => {
+            let mut out = pool.copy_of(&values[*a]);
+            out.mul_assign(mask);
+            out
+        }
     }
+}
+
+fn scalar_from(pool: &mut BufferPool, v: f32) -> Matrix {
+    let mut out = pool.zeros(1, 1);
+    out.set(0, 0, v);
+    out
+}
+
+/// Per-row LayerNorm statistics: `(mean, 1/sqrt(var + eps))`.
+#[inline]
+fn row_stats(row: &[f32], n: f32, eps: f32) -> (f32, f32) {
+    let mean = row.iter().sum::<f32>() / n;
+    let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    (mean, 1.0 / (var + eps).sqrt())
 }
 
 #[inline]
@@ -202,210 +349,348 @@ pub fn sigmoid(x: f32) -> f32 {
     }
 }
 
-/// LayerNorm forward, returning `(output, per-row mean, per-row inv-std)`.
-pub fn layer_norm_forward(x: &Matrix, gamma: &Matrix, beta: &Matrix, eps: f32) -> (Matrix, Vec<f32>, Vec<f32>) {
-    assert_eq!(gamma.shape(), (1, x.cols()), "layernorm gamma shape");
-    assert_eq!(beta.shape(), (1, x.cols()), "layernorm beta shape");
-    let n = x.cols() as f32;
-    let mut out = x.clone();
-    let mut means = Vec::with_capacity(x.rows());
-    let mut inv_stds = Vec::with_capacity(x.rows());
-    for r in 0..x.rows() {
-        let row = out.row_mut(r);
-        let mean = row.iter().sum::<f32>() / n;
-        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
-        let inv_std = 1.0 / (var + eps).sqrt();
-        for (v, (&g, &b)) in row.iter_mut().zip(gamma.data().iter().zip(beta.data())) {
-            *v = (*v - mean) * inv_std * g + b;
-        }
-        means.push(mean);
-        inv_stds.push(inv_std);
-    }
-    (out, means, inv_stds)
+/// Write access to the gradient slots of every node before the one being
+/// differentiated. Gradient buffers are created lazily (zeroed, pooled) on
+/// first touch; constants get no buffer at all.
+pub struct GradStore<'a> {
+    pub(crate) ops: &'a [Op],
+    pub(crate) grads: &'a mut [Option<Matrix>],
+    pub(crate) pool: &'a mut BufferPool,
 }
 
-/// Backward pass for one op. `grad_out` is dL/d(output); `values[i]` is the
-/// value of node `i`; `out_value` is this node's own forward output. Returns
-/// `(parent_id, gradient)` contributions.
-pub fn backward(
+impl GradStore<'_> {
+    /// The `rows x cols` gradient accumulator of node `parent`, or `None`
+    /// if the parent is a constant (gradient flow stops there).
+    pub fn acc(&mut self, parent: usize, rows: usize, cols: usize) -> Option<&mut Matrix> {
+        if matches!(self.ops[parent], Op::Constant) {
+            return None;
+        }
+        let slot = &mut self.grads[parent];
+        if slot.is_none() {
+            *slot = Some(self.pool.zeros(rows, cols));
+        }
+        let g = slot.as_mut().unwrap();
+        debug_assert_eq!(g.shape(), (rows, cols), "gradient shape mismatch");
+        Some(g)
+    }
+}
+
+/// Backward pass for one op, accumulating `+=` into the parents' gradient
+/// buffers in `store`. `grad_out` is dL/d(output); `values[i]` is the value
+/// of node `i`; `out_value` is this node's own forward output.
+pub fn backward_into(
     op: &Op,
     grad_out: &Matrix,
-    values: &dyn Fn(usize) -> Matrix,
+    values: &[Matrix],
     out_value: &Matrix,
-) -> Vec<(usize, Matrix)> {
+    store: &mut GradStore<'_>,
+) {
     match op {
-        Op::Leaf | Op::Constant => vec![],
+        Op::Leaf | Op::Constant => {}
         Op::MatMul { a, b } => {
-            let av = values(*a);
-            let bv = values(*b);
-            vec![(*a, grad_out.matmul_nt(&bv)), (*b, av.matmul_tn(grad_out))]
+            let (av, bv) = (&values[*a], &values[*b]);
+            if let Some(ga) = store.acc(*a, av.rows(), av.cols()) {
+                grad_out.matmul_nt_acc(bv, ga);
+            }
+            if let Some(gb) = store.acc(*b, bv.rows(), bv.cols()) {
+                av.matmul_tn_acc(grad_out, gb);
+            }
         }
-        Op::Add { a, b } => vec![(*a, grad_out.clone()), (*b, grad_out.clone())],
-        Op::Sub { a, b } => vec![(*a, grad_out.clone()), (*b, grad_out.scale(-1.0))],
+        Op::Add { a, b } => {
+            let (rows, cols) = grad_out.shape();
+            if let Some(ga) = store.acc(*a, rows, cols) {
+                ga.add_assign(grad_out);
+            }
+            if let Some(gb) = store.acc(*b, rows, cols) {
+                gb.add_assign(grad_out);
+            }
+        }
+        Op::Sub { a, b } => {
+            let (rows, cols) = grad_out.shape();
+            if let Some(ga) = store.acc(*a, rows, cols) {
+                ga.add_assign(grad_out);
+            }
+            if let Some(gb) = store.acc(*b, rows, cols) {
+                gb.axpy(-1.0, grad_out);
+            }
+        }
         Op::Hadamard { a, b } => {
-            let av = values(*a);
-            let bv = values(*b);
-            vec![(*a, grad_out.hadamard(&bv)), (*b, grad_out.hadamard(&av))]
+            let (av, bv) = (&values[*a], &values[*b]);
+            if let Some(ga) = store.acc(*a, av.rows(), av.cols()) {
+                ga.hadamard_acc(grad_out, bv);
+            }
+            if let Some(gb) = store.acc(*b, bv.rows(), bv.cols()) {
+                gb.hadamard_acc(grad_out, av);
+            }
         }
         Op::AddBias { a, bias } => {
-            vec![(*a, grad_out.clone()), (*bias, grad_out.col_sums())]
+            let (rows, cols) = grad_out.shape();
+            if let Some(ga) = store.acc(*a, rows, cols) {
+                ga.add_assign(grad_out);
+            }
+            if let Some(gb) = store.acc(*bias, 1, cols) {
+                grad_out.col_sums_acc(gb);
+            }
         }
-        Op::Scale { a, k } => vec![(*a, grad_out.scale(*k))],
-        Op::AddScalar { a, .. } => vec![(*a, grad_out.clone())],
+        Op::AddBiasRelu { a, bias } => {
+            // relu gate from the stored output: y > 0 ⟺ x + b > 0.
+            let (rows, cols) = grad_out.shape();
+            if let Some(ga) = store.acc(*a, rows, cols) {
+                for ((g, &go), &y) in ga
+                    .data_mut()
+                    .iter_mut()
+                    .zip(grad_out.data())
+                    .zip(out_value.data())
+                {
+                    if y > 0.0 {
+                        *g += go;
+                    }
+                }
+            }
+            if let Some(gb) = store.acc(*bias, 1, cols) {
+                let gbd = gb.data_mut();
+                for r in 0..rows {
+                    for ((o, &go), &y) in gbd.iter_mut().zip(grad_out.row(r)).zip(out_value.row(r))
+                    {
+                        if y > 0.0 {
+                            *o += go;
+                        }
+                    }
+                }
+            }
+        }
+        Op::Scale { a, k } => {
+            let (rows, cols) = grad_out.shape();
+            if let Some(ga) = store.acc(*a, rows, cols) {
+                ga.axpy(*k, grad_out);
+            }
+        }
+        Op::AddScalar { a, .. } => {
+            let (rows, cols) = grad_out.shape();
+            if let Some(ga) = store.acc(*a, rows, cols) {
+                ga.add_assign(grad_out);
+            }
+        }
         Op::ConcatCols { parts, widths } => {
-            let mut out = Vec::with_capacity(parts.len());
+            let rows = grad_out.rows();
             let mut off = 0;
             for (&p, &w) in parts.iter().zip(widths) {
-                out.push((p, grad_out.slice_cols(off, off + w)));
+                if let Some(gp) = store.acc(p, rows, w) {
+                    for r in 0..rows {
+                        let src = &grad_out.row(r)[off..off + w];
+                        for (g, &s) in gp.row_mut(r).iter_mut().zip(src) {
+                            *g += s;
+                        }
+                    }
+                }
                 off += w;
             }
-            out
         }
-        Op::SliceCols { a, start } => {
-            let av = values(*a);
-            let mut g = Matrix::zeros(av.rows(), av.cols());
-            for r in 0..g.rows() {
-                let src = grad_out.row(r);
-                g.row_mut(r)[*start..*start + src.len()].copy_from_slice(src);
+        Op::SliceCols { a, start, width } => {
+            let av = &values[*a];
+            if let Some(ga) = store.acc(*a, av.rows(), av.cols()) {
+                for r in 0..grad_out.rows() {
+                    let dst = &mut ga.row_mut(r)[*start..*start + *width];
+                    for (g, &s) in dst.iter_mut().zip(grad_out.row(r)) {
+                        *g += s;
+                    }
+                }
             }
-            vec![(*a, g)]
         }
         Op::Relu { a } => {
-            let av = values(*a);
-            let mut g = grad_out.clone();
-            for (gv, &xv) in g.data_mut().iter_mut().zip(av.data()) {
-                if xv <= 0.0 {
-                    *gv = 0.0;
+            let av = &values[*a];
+            if let Some(ga) = store.acc(*a, av.rows(), av.cols()) {
+                for ((g, &go), &x) in ga.data_mut().iter_mut().zip(grad_out.data()).zip(av.data()) {
+                    if x > 0.0 {
+                        *g += go;
+                    }
                 }
             }
-            vec![(*a, g)]
         }
         Op::LeakyRelu { a, alpha } => {
-            let av = values(*a);
-            let mut g = grad_out.clone();
-            for (gv, &xv) in g.data_mut().iter_mut().zip(av.data()) {
-                if xv <= 0.0 {
-                    *gv *= *alpha;
+            let av = &values[*a];
+            if let Some(ga) = store.acc(*a, av.rows(), av.cols()) {
+                for ((g, &go), &x) in ga.data_mut().iter_mut().zip(grad_out.data()).zip(av.data()) {
+                    *g += if x > 0.0 { go } else { *alpha * go };
                 }
             }
-            vec![(*a, g)]
         }
         Op::Elu { a, alpha } => {
             // d/dx = 1 for x > 0, else alpha*e^x = y + alpha (from the
             // stored output y).
-            let av = values(*a);
-            let mut g = grad_out.clone();
-            for ((gv, &xv), &y) in g.data_mut().iter_mut().zip(av.data()).zip(out_value.data()) {
-                if xv <= 0.0 {
-                    *gv *= y + *alpha;
+            let av = &values[*a];
+            if let Some(ga) = store.acc(*a, av.rows(), av.cols()) {
+                for (((g, &go), &x), &y) in ga
+                    .data_mut()
+                    .iter_mut()
+                    .zip(grad_out.data())
+                    .zip(av.data())
+                    .zip(out_value.data())
+                {
+                    *g += if x > 0.0 { go } else { go * (y + *alpha) };
                 }
             }
-            vec![(*a, g)]
         }
         Op::SoftmaxRows { a } => {
-            // dx_i = y_i * (g_i - sum_j g_j y_j) per row.
-            let mut g = grad_out.clone();
-            for r in 0..g.rows() {
-                let y = out_value.row(r);
-                let dot: f32 = g.row(r).iter().zip(y).map(|(gv, yv)| gv * yv).sum();
-                for (gv, &yv) in g.row_mut(r).iter_mut().zip(y) {
-                    *gv = yv * (*gv - dot);
+            // dx_i += y_i * (g_i - sum_j g_j y_j) per row.
+            let (rows, cols) = grad_out.shape();
+            if let Some(ga) = store.acc(*a, rows, cols) {
+                for r in 0..rows {
+                    let y = out_value.row(r);
+                    let go = grad_out.row(r);
+                    let dot: f32 = go.iter().zip(y).map(|(g, yv)| g * yv).sum();
+                    for ((g, &yv), &gv) in ga.row_mut(r).iter_mut().zip(y).zip(go) {
+                        *g += yv * (gv - dot);
+                    }
                 }
             }
-            vec![(*a, g)]
         }
         Op::Sigmoid { a } => {
             // y(1-y) from the stored output.
-            let mut g = grad_out.clone();
-            for (gv, &y) in g.data_mut().iter_mut().zip(out_value.data()) {
-                *gv *= y * (1.0 - y);
+            let (rows, cols) = grad_out.shape();
+            if let Some(ga) = store.acc(*a, rows, cols) {
+                for ((g, &go), &y) in ga
+                    .data_mut()
+                    .iter_mut()
+                    .zip(grad_out.data())
+                    .zip(out_value.data())
+                {
+                    *g += go * y * (1.0 - y);
+                }
             }
-            vec![(*a, g)]
         }
         Op::Tanh { a } => {
-            let mut g = grad_out.clone();
-            for (gv, &y) in g.data_mut().iter_mut().zip(out_value.data()) {
-                *gv *= 1.0 - y * y;
+            let (rows, cols) = grad_out.shape();
+            if let Some(ga) = store.acc(*a, rows, cols) {
+                for ((g, &go), &y) in ga
+                    .data_mut()
+                    .iter_mut()
+                    .zip(grad_out.data())
+                    .zip(out_value.data())
+                {
+                    *g += go * (1.0 - y * y);
+                }
             }
-            vec![(*a, g)]
         }
         Op::Gather { a, idx } => {
-            let av = values(*a);
-            vec![(*a, grad_out.scatter_add_rows(idx, av.rows()))]
+            let av = &values[*a];
+            if let Some(ga) = store.acc(*a, av.rows(), av.cols()) {
+                grad_out.scatter_rows_acc(idx, ga);
+            }
         }
-        Op::ScatterAdd { a, idx } => vec![(*a, grad_out.gather_rows(idx))],
+        Op::ScatterAdd { a, idx, .. } => {
+            let av = &values[*a];
+            if let Some(ga) = store.acc(*a, av.rows(), av.cols()) {
+                grad_out.gather_rows_acc(idx, ga);
+            }
+        }
         Op::RowSum { a } => {
-            let av = values(*a);
-            let mut g = Matrix::zeros(av.rows(), av.cols());
-            for r in 0..g.rows() {
-                let go = grad_out.get(r, 0);
-                for v in g.row_mut(r) {
-                    *v = go;
+            let av = &values[*a];
+            if let Some(ga) = store.acc(*a, av.rows(), av.cols()) {
+                for r in 0..av.rows() {
+                    let go = grad_out.get(r, 0);
+                    for g in ga.row_mut(r) {
+                        *g += go;
+                    }
                 }
             }
-            vec![(*a, g)]
         }
         Op::SumAll { a } => {
-            let av = values(*a);
-            vec![(*a, Matrix::full(av.rows(), av.cols(), grad_out.as_scalar()))]
+            let av = &values[*a];
+            let k = grad_out.as_scalar();
+            if let Some(ga) = store.acc(*a, av.rows(), av.cols()) {
+                for g in ga.data_mut() {
+                    *g += k;
+                }
+            }
         }
         Op::MeanAll { a } => {
-            let av = values(*a);
+            let av = &values[*a];
             let k = grad_out.as_scalar() / av.len().max(1) as f32;
-            vec![(*a, Matrix::full(av.rows(), av.cols(), k))]
-        }
-        Op::BceWithLogits { logits, targets, pos_weight } => {
-            let x = values(*logits);
-            let go = grad_out.as_scalar() / x.len().max(1) as f32;
-            let mut g = Matrix::zeros(x.rows(), x.cols());
-            for ((gv, &xi), &ti) in g.data_mut().iter_mut().zip(x.data()).zip(targets.iter()) {
-                let w = if ti > 0.5 { *pos_weight } else { 1.0 };
-                *gv = go * w * (sigmoid(xi) - ti);
+            if let Some(ga) = store.acc(*a, av.rows(), av.cols()) {
+                for g in ga.data_mut() {
+                    *g += k;
+                }
             }
-            vec![(*logits, g)]
+        }
+        Op::BceWithLogits {
+            logits,
+            targets,
+            pos_weight,
+        } => {
+            let x = &values[*logits];
+            let go = grad_out.as_scalar() / x.len().max(1) as f32;
+            if let Some(ga) = store.acc(*logits, x.rows(), x.cols()) {
+                for ((g, &xi), &ti) in ga.data_mut().iter_mut().zip(x.data()).zip(targets.iter()) {
+                    let w = if ti > 0.5 { *pos_weight } else { 1.0 };
+                    *g += go * w * (sigmoid(xi) - ti);
+                }
+            }
         }
         Op::Mse { pred, target } => {
-            let p = values(*pred);
+            let p = &values[*pred];
             let k = 2.0 * grad_out.as_scalar() / p.len().max(1) as f32;
-            vec![(*pred, p.sub(target).scale(k))]
-        }
-        Op::LayerNorm { a, gamma, beta, eps } => {
-            let x = values(*a);
-            let g = values(*gamma);
-            let (_, means, inv_stds) = layer_norm_forward(&x, &g, &values(*beta), *eps);
-            let n = x.cols() as f32;
-            let mut dx = Matrix::zeros(x.rows(), x.cols());
-            let mut dgamma = Matrix::zeros(1, x.cols());
-            let mut dbeta = Matrix::zeros(1, x.cols());
-            for r in 0..x.rows() {
-                let mean = means[r];
-                let inv_std = inv_stds[r];
-                let xr = x.row(r);
-                let gor = grad_out.row(r);
-                // xhat_i = (x_i - mean) * inv_std
-                // dgamma_j += go_j * xhat_j ; dbeta_j += go_j
-                // dxhat_i = go_i * gamma_i
-                // dx_i = inv_std/n * (n*dxhat_i - sum(dxhat) - xhat_i * sum(dxhat*xhat))
-                let mut sum_dxhat = 0.0f32;
-                let mut sum_dxhat_xhat = 0.0f32;
-                let mut dxhat = vec![0.0f32; xr.len()];
-                for j in 0..xr.len() {
-                    let xhat = (xr[j] - mean) * inv_std;
-                    let d = gor[j] * g.data()[j];
-                    dxhat[j] = d;
-                    sum_dxhat += d;
-                    sum_dxhat_xhat += d * xhat;
-                    dgamma.data_mut()[j] += gor[j] * xhat;
-                    dbeta.data_mut()[j] += gor[j];
-                }
-                let dxr = dx.row_mut(r);
-                for j in 0..dxr.len() {
-                    let xhat = (xr[j] - mean) * inv_std;
-                    dxr[j] = inv_std / n * (n * dxhat[j] - sum_dxhat - xhat * sum_dxhat_xhat);
+            if let Some(ga) = store.acc(*pred, p.rows(), p.cols()) {
+                for ((g, &pv), &tv) in ga.data_mut().iter_mut().zip(p.data()).zip(target.data()) {
+                    *g += k * (pv - tv);
                 }
             }
-            vec![(*a, dx), (*gamma, dgamma), (*beta, dbeta)]
         }
-        Op::MulMask { a, mask } => vec![(*a, grad_out.hadamard(mask))],
+        Op::LayerNorm {
+            a,
+            gamma,
+            beta,
+            eps,
+        } => {
+            // Three sequential accumulation phases (dbeta, dgamma, dx) so
+            // only one gradient buffer is borrowed at a time; per-row stats
+            // are recomputed in-register instead of stored in side vectors.
+            let (x, g) = (&values[*a], &values[*gamma]);
+            let (rows, cols) = x.shape();
+            let n = cols as f32;
+            if let Some(dbeta) = store.acc(*beta, 1, cols) {
+                grad_out.col_sums_acc(dbeta);
+            }
+            if let Some(dgamma) = store.acc(*gamma, 1, cols) {
+                let dgd = dgamma.data_mut();
+                for r in 0..rows {
+                    let xr = x.row(r);
+                    let (mean, inv_std) = row_stats(xr, n, *eps);
+                    for ((o, &go), &xv) in dgd.iter_mut().zip(grad_out.row(r)).zip(xr) {
+                        *o += go * (xv - mean) * inv_std;
+                    }
+                }
+            }
+            if let Some(dx) = store.acc(*a, rows, cols) {
+                let gd = g.data();
+                for r in 0..rows {
+                    let xr = x.row(r);
+                    let gor = grad_out.row(r);
+                    let (mean, inv_std) = row_stats(xr, n, *eps);
+                    // xhat_i = (x_i - mean) * inv_std ; dxhat_i = go_i * gamma_i
+                    // dx_i += inv_std/n * (n*dxhat_i - sum(dxhat) - xhat_i * sum(dxhat*xhat))
+                    let mut sum_dxhat = 0.0f32;
+                    let mut sum_dxhat_xhat = 0.0f32;
+                    for j in 0..cols {
+                        let xhat = (xr[j] - mean) * inv_std;
+                        let d = gor[j] * gd[j];
+                        sum_dxhat += d;
+                        sum_dxhat_xhat += d * xhat;
+                    }
+                    let dxr = dx.row_mut(r);
+                    for j in 0..cols {
+                        let xhat = (xr[j] - mean) * inv_std;
+                        let d = gor[j] * gd[j];
+                        dxr[j] += inv_std / n * (n * d - sum_dxhat - xhat * sum_dxhat_xhat);
+                    }
+                }
+            }
+        }
+        Op::MulMask { a, mask } => {
+            let (rows, cols) = grad_out.shape();
+            if let Some(ga) = store.acc(*a, rows, cols) {
+                ga.hadamard_acc(grad_out, mask);
+            }
+        }
     }
 }

@@ -1,0 +1,130 @@
+//! Size-bucketed recycling pool for `f32` buffers.
+//!
+//! The autograd tape allocates one value buffer per op and one gradient
+//! buffer per differentiable node, every training step. The shapes are
+//! identical step to step, so instead of returning ~10^2 buffers
+//! (hundreds of MB) to the system allocator each step, [`crate::Tape::reset`]
+//! drains them here and the next step's ops draw them back out. After the
+//! first step the hot path performs no heap allocation for tape storage.
+//!
+//! Buckets are keyed by exact element count: training shapes repeat
+//! exactly, so exact-fit matching wastes no memory and never hands back an
+//! oversized buffer (which would break `Matrix::len`).
+
+use crate::Matrix;
+use std::collections::HashMap;
+
+/// Recycles `Vec<f32>` storage between training steps, bucketed by length.
+#[derive(Default)]
+pub struct BufferPool {
+    buckets: HashMap<usize, Vec<Vec<f32>>>,
+}
+
+impl BufferPool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a buffer of exactly `len` elements, zero-filled. Allocates only
+    /// when the bucket is empty.
+    pub fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        match self.buckets.get_mut(&len).and_then(Vec::pop) {
+            Some(mut buf) => {
+                buf.fill(0.0);
+                buf
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Take a buffer holding a copy of `src` (no zero-fill pass — the copy
+    /// overwrites the whole buffer).
+    pub fn take_copy(&mut self, src: &[f32]) -> Vec<f32> {
+        match self.buckets.get_mut(&src.len()).and_then(Vec::pop) {
+            Some(mut buf) => {
+                buf.copy_from_slice(src);
+                buf
+            }
+            None => src.to_vec(),
+        }
+    }
+
+    /// A zeroed `rows x cols` matrix backed by pooled storage.
+    pub fn zeros(&mut self, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_vec(rows, cols, self.take_zeroed(rows * cols))
+    }
+
+    /// A pooled copy of `m`.
+    pub fn copy_of(&mut self, m: &Matrix) -> Matrix {
+        Matrix::from_vec(m.rows(), m.cols(), self.take_copy(m.data()))
+    }
+
+    /// Return a buffer to its bucket for reuse.
+    pub fn put(&mut self, buf: Vec<f32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        // Bucket by capacity? No: by length at take-time == capacity here,
+        // since take_* never grows a buffer. Empty-but-capacitated vecs
+        // (len 0 after into_vec of an empty matrix) are dropped above.
+        self.buckets.entry(buf.len()).or_default().push(buf);
+    }
+
+    /// Recycle a matrix's backing storage.
+    pub fn recycle(&mut self, m: Matrix) {
+        self.put(m.into_vec());
+    }
+
+    /// Number of buffers currently parked in the pool (for tests/metrics).
+    pub fn parked(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuses_exact_size_buffers() {
+        let mut pool = BufferPool::new();
+        let a = pool.zeros(4, 8);
+        let ptr = a.data().as_ptr();
+        pool.recycle(a);
+        assert_eq!(pool.parked(), 1);
+        let b = pool.zeros(4, 8);
+        assert_eq!(b.data().as_ptr(), ptr, "expected the same backing buffer");
+        assert_eq!(pool.parked(), 0);
+    }
+
+    #[test]
+    fn zeroes_recycled_buffers() {
+        let mut pool = BufferPool::new();
+        let mut a = pool.zeros(2, 2);
+        a.fill(7.0);
+        pool.recycle(a);
+        let b = pool.zeros(2, 2);
+        assert_eq!(b.data(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn copy_of_matches_source() {
+        let mut pool = BufferPool::new();
+        let src = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let a = pool.copy_of(&src);
+        assert!(a.approx_eq(&src, 0.0));
+        pool.recycle(a);
+        let b = pool.copy_of(&src);
+        assert!(b.approx_eq(&src, 0.0));
+    }
+
+    #[test]
+    fn different_sizes_use_different_buckets() {
+        let mut pool = BufferPool::new();
+        let a = pool.zeros(2, 2);
+        pool.recycle(a);
+        let b = pool.zeros(3, 3);
+        assert_eq!(b.len(), 9);
+        assert_eq!(pool.parked(), 1, "the 2x2 buffer stays parked");
+    }
+}

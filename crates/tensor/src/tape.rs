@@ -6,7 +6,15 @@
 //! gradients into every node. Parameter gradients are read back with
 //! [`Tape::grad`].
 //!
-//! The tape retains every intermediate value until it is dropped — exactly
+//! Storage is struct-of-arrays (`ops` / `values` / `grads`) so the forward
+//! pass can borrow operand values while writing a new one, and the backward
+//! pass can accumulate into parent gradients while borrowing the current
+//! node's — no per-op clones in either direction. All value and gradient
+//! buffers come from an internal [`BufferPool`]; [`Tape::reset`] returns
+//! them to the pool, so a tape reused across training steps stops
+//! allocating once the first step has warmed the pool.
+//!
+//! The tape retains every intermediate value until it is reset — exactly
 //! the per-layer activation retention (`X^l`, `Y^l`, `M_src`, `M_dst`) that
 //! makes full-graph Interaction-GNN training memory-prohibitive in the
 //! paper (§III-B): an L-layer IGNN on a graph with `m` edges keeps `O(L·m·f)`
@@ -14,61 +22,78 @@
 //! pipeline can emulate the paper's skip-too-large-graphs behaviour.
 
 use crate::matrix::Matrix;
-use crate::ops::{self, Op};
+use crate::ops::{self, GradStore, Op};
+use crate::pool::BufferPool;
 use std::sync::Arc;
 
 /// Handle to a tape node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Var(pub usize);
 
-struct Node {
-    op: Op,
-    value: Matrix,
-    grad: Option<Matrix>,
-}
-
-/// Reverse-mode autograd tape. Create one per training step.
+/// Reverse-mode autograd tape. Create once and [`Tape::reset`] between
+/// training steps to recycle its buffers.
 #[derive(Default)]
 pub struct Tape {
-    nodes: Vec<Node>,
+    ops: Vec<Op>,
+    values: Vec<Matrix>,
+    grads: Vec<Option<Matrix>>,
+    pool: BufferPool,
 }
 
 impl Tape {
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self::default()
     }
 
     /// Number of nodes recorded so far.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.ops.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.ops.is_empty()
+    }
+
+    /// Clear all recorded nodes, returning their value and gradient
+    /// buffers to the internal pool for the next step to reuse.
+    pub fn reset(&mut self) {
+        self.ops.clear();
+        for v in self.values.drain(..) {
+            self.pool.recycle(v);
+        }
+        for g in self.grads.drain(..).flatten() {
+            self.pool.recycle(g);
+        }
     }
 
     /// Total `f32` elements held alive by the tape (values only) — the
     /// activation-memory footprint used for the paper's OOM-skip emulation.
     pub fn activation_floats(&self) -> usize {
-        self.nodes.iter().map(|n| n.value.len()).sum()
+        self.values.iter().map(Matrix::len).sum()
     }
 
     fn push(&mut self, op: Op, value: Matrix) -> Var {
-        self.nodes.push(Node { op, value, grad: None });
-        Var(self.nodes.len() - 1)
+        self.ops.push(op);
+        self.values.push(value);
+        self.grads.push(None);
+        Var(self.ops.len() - 1)
     }
 
     fn eval(&mut self, op: Op) -> Var {
-        let value = {
-            let get = |i: usize| self.nodes[i].value.clone();
-            ops::forward(&op, &get)
-        };
+        let value = ops::forward(&op, &self.values, &mut self.pool);
         self.push(op, value)
     }
 
-    /// Gradient-tracked input.
+    /// Gradient-tracked input (takes ownership of an existing matrix).
     pub fn leaf(&mut self, m: Matrix) -> Var {
         self.push(Op::Leaf, m)
+    }
+
+    /// Gradient-tracked input copied into pooled storage — the caller keeps
+    /// ownership and the tape allocates nothing once its pool is warm.
+    pub fn leaf_copied(&mut self, m: &Matrix) -> Var {
+        let value = self.pool.copy_of(m);
+        self.push(Op::Leaf, value)
     }
 
     /// Input excluded from gradient computation (targets, fixed features).
@@ -76,19 +101,25 @@ impl Tape {
         self.push(Op::Constant, m)
     }
 
+    /// Constant copied into pooled storage (see [`Tape::leaf_copied`]).
+    pub fn constant_copied(&mut self, m: &Matrix) -> Var {
+        let value = self.pool.copy_of(m);
+        self.push(Op::Constant, value)
+    }
+
     /// Value of a node.
     pub fn value(&self, v: Var) -> &Matrix {
-        &self.nodes[v.0].value
+        &self.values[v.0]
     }
 
     /// Accumulated gradient of a node (after [`Tape::backward`]).
     pub fn grad(&self, v: Var) -> Option<&Matrix> {
-        self.nodes[v.0].grad.as_ref()
+        self.grads[v.0].as_ref()
     }
 
     /// Take ownership of a node's gradient, leaving `None`.
     pub fn take_grad(&mut self, v: Var) -> Option<Matrix> {
-        self.nodes[v.0].grad.take()
+        self.grads[v.0].take()
     }
 
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
@@ -109,7 +140,18 @@ impl Tape {
 
     /// Add a `1 x cols` bias row to every row of `a`.
     pub fn add_bias(&mut self, a: Var, bias: Var) -> Var {
-        self.eval(Op::AddBias { a: a.0, bias: bias.0 })
+        self.eval(Op::AddBias {
+            a: a.0,
+            bias: bias.0,
+        })
+    }
+
+    /// Fused `relu(a + bias)` — one node and one buffer instead of two.
+    pub fn add_bias_relu(&mut self, a: Var, bias: Var) -> Var {
+        self.eval(Op::AddBiasRelu {
+            a: a.0,
+            bias: bias.0,
+        })
     }
 
     pub fn scale(&mut self, a: Var, k: f32) -> Var {
@@ -122,14 +164,20 @@ impl Tape {
 
     /// Horizontal concatenation.
     pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
-        let widths = parts.iter().map(|p| self.nodes[p.0].value.cols()).collect();
-        self.eval(Op::ConcatCols { parts: parts.iter().map(|p| p.0).collect(), widths })
+        let widths = parts.iter().map(|p| self.values[p.0].cols()).collect();
+        self.eval(Op::ConcatCols {
+            parts: parts.iter().map(|p| p.0).collect(),
+            widths,
+        })
     }
 
     /// Column slice `[start, end)`.
     pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
-        let value = self.nodes[a.0].value.slice_cols(start, end);
-        self.push(Op::SliceCols { a: a.0, start }, value)
+        self.eval(Op::SliceCols {
+            a: a.0,
+            start,
+            width: end - start,
+        })
     }
 
     pub fn relu(&mut self, a: Var) -> Var {
@@ -165,8 +213,11 @@ impl Tape {
 
     /// `out[idx[i], :] += a[i, :]` into a fresh `out_rows x cols` matrix.
     pub fn scatter_add(&mut self, a: Var, idx: Arc<Vec<u32>>, out_rows: usize) -> Var {
-        let value = self.nodes[a.0].value.scatter_add_rows(&idx, out_rows);
-        self.push(Op::ScatterAdd { a: a.0, idx }, value)
+        self.eval(Op::ScatterAdd {
+            a: a.0,
+            idx,
+            out_rows,
+        })
     }
 
     pub fn row_sum(&mut self, a: Var) -> Var {
@@ -185,17 +236,29 @@ impl Tape {
     /// logit element. `pos_weight` scales the loss of positive examples
     /// (class-imbalance handling for sparse true edges).
     pub fn bce_with_logits(&mut self, logits: Var, targets: Arc<Vec<f32>>, pos_weight: f32) -> Var {
-        self.eval(Op::BceWithLogits { logits: logits.0, targets, pos_weight })
+        self.eval(Op::BceWithLogits {
+            logits: logits.0,
+            targets,
+            pos_weight,
+        })
     }
 
     /// Mean squared error against a constant target.
     pub fn mse(&mut self, pred: Var, target: Arc<Matrix>) -> Var {
-        self.eval(Op::Mse { pred: pred.0, target })
+        self.eval(Op::Mse {
+            pred: pred.0,
+            target,
+        })
     }
 
     /// Per-row LayerNorm with learned `gamma`/`beta` (`1 x cols` leaves).
     pub fn layer_norm(&mut self, a: Var, gamma: Var, beta: Var, eps: f32) -> Var {
-        self.eval(Op::LayerNorm { a: a.0, gamma: gamma.0, beta: beta.0, eps })
+        self.eval(Op::LayerNorm {
+            a: a.0,
+            gamma: gamma.0,
+            beta: beta.0,
+            eps,
+        })
     }
 
     /// Elementwise multiply by a fixed mask (dropout / weighting).
@@ -204,38 +267,47 @@ impl Tape {
     }
 
     /// Run reverse-mode accumulation from scalar `root`. Gradients of all
-    /// ancestors become available through [`Tape::grad`].
+    /// ancestors become available through [`Tape::grad`]. All accumulation
+    /// is in place (`+=` into pooled buffers) — no per-contribution
+    /// allocation.
     pub fn backward(&mut self, root: Var) {
         assert_eq!(
-            self.nodes[root.0].value.shape(),
+            self.values[root.0].shape(),
             (1, 1),
             "backward root must be a scalar loss"
         );
-        for n in &mut self.nodes {
-            n.grad = None;
+        for g in &mut self.grads {
+            if let Some(m) = g.take() {
+                self.pool.recycle(m);
+            }
         }
-        self.nodes[root.0].grad = Some(Matrix::scalar(1.0));
+        let mut seed = self.pool.zeros(1, 1);
+        seed.set(0, 0, 1.0);
+        self.grads[root.0] = Some(seed);
         for i in (0..=root.0).rev() {
-            let Some(grad_out) = self.nodes[i].grad.clone() else { continue };
-            let op = self.nodes[i].op.clone();
-            if matches!(op, Op::Leaf | Op::Constant) {
+            if matches!(self.ops[i], Op::Leaf | Op::Constant) {
                 continue;
             }
-            let out_value = self.nodes[i].value.clone();
-            let contribs = {
-                let get = |j: usize| self.nodes[j].value.clone();
-                ops::backward(&op, &grad_out, &get, &out_value)
+            // Take node i's gradient out of the slot so the store can hand
+            // out disjoint borrows of the earlier slots (parents of node i
+            // always have smaller indices).
+            let Some(grad_out) = self.grads[i].take() else {
+                continue;
             };
-            for (parent, g) in contribs {
-                // Skip gradient flow into constants entirely.
-                if matches!(self.nodes[parent].op, Op::Constant) {
-                    continue;
-                }
-                match &mut self.nodes[parent].grad {
-                    Some(acc) => acc.add_assign(&g),
-                    slot @ None => *slot = Some(g),
-                }
-            }
+            let (earlier, _) = self.grads.split_at_mut(i);
+            let mut store = GradStore {
+                ops: &self.ops,
+                grads: earlier,
+                pool: &mut self.pool,
+            };
+            ops::backward_into(
+                &self.ops[i],
+                &grad_out,
+                &self.values,
+                &self.values[i],
+                &mut store,
+            );
+            self.grads[i] = Some(grad_out);
         }
     }
 }
@@ -341,5 +413,103 @@ mod tests {
         t.backward(loss);
         // d/dx = sigmoid(0) - 1 = -0.5
         assert!((t.grad(x).unwrap().as_scalar() + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fused_add_bias_relu_matches_unfused() {
+        // Same inputs through relu(add_bias(x, b)) and add_bias_relu(x, b):
+        // identical forward values and gradients (both analytic, <= 1e-6).
+        let x = Matrix::from_fn(3, 4, |r, c| (r as f32 - 1.0) * 0.7 + c as f32 * 0.3 - 0.8);
+        let bias = Matrix::from_vec(1, 4, vec![0.5, -0.4, 0.1, -0.2]);
+
+        let mut t1 = Tape::new();
+        let x1 = t1.leaf_copied(&x);
+        let b1 = t1.leaf_copied(&bias);
+        let ab = t1.add_bias(x1, b1);
+        let y1 = t1.relu(ab);
+        let l1 = t1.mean_all(y1);
+        t1.backward(l1);
+
+        let mut t2 = Tape::new();
+        let x2 = t2.leaf_copied(&x);
+        let b2 = t2.leaf_copied(&bias);
+        let y2 = t2.add_bias_relu(x2, b2);
+        let l2 = t2.mean_all(y2);
+        t2.backward(l2);
+
+        assert!(t1.value(y1).approx_eq(t2.value(y2), 1e-6));
+        assert!(t1.grad(x1).unwrap().approx_eq(t2.grad(x2).unwrap(), 1e-6));
+        assert!(t1.grad(b1).unwrap().approx_eq(t2.grad(b2).unwrap(), 1e-6));
+    }
+
+    #[test]
+    fn in_place_accumulation_matches_manual_fanout() {
+        // y = a*w1 + a*w2 + a ⊙ a: three gradient contributions accumulate
+        // into `a` in place; compare against the hand-derived total.
+        let mut t = Tape::new();
+        let a = t.leaf(Matrix::from_vec(1, 2, vec![0.5, -1.5]));
+        let w1 = t.leaf(Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        let w2 = t.leaf(Matrix::from_vec(2, 2, vec![-1., 0.5, 2., -2.]));
+        let p1 = t.matmul(a, w1);
+        let p2 = t.matmul(a, w2);
+        let sq = t.hadamard(a, a);
+        let s1 = t.add(p1, p2);
+        let s2 = t.add(s1, sq);
+        let loss = t.sum_all(s2);
+        t.backward(loss);
+        // d/da = (w1 + w2) row sums + 2a.
+        let expect = Matrix::from_vec(
+            1,
+            2,
+            vec![1. + 2. - 1. + 0.5 + 2. * 0.5, 3. + 4. + 2. - 2. + 2. * -1.5],
+        );
+        assert!(t.grad(a).unwrap().approx_eq(&expect, 1e-6));
+    }
+
+    #[test]
+    fn reset_recycles_buffers_across_steps() {
+        // The second identical step after reset() must reuse the first
+        // step's backing buffers — pointer-identical storage, no growth.
+        let x = Matrix::from_fn(8, 8, |r, c| (r * 8 + c) as f32 * 0.01 - 0.3);
+        let mut t = Tape::new();
+
+        let step = |t: &mut Tape| -> Vec<*const f32> {
+            let a = t.leaf_copied(&x);
+            let h = t.relu(a);
+            let s = t.matmul(h, a);
+            let loss = t.mean_all(s);
+            t.backward(loss);
+            (0..t.len())
+                .map(|i| t.value(Var(i)).data().as_ptr())
+                .chain((0..t.len()).filter_map(|i| t.grad(Var(i)).map(|g| g.data().as_ptr())))
+                .collect()
+        };
+
+        let ptrs1 = step(&mut t);
+        t.reset();
+        assert_eq!(t.len(), 0);
+        let ptrs2 = step(&mut t);
+        let first: std::collections::HashSet<_> = ptrs1.iter().copied().collect();
+        for p in &ptrs2 {
+            assert!(first.contains(p), "step 2 allocated a fresh value buffer");
+        }
+    }
+
+    #[test]
+    fn tape_reuse_after_reset_gives_identical_results() {
+        let x = Matrix::from_fn(4, 3, |r, c| (r + c) as f32 * 0.25 - 0.5);
+        let mut t = Tape::new();
+        let run = |t: &mut Tape| -> (f32, Matrix) {
+            let a = t.leaf_copied(&x);
+            let h = t.tanh(a);
+            let loss = t.mean_all(h);
+            t.backward(loss);
+            (t.value(loss).as_scalar(), t.grad(a).unwrap().clone())
+        };
+        let (l1, g1) = run(&mut t);
+        t.reset();
+        let (l2, g2) = run(&mut t);
+        assert_eq!(l1, l2);
+        assert!(g1.approx_eq(&g2, 0.0));
     }
 }

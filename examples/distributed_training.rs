@@ -23,11 +23,18 @@ fn main() {
         gnn_layers: 4,
         epochs: 2,
         batch_size: 128,
-        shadow: ShadowConfig { depth: 2, fanout: 4 },
+        shadow: ShadowConfig {
+            depth: 2,
+            fanout: 4,
+        },
         ..Default::default()
     };
 
-    println!("GNN stage over {} training graphs ({} epochs each run)\n", train.len(), cfg.epochs);
+    println!(
+        "GNN stage over {} training graphs ({} epochs each run)\n",
+        train.len(),
+        cfg.epochs
+    );
     println!(
         "{:>3} {:>12} {:>6} {:>11} {:>11} {:>11} {:>11}",
         "P", "all-reduce", "k", "sample(s)", "train(s)", "comm(ms)", "total(s)"

@@ -40,12 +40,21 @@ fn main() {
         epochs: 6,
         batch_size: 128,
         learning_rate: 2e-3,
-        shadow: ShadowConfig { depth: 2, fanout: 4 },
+        shadow: ShadowConfig {
+            depth: 2,
+            fanout: 4,
+        },
         ..Default::default()
     };
 
     println!("\ntraining: bulk ShaDow (k=4), single worker");
-    let result = train_minibatch(&cfg, SamplerKind::Bulk { k: 4 }, DdpConfig::single(), train, val);
+    let result = train_minibatch(
+        &cfg,
+        SamplerKind::Bulk { k: 4 },
+        DdpConfig::single(),
+        train,
+        val,
+    );
     for e in &result.epochs {
         println!(
             "  epoch {:>2}  loss {:.4}  val P {:.3}  val R {:.3}  (sample {:.2}s train {:.2}s)",

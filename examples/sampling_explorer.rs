@@ -27,9 +27,15 @@ fn main() {
 
     let mut rng = StdRng::seed_from_u64(1);
     let batches = vertex_batches(g.num_nodes, 256, &mut rng);
-    println!("{} minibatches of 256 vertices (paper batch size)\n", batches.len());
+    println!(
+        "{} minibatches of 256 vertices (paper batch size)\n",
+        batches.len()
+    );
 
-    let shadow_cfg = ShadowConfig { depth: 3, fanout: 6 }; // paper values
+    let shadow_cfg = ShadowConfig {
+        depth: 3,
+        fanout: 6,
+    }; // paper values
 
     // ShaDow baseline: one batch at a time, sequential per-vertex walks.
     let t = Instant::now();
@@ -65,8 +71,10 @@ fn main() {
 
     // Node-wise (GraphSAGE-style) on one batch.
     let t = Instant::now();
-    let nw = NodeWiseSampler::new(NodeWiseConfig { fanouts: vec![6, 6, 6] })
-        .sample_batch(&graph, &batches[0], &mut rng);
+    let nw = NodeWiseSampler::new(NodeWiseConfig {
+        fanouts: vec![6, 6, 6],
+    })
+    .sample_batch(&graph, &batches[0], &mut rng);
     println!(
         "node-wise [6,6,6]    : {:>8.1} ms, {:>7} nodes, {:>7} edges (one batch)",
         t.elapsed().as_secs_f64() * 1e3,
@@ -76,8 +84,10 @@ fn main() {
 
     // Layer-wise (LADIES-style) on one batch.
     let t = Instant::now();
-    let lw = LayerWiseSampler::new(LayerWiseConfig { layer_sizes: vec![512, 512, 512] })
-        .sample_batch(&graph, &batches[0], &mut rng);
+    let lw = LayerWiseSampler::new(LayerWiseConfig {
+        layer_sizes: vec![512, 512, 512],
+    })
+    .sample_batch(&graph, &batches[0], &mut rng);
     println!(
         "layer-wise [512x3]   : {:>8.1} ms, {:>7} nodes, {:>7} edges (one batch)",
         t.elapsed().as_secs_f64() * 1e3,

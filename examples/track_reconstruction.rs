@@ -8,7 +8,9 @@
 
 use rand::{rngs::StdRng, SeedableRng};
 use trkx::detector::{simulate_event, DetectorGeometry, GunConfig};
-use trkx::pipeline::{train_pipeline, EmbeddingConfig, GnnTrainConfig, PipelineConfig, SamplerKind};
+use trkx::pipeline::{
+    train_pipeline, EmbeddingConfig, GnnTrainConfig, PipelineConfig, SamplerKind,
+};
 use trkx::sampling::ShadowConfig;
 
 fn main() {
@@ -17,8 +19,9 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(7);
 
     // 8 training + 2 validation events of ~40 particles each.
-    let events: Vec<_> =
-        (0..10).map(|_| simulate_event(&geometry, &gun, 40, 0.1, &mut rng)).collect();
+    let events: Vec<_> = (0..10)
+        .map(|_| simulate_event(&geometry, &gun, 40, 0.1, &mut rng))
+        .collect();
     let (train, val) = events.split_at(8);
     println!(
         "simulated {} events, avg {:.0} hits",
@@ -29,13 +32,19 @@ fn main() {
     let config = PipelineConfig {
         vertex_features: 6,
         edge_features: 2,
-        embedding: EmbeddingConfig { epochs: 15, ..Default::default() },
+        embedding: EmbeddingConfig {
+            epochs: 15,
+            ..Default::default()
+        },
         gnn: GnnTrainConfig {
             hidden: 32,
             gnn_layers: 4,
             epochs: 8,
             batch_size: 128,
-            shadow: ShadowConfig { depth: 2, fanout: 4 },
+            shadow: ShadowConfig {
+                depth: 2,
+                fanout: 4,
+            },
             ..Default::default()
         },
         gnn_sampler: SamplerKind::Bulk { k: 4 },
@@ -44,7 +53,10 @@ fn main() {
 
     println!("\ntraining the five-stage pipeline...");
     let (pipeline, report) = train_pipeline(config, train, val);
-    println!("  stage 1 (embedding): final contrastive loss {:.4}", report.embedding_loss);
+    println!(
+        "  stage 1 (embedding): final contrastive loss {:.4}",
+        report.embedding_loss
+    );
     println!(
         "  stage 2 (graph construction, r={:.3}): edge efficiency {:.3}, purity {:.3}",
         pipeline.radius, report.construction_efficiency, report.construction_purity

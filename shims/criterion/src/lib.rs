@@ -1,0 +1,209 @@
+//! Offline shim for `criterion`: `Criterion`, `BenchmarkGroup`,
+//! `BenchmarkId`, `Bencher`, and the `criterion_group!`/`criterion_main!`
+//! macros. Measurement is a simple warmup + timed-batch loop reporting
+//! mean/min/max ns per iteration — enough to compare kernels locally
+//! without the statistics machinery of the real crate.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { function: function.into(), parameter: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    min_ns: f64,
+    max_ns: f64,
+    target: Duration,
+}
+
+impl Bencher {
+    fn new(target: Duration) -> Self {
+        Self {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            min_ns: f64::INFINITY,
+            max_ns: 0.0,
+            target,
+        }
+    }
+
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warmup: let caches/pools settle and estimate per-iter cost.
+        let warmup_budget = self.target.min(Duration::from_millis(150));
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < warmup_budget {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let per_iter =
+            warmup_start.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
+        let batch =
+            ((0.02 / per_iter.max(1e-9)).ceil() as u64).clamp(1, 1_000_000);
+
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.target {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            let ns = dt.as_secs_f64() * 1e9 / batch as f64;
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+            self.elapsed += dt;
+            self.iters_done += batch;
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters_done == 0 {
+            println!("{name:<40} (no iterations)");
+            return;
+        }
+        let mean_ns = self.elapsed.as_secs_f64() * 1e9 / self.iters_done as f64;
+        println!(
+            "{name:<40} time: [{} {} {}]",
+            fmt_ns(self.min_ns),
+            fmt_ns(mean_ns),
+            fmt_ns(self.max_ns)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { measurement_time: Duration::from_millis(400) }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup { criterion: self, name }
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        run_one(name, self.measurement_time, f);
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+fn run_one(name: &str, target: Duration, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher::new(target);
+    f(&mut b);
+    b.report(name);
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.criterion.measurement_time, f);
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.criterion.measurement_time, |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion { measurement_time: Duration::from_millis(30) };
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+}

@@ -1,0 +1,96 @@
+//! Offline shim for `crossbeam`, providing the `crossbeam::thread::scope`
+//! API used by the workspace.
+//!
+//! Mirrors crossbeam-utils 0.8 semantics: `Scope<'env>` hands out
+//! `ScopedJoinHandle`s whose `join` returns the child's result or panic
+//! payload, and every spawned thread is joined before `scope` returns
+//! (which is what makes the borrow-lifetime erasure below sound —
+//! borrows captured by child closures never outlive the `scope` call).
+
+pub mod thread {
+    use std::any::Any;
+    use std::marker::PhantomData;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::mpsc;
+    use std::sync::Mutex;
+
+    type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    pub struct Scope<'env> {
+        handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+        // Invariant over 'env, like crossbeam.
+        _marker: PhantomData<&'env mut &'env ()>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        rx: mpsc::Receiver<Result<T, PanicPayload>>,
+        _marker: PhantomData<&'scope ()>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the child to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.rx.recv().unwrap_or_else(|_| {
+                Err(Box::new("scoped thread dropped its result channel") as PanicPayload)
+            })
+        }
+    }
+
+    struct ScopePtr(*const ());
+    // SAFETY: the pointee (the `Scope` on `scope`'s stack) outlives every
+    // spawned thread, and `Scope` itself is Sync.
+    unsafe impl Send for ScopePtr {}
+
+    impl<'env> Scope<'env> {
+        pub fn spawn<'scope, F, T>(&'scope self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'env>) -> T + Send + 'env,
+            T: Send + 'env,
+        {
+            let (tx, rx) = mpsc::channel::<Result<T, PanicPayload>>();
+            let scope_ptr = ScopePtr(self as *const Scope<'env> as *const ());
+            let closure: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                // Capture the Send wrapper whole (2021 disjoint-capture
+                // would otherwise grab only the raw-pointer field).
+                let scope_ptr = scope_ptr;
+                // SAFETY: see ScopePtr — the scope outlives this thread.
+                let scope: &Scope<'env> = unsafe { &*(scope_ptr.0 as *const Scope<'env>) };
+                let result = catch_unwind(AssertUnwindSafe(|| f(scope)));
+                let _ = tx.send(result);
+            });
+            // SAFETY: every handle is joined before `scope` returns, so no
+            // captured borrow ('env or shorter) is used past its lifetime.
+            let closure: Box<dyn FnOnce() + Send + 'static> =
+                unsafe { std::mem::transmute(closure) };
+            let handle = std::thread::spawn(closure);
+            self.handles.lock().expect("scope handle list poisoned").push(handle);
+            ScopedJoinHandle { rx, _marker: PhantomData }
+        }
+    }
+
+    /// Run `f` with a thread scope; all spawned threads are joined before
+    /// this returns. `Err` if `f` panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        let scope = Scope { handles: Mutex::new(Vec::new()), _marker: PhantomData };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Join everything spawned, including threads spawned while joining.
+        loop {
+            let batch = {
+                let mut guard = scope.handles.lock().expect("scope handle list poisoned");
+                std::mem::take(&mut *guard)
+            };
+            if batch.is_empty() {
+                break;
+            }
+            for h in batch {
+                // Child panics are caught inside the child and delivered
+                // through its result channel, so this join cannot fail.
+                let _ = h.join();
+            }
+        }
+        result
+    }
+}

@@ -1,0 +1,252 @@
+//! Offline shim for `proptest`: `Strategy` + combinators, `collection`
+//! strategies, `ProptestConfig`, and the `proptest!` / `prop_assert!`
+//! macros. Cases are generated from a seed derived deterministically from
+//! the test name and case index — no shrinking, no persistence files,
+//! but the same failure reproduces on every run.
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// RNG handed to strategies (the rand shim's xoshiro engine).
+pub type TestRng = StdRng;
+
+#[doc(hidden)]
+pub fn __seed_for(name: &str, case: u64) -> u64 {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+#[doc(hidden)]
+pub fn __run_cases(
+    name: &str,
+    config: &ProptestConfig,
+    mut case_fn: impl FnMut(&mut TestRng) -> Result<(), String>,
+) {
+    for case in 0..config.cases as u64 {
+        let seed = __seed_for(name, case);
+        let mut rng = TestRng::seed_from_u64(seed);
+        if let Err(msg) = case_fn(&mut rng) {
+            panic!("proptest `{name}` failed at case {case} (seed {seed:#x}):\n{msg}");
+        }
+    }
+}
+
+/// Define property tests. Supports the subset of the real macro used
+/// here: an optional `#![proptest_config(...)]` header and `#[test]`
+/// functions whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $cfg:expr;) => {};
+    (config = $cfg:expr; #[test] fn $name:ident($($args:tt)*) $body:block $($rest:tt)*) => {
+        #[test]
+        fn $name() {
+            let __config = $cfg;
+            $crate::__run_cases(stringify!($name), &__config, |__proptest_rng| {
+                $crate::__proptest_bind! { __proptest_rng, ($($args)*) }
+                let mut __proptest_body =
+                    move || -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                __proptest_body()
+            });
+        }
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, ()) => {};
+    ($rng:ident, ($($args:tt)+)) => {
+        $crate::__proptest_bind_pat! { $rng, [] $($args)+ }
+    };
+}
+
+// Munch pattern tokens until the `in` keyword.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind_pat {
+    ($rng:ident, [$($pat:tt)+] in $($rest:tt)+) => {
+        $crate::__proptest_bind_strat! { $rng, [$($pat)+] [] $($rest)+ }
+    };
+    ($rng:ident, [$($pat:tt)*] $t:tt $($rest:tt)*) => {
+        $crate::__proptest_bind_pat! { $rng, [$($pat)* $t] $($rest)* }
+    };
+}
+
+// Munch strategy tokens until a top-level comma (or the end), then bind.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind_strat {
+    ($rng:ident, [$($pat:tt)+] [$($strat:tt)+], $($rest:tt)+) => {
+        let $($pat)+ = $crate::Strategy::generate(&($($strat)+), $rng);
+        $crate::__proptest_bind! { $rng, ($($rest)+) }
+    };
+    ($rng:ident, [$($pat:tt)+] [$($strat:tt)+] $(,)?) => {
+        let $($pat)+ = $crate::Strategy::generate(&($($strat)+), $rng);
+    };
+    ($rng:ident, [$($pat:tt)+] [$($strat:tt)*] $t:tt $($rest:tt)*) => {
+        $crate::__proptest_bind_strat! { $rng, [$($pat)+] [$($strat)* $t] $($rest)* }
+    };
+}
+
+/// Fallible assertion: fails the current case without aborting the
+/// process (the runner reports name/case/seed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), __l, __r));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left), stringify!($right), __l));
+        }
+    }};
+}
+
+/// Namespace mirror of the real crate's `prop` module re-export.
+pub mod prop {
+    pub mod bool {
+        /// Uniformly random `bool`.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        pub const ANY: Any = Any;
+
+        impl crate::Strategy for Any {
+            type Value = bool;
+
+            fn generate(&self, rng: &mut crate::TestRng) -> bool {
+                rand::Rng::gen(rng)
+            }
+        }
+    }
+
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, usize)> {
+        (1usize..10, 1usize..10)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn tuple_ranges_in_bounds((a, b) in pair(), scale in 2u32..5) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!((1..10).contains(&b));
+            prop_assert!((2..5).contains(&scale));
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in crate::collection::vec(0u32..100, 3..17)) {
+            prop_assert!((3..17).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn map_and_flat_map_compose(
+            v in (1usize..6).prop_flat_map(|n| crate::collection::vec(0f32..1.0, n))
+                            .prop_map(|v| (v.len(), v))
+        ) {
+            let (n, data) = v;
+            prop_assert_eq!(n, data.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut r1 = crate::TestRng::seed_from_u64(crate::__seed_for("x", 0));
+        let mut r2 = crate::TestRng::seed_from_u64(crate::__seed_for("x", 0));
+        let s = (0u64..100, 0u64..100);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+
+    use rand::SeedableRng;
+}

@@ -1,0 +1,144 @@
+//! Offline shim for `rand_distr`: `Distribution`, `Normal`, and
+//! `StandardNormal` (Box–Muller), which is all the workspace samples.
+
+use rand::{Rng, RngCore, Standard};
+
+/// Types that can sample values of `T` from an RNG.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error from constructing a distribution with invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// Standard deviation was not finite and non-negative.
+    BadVariance,
+    MeanTooSmall,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::BadVariance => write!(f, "standard deviation is invalid"),
+            NormalError::MeanTooSmall => write!(f, "mean too small"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Float operations Box–Muller needs, so `Normal<F>` has one generic impl
+/// (an ambiguity-free `Normal::new`, unlike two concrete impl blocks).
+pub trait Float:
+    Copy
+    + PartialOrd
+    + Standard
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+{
+    const TAU: Self;
+    const MIN_POSITIVE: Self;
+    const NEG_TWO: Self;
+    const ZERO: Self;
+    fn ln(self) -> Self;
+    fn sqrt(self) -> Self;
+    fn cos(self) -> Self;
+    fn is_finite(self) -> bool;
+}
+
+macro_rules! impl_float {
+    ($t:ty, $tau:expr) => {
+        impl Float for $t {
+            const TAU: Self = $tau;
+            const MIN_POSITIVE: Self = <$t>::MIN_POSITIVE;
+            const NEG_TWO: Self = -2.0;
+            const ZERO: Self = 0.0;
+            fn ln(self) -> Self {
+                self.ln()
+            }
+            fn sqrt(self) -> Self {
+                self.sqrt()
+            }
+            fn cos(self) -> Self {
+                self.cos()
+            }
+            fn is_finite(self) -> bool {
+                self.is_finite()
+            }
+        }
+    };
+}
+
+impl_float!(f32, std::f32::consts::TAU);
+impl_float!(f64, std::f64::consts::TAU);
+
+/// Unit normal N(0, 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl<F: Float> Distribution<F> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        // Box–Muller; clamp u1 away from 0 so ln stays finite.
+        let mut u1: F = rng.gen();
+        if u1 < F::MIN_POSITIVE {
+            u1 = F::MIN_POSITIVE;
+        }
+        let u2: F = rng.gen();
+        (F::NEG_TWO * u1.ln()).sqrt() * (F::TAU * u2).cos()
+    }
+}
+
+/// Normal distribution with configurable mean and standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: Float> Normal<F> {
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        if !std_dev.is_finite() || std_dev < F::ZERO {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    pub fn mean(&self) -> F {
+        self.mean
+    }
+
+    pub fn std_dev(&self) -> F {
+        self.std_dev
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        let z: F = StandardNormal.sample(rng);
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dist = Normal::new(3.0f64, 2.0).unwrap();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn rejects_negative_sigma() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! A small persistent thread pool with a shared FIFO queue.
+//!
+//! Callers submit a batch of `n` block jobs via [`join_n`] and block until
+//! all complete. While waiting, the submitting thread *helps*: it pops and
+//! runs queued jobs (its own or other callers'), which both speeds small
+//! batches up and makes concurrent callers (e.g. DDP worker threads all
+//! hitting the matmul kernels) deadlock-free by construction.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+static QUEUE: OnceLock<&'static Queue> = OnceLock::new();
+
+fn queue() -> &'static Queue {
+    QUEUE.get_or_init(|| {
+        let q: &'static Queue = Box::leak(Box::new(Queue {
+            jobs: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }));
+        for i in 0..num_threads().saturating_sub(1) {
+            std::thread::Builder::new()
+                .name(format!("shim-rayon-{i}"))
+                .spawn(move || worker_loop(q))
+                .expect("failed to spawn pool worker");
+        }
+        q
+    })
+}
+
+fn worker_loop(q: &'static Queue) {
+    loop {
+        let job = {
+            let mut jobs = q.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    break job;
+                }
+                jobs = q.available.wait(jobs).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        job();
+    }
+}
+
+/// Worker count: `RAYON_NUM_THREADS` override, else available parallelism.
+pub fn num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            })
+    })
+}
+
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+}
+
+/// Run `body(0), …, body(n-1)`, possibly in parallel, returning only when
+/// all invocations have finished. Panics in any invocation are re-raised
+/// here. `body` must tolerate concurrent invocation with distinct indices.
+pub fn join_n(n: usize, body: &(dyn Fn(usize) + Sync)) {
+    match n {
+        0 => return,
+        1 => return body(0),
+        _ => {}
+    }
+    let latch = Latch {
+        remaining: Mutex::new(n - 1),
+        done: Condvar::new(),
+        panic: Mutex::new(None),
+    };
+
+    {
+        let q = queue();
+        let mut jobs = q.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        // SAFETY: join_n blocks until `remaining` hits zero, so `body`
+        // and `latch` outlive every job queued below; the 'static
+        // lifetimes are an erasure, never a true promise.
+        let body_static: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(body) };
+        let latch_static: &'static Latch = unsafe { &*(&latch as *const Latch) };
+        for i in 1..n {
+            jobs.push_back(Box::new(move || {
+                let (body, latch) = (body_static, latch_static);
+                let result = catch_unwind(AssertUnwindSafe(|| body(i)));
+                if let Err(payload) = result {
+                    let mut slot = latch.panic.lock().unwrap_or_else(|e| e.into_inner());
+                    slot.get_or_insert(payload);
+                }
+                let mut remaining =
+                    latch.remaining.lock().unwrap_or_else(|e| e.into_inner());
+                *remaining -= 1;
+                if *remaining == 0 {
+                    latch.done.notify_all();
+                }
+            }));
+        }
+        q.available.notify_all();
+    }
+
+    // Run our own share inline.
+    let own = catch_unwind(AssertUnwindSafe(|| body(0)));
+
+    // Help drain the queue while waiting for our blocks to finish.
+    let q = queue();
+    loop {
+        let job = {
+            let mut jobs = q.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            jobs.pop_front()
+        };
+        match job {
+            Some(job) => job(),
+            None => break,
+        }
+    }
+    {
+        let mut remaining = latch.remaining.lock().unwrap_or_else(|e| e.into_inner());
+        while *remaining > 0 {
+            remaining = latch.done.wait(remaining).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    if let Err(payload) = own {
+        std::panic::resume_unwind(payload);
+    }
+    let stored = latch.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+    if let Some(payload) = stored {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// Split `len` items into at most `num_threads()` contiguous blocks of at
+/// least `min_block` items; returns the block boundaries.
+pub fn block_ranges(len: usize, min_block: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let max_blocks = num_threads().max(1);
+    let blocks = (len / min_block.max(1)).clamp(1, max_blocks);
+    let base = len / blocks;
+    let extra = len % blocks;
+    let mut out = Vec::with_capacity(blocks);
+    let mut start = 0;
+    for b in 0..blocks {
+        let size = base + usize::from(b < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}

@@ -1,0 +1,363 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` implemented directly on `proc_macro`
+//! token streams (no syn/quote available offline).
+//!
+//! Supports what the workspace uses: non-generic named-field structs and
+//! enums with unit / named-field / tuple variants, no `#[serde(...)]`
+//! attributes. The generated impls target the shim `serde` data model
+//! (`Serialize::to_content` / `Deserialize::from_content`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Skip `#[...]` attributes and (pub / pub(...)) visibility at `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Advance past a type (or any token run) until a `,` at angle-bracket
+/// depth zero; leaves `i` *on* the comma (or at end).
+fn skip_until_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Parse `name: Type, ...` named fields from a brace group body.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else { break };
+        fields.push(name.to_string());
+        i += 1; // name
+        i += 1; // ':'
+        skip_until_top_level_comma(&tokens, &mut i);
+        i += 1; // ','
+    }
+    fields
+}
+
+/// Count top-level comma-separated entries in a paren group body.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut i = 0;
+    loop {
+        skip_until_top_level_comma(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        i += 1; // ','
+        if i >= tokens.len() {
+            break; // trailing comma
+        }
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else { break };
+        let name = name.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(n)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip a possible discriminant, then the separating comma.
+        skip_until_top_level_comma(&tokens, &mut i);
+        i += 1;
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, found {other:?}"),
+    };
+    i += 1;
+    let body = tokens[i..].iter().find_map(|t| match t {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+        TokenTree::Punct(p) if p.as_char() == '<' => {
+            panic!("serde_derive shim: generic types are not supported (type {name})")
+        }
+        _ => None,
+    });
+    match (kind.as_str(), body) {
+        ("struct", Some(body)) => Item::Struct { name, fields: parse_named_fields(body) },
+        ("enum", Some(body)) => Item::Enum { name, variants: parse_variants(body) },
+        ("struct", None) => Item::Struct { name, fields: Vec::new() },
+        _ => panic!("serde_derive shim: unsupported item kind `{kind}` for {name}"),
+    }
+}
+
+fn tuple_binders(n: usize) -> Vec<String> {
+    (0..n).map(|k| format!("__f{k}")).collect()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    match &item {
+        Item::Struct { name, fields } => {
+            let mut entries = String::new();
+            for f in fields {
+                write!(
+                    entries,
+                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_content(&self.{f})),"
+                )
+                .unwrap();
+            }
+            write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_content(&self) -> ::serde::Content {{\
+                         ::serde::Content::Map(::std::vec![{entries}])\
+                     }}\
+                 }}"
+            )
+            .unwrap();
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => write!(
+                        arms,
+                        "{name}::{vname} => ::serde::Content::Str(::std::string::String::from(\"{vname}\")),"
+                    )
+                    .unwrap(),
+                    VariantKind::Named(fields) => {
+                        let binders = fields.join(", ");
+                        let mut entries = String::new();
+                        for f in fields {
+                            write!(
+                                entries,
+                                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_content({f})),"
+                            )
+                            .unwrap();
+                        }
+                        write!(
+                            arms,
+                            "{name}::{vname} {{ {binders} }} => ::serde::Content::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"),\
+                                  ::serde::Content::Map(::std::vec![{entries}])),\
+                             ]),"
+                        )
+                        .unwrap();
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders = tuple_binders(*n);
+                        let pattern = binders.join(", ");
+                        let inner = if *n == 1 {
+                            format!("::serde::Serialize::to_content({})", binders[0])
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!("::serde::Content::Seq(::std::vec![{}])", items.join(","))
+                        };
+                        write!(
+                            arms,
+                            "{name}::{vname}({pattern}) => ::serde::Content::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), {inner}),\
+                             ]),"
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+            write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_content(&self) -> ::serde::Content {{\
+                         match self {{ {arms} }}\
+                     }}\
+                 }}"
+            )
+            .unwrap();
+        }
+    }
+    out.parse().expect("serde_derive shim: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    match &item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                write!(inits, "{f}: ::serde::__field(__map, \"{f}\")?,").unwrap();
+            }
+            write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\
+                         let __map = __c.as_map().ok_or_else(|| ::serde::DeError::custom(\
+                             ::std::format!(\"expected object for struct {name}, got {{}}\", __c)))?;\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\
+                     }}\
+                 }}"
+            )
+            .unwrap();
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => write!(
+                        unit_arms,
+                        "\"{vname}\" => return ::std::result::Result::Ok({name}::{vname}),"
+                    )
+                    .unwrap(),
+                    VariantKind::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            write!(inits, "{f}: ::serde::__field(__inner, \"{f}\")?,").unwrap();
+                        }
+                        write!(
+                            data_arms,
+                            "\"{vname}\" => {{\
+                                 let __inner = __v.as_map().ok_or_else(|| ::serde::DeError::custom(\
+                                     \"expected object for variant {vname}\"))?;\
+                                 return ::std::result::Result::Ok({name}::{vname} {{ {inits} }});\
+                             }}"
+                        )
+                        .unwrap();
+                    }
+                    VariantKind::Tuple(n) => {
+                        if *n == 1 {
+                            write!(
+                                data_arms,
+                                "\"{vname}\" => return ::std::result::Result::Ok(\
+                                     {name}::{vname}(::serde::Deserialize::from_content(__v)?)),"
+                            )
+                            .unwrap();
+                        } else {
+                            let mut elems = String::new();
+                            for k in 0..*n {
+                                write!(
+                                    elems,
+                                    "::serde::Deserialize::from_content(&__seq[{k}])?,"
+                                )
+                                .unwrap();
+                            }
+                            write!(
+                                data_arms,
+                                "\"{vname}\" => {{\
+                                     let __seq = __v.as_seq().ok_or_else(|| ::serde::DeError::custom(\
+                                         \"expected array for variant {vname}\"))?;\
+                                     if __seq.len() != {n} {{\
+                                         return ::std::result::Result::Err(::serde::DeError::custom(\
+                                             \"wrong tuple arity for variant {vname}\"));\
+                                     }}\
+                                     return ::std::result::Result::Ok({name}::{vname}({elems}));\
+                                 }}"
+                            )
+                            .unwrap();
+                        }
+                    }
+                }
+            }
+            write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\
+                         if let ::std::option::Option::Some(__s) = __c.as_str() {{\
+                             match __s {{ {unit_arms} _ => {{}} }}\
+                         }}\
+                         if let ::std::option::Option::Some(__m) = __c.as_map() {{\
+                             if let ::std::option::Option::Some((__k, __v)) = __m.first() {{\
+                                 match __k.as_str() {{ {data_arms} _ => {{}} }}\
+                             }}\
+                         }}\
+                         ::std::result::Result::Err(::serde::DeError::custom(\
+                             ::std::format!(\"unknown variant for enum {name}: {{}}\", __c)))\
+                     }}\
+                 }}"
+            )
+            .unwrap();
+        }
+    }
+    out.parse().expect("serde_derive shim: generated Deserialize impl failed to parse")
+}

@@ -77,7 +77,10 @@ fn cmd_simulate(args: &[String]) {
     println!("graphs            : {}", stats.graphs);
     println!("avg vertices      : {:.1}", stats.avg_vertices);
     println!("avg edges         : {:.1}", stats.avg_edges);
-    println!("edge/vertex ratio : {:.2}", stats.avg_edges / stats.avg_vertices);
+    println!(
+        "edge/vertex ratio : {:.2}",
+        stats.avg_edges / stats.avg_vertices
+    );
     println!("true-edge fraction: {:.3}", stats.avg_positive_fraction);
     println!("vertex features   : {}", cfg.num_vertex_features);
     println!("edge features     : {}", cfg.num_edge_features);
@@ -94,11 +97,18 @@ fn cmd_train(args: &[String]) {
     let gnn_cfg = gnn_config(args, &cfg);
     let sampler = match arg_str(args, "--sampler", "bulk").as_str() {
         "baseline" => SamplerKind::Baseline,
-        _ => SamplerKind::Bulk { k: arg(args, "--bulk-k", 4) },
+        _ => SamplerKind::Bulk {
+            k: arg(args, "--bulk-k", 4),
+        },
     };
     let workers = arg(args, "--workers", 1usize);
     let ddp = DdpConfig::new(workers, AllReduceStrategy::Coalesced);
-    println!("training on {} ({} train / {} val graphs)...", cfg.name, tr.len(), va.len());
+    println!(
+        "training on {} ({} train / {} val graphs)...",
+        cfg.name,
+        tr.len(),
+        va.len()
+    );
     let result = train_minibatch(&gnn_cfg, sampler, ddp, &prepared[tr], &prepared[va.clone()]);
     for e in &result.epochs {
         println!(
@@ -183,13 +193,19 @@ fn cmd_reconstruct(args: &[String]) {
     let (val, test) = rest.split_at(1);
 
     let config = PipelineConfig {
-        embedding: EmbeddingConfig { epochs: 15, ..Default::default() },
+        embedding: EmbeddingConfig {
+            epochs: 15,
+            ..Default::default()
+        },
         gnn: GnnTrainConfig {
             hidden: 32,
             gnn_layers: 4,
             epochs: arg(args, "--epochs", 8),
             batch_size: 128,
-            shadow: ShadowConfig { depth: 2, fanout: 4 },
+            shadow: ShadowConfig {
+                depth: 2,
+                fanout: 4,
+            },
             ..Default::default()
         },
         ..Default::default()

@@ -10,7 +10,13 @@ use trkx::pipeline::{infer_logits, prepare_graphs, Checkpoint, GnnTrainConfig};
 #[test]
 fn trained_model_checkpoint_roundtrip_through_disk() {
     let graphs = prepare_graphs(&DatasetConfig::ex3_like(0.01).generate(2, 77));
-    let cfg = GnnTrainConfig { hidden: 12, gnn_layers: 2, epochs: 2, batch_size: 32, ..Default::default() };
+    let cfg = GnnTrainConfig {
+        hidden: 12,
+        gnn_layers: 2,
+        epochs: 2,
+        batch_size: 32,
+        ..Default::default()
+    };
 
     // Train briefly so weights are non-initial.
     let result = trkx::pipeline::train_minibatch(
@@ -23,7 +29,9 @@ fn trained_model_checkpoint_roundtrip_through_disk() {
     let reference = infer_logits(&result.model, &graphs[0]);
 
     let path = std::env::temp_dir().join(format!("trkx_it_ckpt_{}.json", std::process::id()));
-    Checkpoint::from_params(&result.model.params()).save_json(&path).unwrap();
+    Checkpoint::from_params(&result.model.params())
+        .save_json(&path)
+        .unwrap();
 
     // Fresh model, different seed: restore and compare predictions.
     let mut rng = StdRng::seed_from_u64(999);
@@ -63,16 +71,23 @@ fn trained_pipeline_bundle_roundtrip() {
     let geometry = DetectorGeometry::default();
     let gun = GunConfig::default();
     let mut rng = StdRng::seed_from_u64(55);
-    let events: Vec<_> =
-        (0..4).map(|_| simulate_event(&geometry, &gun, 15, 0.1, &mut rng)).collect();
+    let events: Vec<_> = (0..4)
+        .map(|_| simulate_event(&geometry, &gun, 15, 0.1, &mut rng))
+        .collect();
     let config = PipelineConfig {
-        embedding: EmbeddingConfig { epochs: 4, ..Default::default() },
+        embedding: EmbeddingConfig {
+            epochs: 4,
+            ..Default::default()
+        },
         gnn: GnnTrainConfig {
             hidden: 12,
             gnn_layers: 2,
             epochs: 2,
             batch_size: 32,
-            shadow: ShadowConfig { depth: 2, fanout: 3 },
+            shadow: ShadowConfig {
+                depth: 2,
+                fanout: 3,
+            },
             ..Default::default()
         },
         ..Default::default()
@@ -95,8 +110,16 @@ fn trained_pipeline_bundle_roundtrip() {
 
 #[test]
 fn checkpoint_rejects_mismatched_architecture() {
-    let cfg_small = GnnTrainConfig { hidden: 8, gnn_layers: 2, ..Default::default() };
-    let cfg_large = GnnTrainConfig { hidden: 16, gnn_layers: 2, ..Default::default() };
+    let cfg_small = GnnTrainConfig {
+        hidden: 8,
+        gnn_layers: 2,
+        ..Default::default()
+    };
+    let cfg_large = GnnTrainConfig {
+        hidden: 16,
+        gnn_layers: 2,
+        ..Default::default()
+    };
     let mut rng = StdRng::seed_from_u64(1);
     let small = InteractionGnn::new(cfg_small.ignn_config(6, 2), &mut rng);
     let mut large = InteractionGnn::new(cfg_large.ignn_config(6, 2), &mut rng);

@@ -18,7 +18,10 @@ fn cfg(epochs: usize) -> GnnTrainConfig {
         epochs,
         batch_size: 64,
         learning_rate: 2e-3,
-        shadow: ShadowConfig { depth: 2, fanout: 4 },
+        shadow: ShadowConfig {
+            depth: 2,
+            fanout: 4,
+        },
         seed: 99,
         ..Default::default()
     }
@@ -44,11 +47,27 @@ fn minibatch_beats_memory_limited_full_graph() {
     let budget = footprints[0]; // only the smallest graph trains
 
     let full = train_full_graph(&c, train, val, Some(budget));
-    assert!(full.skipped_graphs >= train.len() - 1, "budget skipped {} graphs", full.skipped_graphs);
+    assert!(
+        full.skipped_graphs >= train.len() - 1,
+        "budget skipped {} graphs",
+        full.skipped_graphs
+    );
 
-    let mini = train_minibatch(&c, SamplerKind::Bulk { k: 4 }, DdpConfig::single(), train, val);
+    let mini = train_minibatch(
+        &c,
+        SamplerKind::Bulk { k: 4 },
+        DdpConfig::single(),
+        train,
+        val,
+    );
 
-    let f1 = |p: f64, r: f64| if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+    let f1 = |p: f64, r: f64| {
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    };
     let full_last = full.epochs.last().unwrap();
     let mini_last = mini.epochs.last().unwrap();
     let full_f1 = f1(full_last.val_precision, full_last.val_recall);
@@ -68,7 +87,13 @@ fn bulk_implementation_matches_baseline_quality() {
     let (train, val) = prepared.split_at(4);
     let c = cfg(4);
     let base = train_minibatch(&c, SamplerKind::Baseline, DdpConfig::single(), train, val);
-    let bulk = train_minibatch(&c, SamplerKind::Bulk { k: 4 }, DdpConfig::single(), train, val);
+    let bulk = train_minibatch(
+        &c,
+        SamplerKind::Bulk { k: 4 },
+        DdpConfig::single(),
+        train,
+        val,
+    );
     let b = base.epochs.last().unwrap();
     let k = bulk.epochs.last().unwrap();
     assert!(
@@ -90,7 +115,13 @@ fn training_loss_decreases_across_epochs() {
     let data = DatasetConfig::ex3_like(0.015).generate(3, 33);
     let prepared = prepare_graphs(&data);
     let (train, val) = prepared.split_at(2);
-    let r = train_minibatch(&cfg(5), SamplerKind::Bulk { k: 2 }, DdpConfig::single(), train, val);
+    let r = train_minibatch(
+        &cfg(5),
+        SamplerKind::Bulk { k: 2 },
+        DdpConfig::single(),
+        train,
+        val,
+    );
     let losses: Vec<f32> = r.epochs.iter().map(|e| e.train_loss).collect();
     assert!(
         losses.last().unwrap() < &losses[0],

@@ -15,7 +15,10 @@ fn cfg() -> GnnTrainConfig {
         epochs: 2,
         batch_size: 32,
         learning_rate: 2e-3,
-        shadow: ShadowConfig { depth: 2, fanout: 3 },
+        shadow: ShadowConfig {
+            depth: 2,
+            fanout: 3,
+        },
         seed: 7,
         ..Default::default()
     }
@@ -77,12 +80,20 @@ fn worker_counts_all_train_stably() {
         );
         assert_eq!(r.epochs.len(), c.epochs, "p={p}");
         for e in &r.epochs {
-            assert!(e.train_loss.is_finite(), "p={p} epoch {} loss {}", e.epoch, e.train_loss);
+            assert!(
+                e.train_loss.is_finite(),
+                "p={p} epoch {} loss {}",
+                e.epoch,
+                e.train_loss
+            );
         }
         if p == 1 {
             assert_eq!(r.epochs[0].timing.comm_virtual_s, 0.0);
         } else {
-            assert!(r.epochs[0].timing.comm_virtual_s > 0.0, "p={p} no comm modeled");
+            assert!(
+                r.epochs[0].timing.comm_virtual_s > 0.0,
+                "p={p} no comm modeled"
+            );
         }
     }
 }

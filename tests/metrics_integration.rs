@@ -21,11 +21,20 @@ fn trained_gnn_scores_have_high_auc() {
         gnn_layers: 3,
         epochs: 7,
         batch_size: 64,
-        shadow: ShadowConfig { depth: 2, fanout: 4 },
+        shadow: ShadowConfig {
+            depth: 2,
+            fanout: 4,
+        },
         seed: 5,
         ..Default::default()
     };
-    let r = train_minibatch(&cfg, SamplerKind::Bulk { k: 4 }, DdpConfig::single(), train, val);
+    let r = train_minibatch(
+        &cfg,
+        SamplerKind::Bulk { k: 4 },
+        DdpConfig::single(),
+        train,
+        val,
+    );
     let logits = infer_logits(&r.model, &val[0]);
     let auc = roc_auc(&logits, &val[0].labels);
     assert!(auc > 0.75, "trained AUC only {auc}");
@@ -86,7 +95,10 @@ fn pt_binned_efficiency_reflects_track_length() {
     let matched_set: std::collections::HashSet<u32> = overlap
         .iter()
         .filter(|(&(c, p), &o)| {
-            comp_hits[&c] >= 3 && particle_hits[&p] >= 3 && 2 * o > comp_hits[&c] && 2 * o > particle_hits[&p]
+            comp_hits[&c] >= 3
+                && particle_hits[&p] >= 3
+                && 2 * o > comp_hits[&c]
+                && 2 * o > particle_hits[&p]
         })
         .map(|(&(_, p), _)| p)
         .collect();

@@ -13,20 +13,27 @@ fn five_stage_pipeline_reconstructs_tracks() {
     let geometry = DetectorGeometry::default();
     let gun = GunConfig::default();
     let mut rng = StdRng::seed_from_u64(1234);
-    let events: Vec<_> =
-        (0..6).map(|_| simulate_event(&geometry, &gun, 25, 0.1, &mut rng)).collect();
+    let events: Vec<_> = (0..6)
+        .map(|_| simulate_event(&geometry, &gun, 25, 0.1, &mut rng))
+        .collect();
     let (train, val) = events.split_at(5);
 
     let config = PipelineConfig {
         vertex_features: 6,
         edge_features: 2,
-        embedding: EmbeddingConfig { epochs: 12, ..Default::default() },
+        embedding: EmbeddingConfig {
+            epochs: 12,
+            ..Default::default()
+        },
         gnn: GnnTrainConfig {
             hidden: 24,
             gnn_layers: 3,
             epochs: 6,
             batch_size: 64,
-            shadow: ShadowConfig { depth: 2, fanout: 4 },
+            shadow: ShadowConfig {
+                depth: 2,
+                fanout: 4,
+            },
             ..Default::default()
         },
         gnn_sampler: SamplerKind::Bulk { k: 4 },
@@ -41,7 +48,11 @@ fn five_stage_pipeline_reconstructs_tracks() {
         "graph construction lost too many truth edges: {}",
         report.construction_efficiency
     );
-    assert!(report.filter_recall > 0.8, "filter recall {}", report.filter_recall);
+    assert!(
+        report.filter_recall > 0.8,
+        "filter recall {}",
+        report.filter_recall
+    );
     assert!(
         report.gnn_val_recall > 0.5 && report.gnn_val_precision > 0.5,
         "GNN failed to learn: P {} R {}",
@@ -60,7 +71,10 @@ fn five_stage_pipeline_reconstructs_tracks() {
     // Inference on a fresh event runs the whole chain.
     let test_event = simulate_event(&geometry, &gun, 25, 0.1, &mut rng);
     let result = pipeline.reconstruct(&test_event);
-    assert!(result.metrics.num_reco_tracks > 0, "no tracks reconstructed");
+    assert!(
+        result.metrics.num_reco_tracks > 0,
+        "no tracks reconstructed"
+    );
     assert!(result.edges_kept > 0);
     assert_eq!(result.component_of_hit.len(), test_event.num_hits());
 }

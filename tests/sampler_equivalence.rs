@@ -15,7 +15,10 @@ fn event_sampler_graph() -> SamplerGraph {
 #[test]
 fn bulk_and_baseline_sample_the_same_distribution() {
     let graph = event_sampler_graph();
-    let cfg = ShadowConfig { depth: 3, fanout: 6 };
+    let cfg = ShadowConfig {
+        depth: 3,
+        fanout: 6,
+    };
     let mut rng = StdRng::seed_from_u64(1);
     let batches = vertex_batches(graph.num_nodes, 64, &mut rng);
 
@@ -38,7 +41,10 @@ fn bulk_and_baseline_sample_the_same_distribution() {
     }
     let node_ratio = base_nodes as f64 / bulk_nodes as f64;
     let edge_ratio = base_edges as f64 / bulk_edges as f64;
-    assert!((0.93..1.07).contains(&node_ratio), "node ratio {node_ratio}");
+    assert!(
+        (0.93..1.07).contains(&node_ratio),
+        "node ratio {node_ratio}"
+    );
     assert!((0.9..1.1).contains(&edge_ratio), "edge ratio {edge_ratio}");
 }
 
@@ -46,7 +52,10 @@ fn bulk_and_baseline_sample_the_same_distribution() {
 fn every_sampled_edge_is_a_real_candidate_edge() {
     let g = &DatasetConfig::ex3_like(0.02).generate(1, 10)[0];
     let graph = SamplerGraph::new(g.num_nodes, &g.src, &g.dst);
-    let cfg = ShadowConfig { depth: 2, fanout: 4 };
+    let cfg = ShadowConfig {
+        depth: 2,
+        fanout: 4,
+    };
     let batches = vec![(0..32u32).collect::<Vec<_>>(), (32..64u32).collect()];
     for sg in BulkShadowSampler::new(cfg).sample_batches(&graph, &batches, 3) {
         sg.validate(&graph);
@@ -67,12 +76,14 @@ fn subgraph_labels_match_parent_labels() {
     // in the same ballpark as the parent graph's).
     let g = &DatasetConfig::ex3_like(0.03).generate(1, 12)[0];
     let graph = SamplerGraph::new(g.num_nodes, &g.src, &g.dst);
-    let parent_frac =
-        g.labels.iter().filter(|&&l| l > 0.5).count() as f64 / g.labels.len() as f64;
+    let parent_frac = g.labels.iter().filter(|&&l| l > 0.5).count() as f64 / g.labels.len() as f64;
     let mut rng = StdRng::seed_from_u64(2);
     let batches = vertex_batches(g.num_nodes, 128, &mut rng);
-    let subs = BulkShadowSampler::new(ShadowConfig { depth: 3, fanout: 6 })
-        .sample_batches(&graph, &batches, 8);
+    let subs = BulkShadowSampler::new(ShadowConfig {
+        depth: 3,
+        fanout: 6,
+    })
+    .sample_batches(&graph, &batches, 8);
     let mut pos = 0usize;
     let mut tot = 0usize;
     for sg in &subs {
