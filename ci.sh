@@ -1,9 +1,17 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints (warnings are errors), release build,
-# and the full workspace test suite. Run from the repo root.
+# Local CI gate: formatting, lints (warnings are errors), docs (warnings
+# are errors), release build, the full workspace test suite, and a short
+# train-step smoke run that gates hot-path allocation regressions.
+# Run from the repo root.
 set -euo pipefail
 
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 cargo build --workspace --release
 cargo test -q --workspace --release
+
+# Allocation gate: the pooled-tape train step must stay at or below the
+# recorded budget (BENCH_trainstep.json baseline is 154 allocs/step).
+cargo run -q --release -p trkx-bench --bin trainstep -- \
+    --steps 5 --out /tmp/BENCH_trainstep_smoke.json --max-allocs 162

@@ -10,7 +10,6 @@ use rand::{rngs::StdRng, SeedableRng};
 use std::sync::Arc;
 use trkx_bench::trainstep::{run_step, StepScratch, SyntheticGraph};
 use trkx_ignn::{IgnnConfig, InteractionGnn};
-use trkx_nn::Adam;
 use trkx_tensor::Matrix;
 
 fn bench_trainstep(c: &mut Criterion) {
@@ -25,13 +24,12 @@ fn bench_trainstep(c: &mut Criterion) {
             .with_gnn_layers(4)
             .with_mlp_depth(2);
         let mut model = InteractionGnn::new(cfg, &mut rng);
-        let mut opt = Adam::new(1e-3);
-        let mut scratch = StepScratch::new();
+        let mut scratch = StepScratch::new(1e-3);
         group.bench_with_input(
             BenchmarkId::new("ignn_step", format!("{nodes}n_{edges}e")),
             &g,
             |b, g| {
-                b.iter(|| black_box(run_step(&mut model, &mut opt, g, &mut scratch)));
+                b.iter(|| black_box(run_step(&mut model, g, &mut scratch)));
             },
         );
     }

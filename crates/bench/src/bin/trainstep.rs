@@ -5,7 +5,11 @@
 //! step (via a counting global allocator), and writes the results to
 //! `BENCH_trainstep.json`.
 //!
-//! Usage: `trainstep [--nodes N] [--edges M] [--steps S] [--out PATH]`
+//! Usage: `trainstep [--nodes N] [--edges M] [--steps S] [--out PATH]
+//! [--max-allocs A]`
+//!
+//! With `--max-allocs`, exits non-zero when steady-state allocations per
+//! step exceed the bound — CI uses this to gate hot-path regressions.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -15,7 +19,6 @@ use rand::{rngs::StdRng, SeedableRng};
 use trkx_bench::arg_value;
 use trkx_bench::trainstep::{run_step, StepScratch, SyntheticGraph};
 use trkx_ignn::{IgnnConfig, InteractionGnn};
-use trkx_nn::Adam;
 
 /// System allocator wrapped with an allocation counter.
 struct CountingAlloc;
@@ -50,6 +53,7 @@ fn main() {
     let edges: usize = arg_value(&args, "--edges", 4096);
     let steps: usize = arg_value(&args, "--steps", 20);
     let out: String = arg_value(&args, "--out", "BENCH_trainstep.json".to_string());
+    let max_allocs: f64 = arg_value(&args, "--max-allocs", f64::INFINITY);
 
     let g = SyntheticGraph::generate(nodes, edges, 7);
     let mut rng = StdRng::seed_from_u64(11);
@@ -58,12 +62,11 @@ fn main() {
         .with_gnn_layers(4)
         .with_mlp_depth(2);
     let mut model = InteractionGnn::new(cfg, &mut rng);
-    let mut opt = Adam::new(1e-3);
-    let mut scratch = StepScratch::new();
+    let mut scratch = StepScratch::new(1e-3);
 
     // Warmup: populate pools, fault in pages, settle the thread pool.
     for _ in 0..3 {
-        run_step(&mut model, &mut opt, &g, &mut scratch);
+        run_step(&mut model, &g, &mut scratch);
     }
 
     let allocs0 = ALLOCS.load(Ordering::Relaxed);
@@ -71,7 +74,7 @@ fn main() {
     let t0 = Instant::now();
     let mut loss = 0.0;
     for _ in 0..steps {
-        loss = run_step(&mut model, &mut opt, &g, &mut scratch);
+        loss = run_step(&mut model, &g, &mut scratch);
     }
     let elapsed = t0.elapsed();
     let allocs = ALLOCS.load(Ordering::Relaxed) - allocs0;
@@ -97,4 +100,8 @@ fn main() {
         ns_per_step / 1e6,
         allocs_per_step
     );
+    if allocs_per_step > max_allocs {
+        eprintln!("FAIL: {allocs_per_step:.0} allocs/step exceeds --max-allocs {max_allocs:.0}");
+        std::process::exit(1);
+    }
 }

@@ -4,9 +4,10 @@
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::sync::Arc;
+use trkx_core::train::Engine;
 use trkx_ignn::InteractionGnn;
-use trkx_nn::{bce_with_logits, Adam, Bindings, Optimizer};
-use trkx_tensor::{Matrix, Tape};
+use trkx_nn::{bce_with_logits, Adam};
+use trkx_tensor::Matrix;
 
 /// A random graph with the shape of a prepared event: node/edge features,
 /// COO endpoints, and binary edge labels.
@@ -37,40 +38,28 @@ impl SyntheticGraph {
     }
 }
 
-/// Reusable per-step state (tape + bindings), kept across steps so the
-/// tape's buffer pool can recycle activation and gradient buffers.
-#[derive(Default)]
+/// Reusable per-step state: the training-harness [`Engine`] owning the
+/// pooled tape/bindings pair and the Adam optimizer, kept across steps so
+/// the tape's buffer pool can recycle activation and gradient buffers.
 pub struct StepScratch {
-    pub tape: Tape,
-    pub bind: Bindings,
+    pub engine: Engine,
 }
 
 impl StepScratch {
-    pub fn new() -> Self {
-        Self::default()
+    pub fn new(learning_rate: f32) -> Self {
+        Self {
+            engine: Engine::new(Adam::new(learning_rate)),
+        }
     }
 }
 
-/// One full training step; returns the loss.
-pub fn run_step(
-    model: &mut InteractionGnn,
-    opt: &mut Adam,
-    g: &SyntheticGraph,
-    scratch: &mut StepScratch,
-) -> f32 {
-    let tape = &mut scratch.tape;
-    let bind = &mut scratch.bind;
-    tape.reset();
-    bind.reset();
-    let logits = model.forward(tape, bind, &g.x, &g.y, g.src.clone(), g.dst.clone());
-    let loss = bce_with_logits(tape, logits, &g.labels, 1.0);
-    let v = tape.value(loss).as_scalar();
-    tape.backward(loss);
-    let mut params = model.params_mut();
-    bind.harvest(tape, &mut params);
-    opt.step(&mut params);
-    for p in params {
-        p.zero_grad();
-    }
+/// One full training step through the engine; returns the loss.
+pub fn run_step(model: &mut InteractionGnn, g: &SyntheticGraph, scratch: &mut StepScratch) -> f32 {
+    let m = &*model;
+    let v = scratch.engine.forward_backward(|tape, bind| {
+        let logits = m.forward(tape, bind, &g.x, &g.y, g.src.clone(), g.dst.clone());
+        Some(bce_with_logits(tape, logits, &g.labels, 1.0))
+    });
+    scratch.engine.update(&mut model.params_mut());
     v
 }

@@ -1,8 +1,9 @@
 //! Early stopping on a validation metric — standard training-loop
 //! utility for the pipeline stages.
 
-/// Tracks a higher-is-better validation metric and signals when it has
-/// not improved by at least `min_delta` for `patience` consecutive checks.
+/// Tracks a higher-is-better validation metric and signals to stop as
+/// soon as it has gone `patience` consecutive checks (at least one)
+/// without improving by more than `min_delta`.
 #[derive(Debug, Clone)]
 pub struct EarlyStopping {
     patience: usize,
@@ -36,7 +37,10 @@ impl EarlyStopping {
         } else {
             self.stale += 1;
         }
-        self.stale > self.patience
+        // `patience` stale checks suffice (a `>` here would tolerate one
+        // extra stale epoch); `max(1)` keeps patience 0 from stopping on
+        // an improving check where `stale` resets to 0.
+        self.stale >= self.patience.max(1)
     }
 
     /// Best value seen so far.
@@ -55,13 +59,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn stops_after_patience_exceeded() {
+    fn stops_once_patience_is_reached() {
         let mut es = EarlyStopping::new(2, 0.0);
         assert!(!es.update(0.5));
         assert!(!es.update(0.6)); // improvement
         assert!(!es.update(0.55)); // stale 1
-        assert!(!es.update(0.58)); // stale 2
-        assert!(es.update(0.59)); // stale 3 > patience 2
+        assert!(es.update(0.58)); // stale 2 == patience 2: stop
         assert_eq!(es.best(), 0.6);
         assert_eq!(es.best_epoch(), 1);
     }
@@ -70,8 +73,18 @@ mod tests {
     fn min_delta_requires_real_improvement() {
         let mut es = EarlyStopping::new(1, 0.05);
         assert!(!es.update(0.50));
-        assert!(!es.update(0.52)); // below min_delta: stale 1
-        assert!(es.update(0.54)); // stale 2 > patience 1
+        assert!(es.update(0.52)); // below min_delta: stale 1 == patience 1
+    }
+
+    #[test]
+    fn improvement_resets_the_stale_counter() {
+        let mut es = EarlyStopping::new(2, 0.0);
+        assert!(!es.update(0.5));
+        assert!(!es.update(0.4)); // stale 1
+        assert!(!es.update(0.6)); // improvement: stale resets
+        assert!(!es.update(0.5)); // stale 1
+        assert!(es.update(0.5)); // stale 2
+        assert_eq!(es.best_epoch(), 2);
     }
 
     #[test]

@@ -3,9 +3,12 @@
 //! close together (paper §II-A), trained with a contrastive hinge loss on
 //! truth pairs.
 
+use crate::train::{EpochCtx, EpochReport, EpochStats, Hook, TrainLoop, TrainStep};
 use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::time::Instant;
+use trkx_ddp::EpochTiming;
 use trkx_detector::Event;
-use trkx_nn::{contrastive_hinge_loss, Activation, Adam, Bindings, Mlp, MlpConfig, Optimizer};
+use trkx_nn::{contrastive_hinge_loss, Activation, Adam, Bindings, Mlp, MlpConfig, Param};
 use trkx_tensor::{Matrix, Tape};
 
 /// Embedding-stage hyperparameters.
@@ -108,46 +111,92 @@ impl EmbeddingStage {
     /// Train on `(event, vertex-feature matrix)` pairs; returns the final
     /// mean loss.
     pub fn train(&mut self, events: &[(&Event, &Matrix)]) -> f32 {
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xABCD);
-        let mut opt = Adam::new(self.config.learning_rate);
-        let mut last_loss = 0.0;
-        let mut tape = Tape::new();
-        let mut bind = Bindings::new();
-        for _epoch in 0..self.config.epochs {
-            let mut loss_sum = 0.0;
-            for (event, x) in events {
-                let (pi, pj, labels) =
-                    build_pairs(event, self.config.negatives_per_positive, &mut rng);
-                if pi.is_empty() {
-                    continue;
-                }
-                tape.reset();
-                bind.reset();
-                let xv = tape.constant_copied(x);
-                let emb = self.mlp.forward(&mut tape, &mut bind, xv);
-                let loss =
-                    contrastive_hinge_loss(&mut tape, emb, &pi, &pj, &labels, self.config.margin);
-                loss_sum += tape.value(loss).as_scalar();
-                tape.backward(loss);
-                let mut params = self.mlp.params_mut();
-                bind.harvest(&tape, &mut params);
-                opt.step(&mut params);
-                for p in params {
-                    p.zero_grad();
-                }
-            }
-            last_loss = loss_sum / events.len().max(1) as f32;
-        }
-        last_loss
+        self.train_with_hooks(events, Vec::new())
+            .last()
+            .map_or(0.0, |r| r.train_loss)
+    }
+
+    /// Train through the unified [`TrainLoop`] with a caller-supplied hook
+    /// stack (telemetry, LR schedules, early stopping on
+    /// [`Monitor::NegTrainLoss`](crate::train::Monitor)); returns the
+    /// per-epoch reports.
+    pub fn train_with_hooks(
+        &mut self,
+        events: &[(&Event, &Matrix)],
+        hooks: Vec<Box<dyn Hook>>,
+    ) -> Vec<EpochReport> {
+        let mut step = EmbeddingTrainStep {
+            mlp: &mut self.mlp,
+            events,
+            rng: StdRng::seed_from_u64(self.config.seed ^ 0xABCD),
+            negatives_per_positive: self.config.negatives_per_positive,
+            margin: self.config.margin,
+        };
+        TrainLoop::new(Adam::new(self.config.learning_rate), self.config.epochs)
+            .with_hooks(hooks)
+            .run(&mut step)
     }
 
     /// Embed a feature matrix (inference).
     pub fn embed(&self, x: &Matrix) -> Matrix {
         let mut tape = Tape::new();
         let mut bind = Bindings::new();
-        let xv = tape.constant(x.clone());
-        let emb = self.mlp.forward(&mut tape, &mut bind, xv);
+        self.embed_with(&mut tape, &mut bind, x)
+    }
+
+    /// [`EmbeddingStage::embed`] against a caller-pooled tape/bindings
+    /// pair, so repeated inference recycles buffers instead of allocating
+    /// fresh ones per call.
+    pub fn embed_with(&self, tape: &mut Tape, bind: &mut Bindings, x: &Matrix) -> Matrix {
+        tape.reset();
+        bind.reset();
+        let xv = tape.constant_copied(x);
+        let emb = self.mlp.forward(tape, bind, xv);
         tape.value(emb).clone()
+    }
+}
+
+/// The embedding stage's schedule: one optimizer step per event, with
+/// fresh contrastive pairs drawn every epoch.
+struct EmbeddingTrainStep<'a> {
+    mlp: &'a mut Mlp,
+    events: &'a [(&'a Event, &'a Matrix)],
+    rng: StdRng,
+    negatives_per_positive: usize,
+    margin: f32,
+}
+
+impl TrainStep for EmbeddingTrainStep<'_> {
+    fn train_epoch(&mut self, _epoch: usize, ctx: &mut EpochCtx) -> EpochStats {
+        let t0 = Instant::now();
+        let mut loss_sum = 0.0;
+        for (event, x) in self.events {
+            let (pi, pj, labels) = build_pairs(event, self.negatives_per_positive, &mut self.rng);
+            if pi.is_empty() {
+                continue;
+            }
+            let mlp = &*self.mlp;
+            let margin = self.margin;
+            loss_sum += ctx.forward_backward(|tape, bind| {
+                let xv = tape.constant_copied(x);
+                let emb = mlp.forward(tape, bind, xv);
+                Some(contrastive_hinge_loss(tape, emb, &pi, &pj, &labels, margin))
+            });
+            ctx.update(&mut self.mlp.params_mut());
+        }
+        EpochStats {
+            loss_sum,
+            loss_denom: self.events.len(),
+            steps: ctx.steps(),
+            timing: EpochTiming {
+                train_s: t0.elapsed().as_secs_f64(),
+                ..Default::default()
+            },
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.mlp.params_mut()
     }
 }
 

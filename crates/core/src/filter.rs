@@ -4,11 +4,12 @@
 //! must hold in memory (paper §II-A).
 
 use crate::gnn_stage::PreparedGraph;
+use crate::train::{EpochCtx, EpochReport, EpochStats, Hook, TrainLoop, TrainStep};
 use rand::{rngs::StdRng, SeedableRng};
 use std::sync::Arc;
-use trkx_nn::{
-    bce_with_logits, Activation, Adam, BinaryStats, Bindings, Mlp, MlpConfig, Optimizer,
-};
+use std::time::Instant;
+use trkx_ddp::EpochTiming;
+use trkx_nn::{bce_with_logits, Activation, Adam, BinaryStats, Bindings, Mlp, MlpConfig, Param};
 use trkx_tensor::{Tape, Var};
 
 /// Filter-stage hyperparameters.
@@ -74,49 +75,65 @@ impl FilterStage {
 
     /// Train over the given graphs; returns final mean loss.
     pub fn train(&mut self, graphs: &[PreparedGraph]) -> f32 {
-        let mut opt = Adam::new(self.config.learning_rate);
-        let mut last = 0.0;
-        let mut tape = Tape::new();
-        let mut bind = Bindings::new();
-        for _ in 0..self.config.epochs {
-            let mut loss_sum = 0.0;
-            for g in graphs {
-                if g.labels.is_empty() {
-                    continue;
-                }
-                tape.reset();
-                bind.reset();
-                let logits = self.forward(&mut tape, &mut bind, g);
-                let loss = bce_with_logits(&mut tape, logits, &g.labels, self.config.pos_weight);
-                loss_sum += tape.value(loss).as_scalar();
-                tape.backward(loss);
-                let mut params = self.mlp.params_mut();
-                bind.harvest(&tape, &mut params);
-                opt.step(&mut params);
-                for p in params {
-                    p.zero_grad();
-                }
-            }
-            last = loss_sum / graphs.len().max(1) as f32;
-        }
-        last
+        self.train_with_hooks(graphs, Vec::new())
+            .last()
+            .map_or(0.0, |r| r.train_loss)
+    }
+
+    /// Train through the unified [`TrainLoop`] with a caller-supplied
+    /// hook stack; returns the per-epoch reports.
+    pub fn train_with_hooks(
+        &mut self,
+        graphs: &[PreparedGraph],
+        hooks: Vec<Box<dyn Hook>>,
+    ) -> Vec<EpochReport> {
+        let lr = self.config.learning_rate;
+        let epochs = self.config.epochs;
+        let mut step = FilterTrainStep {
+            stage: self,
+            graphs,
+        };
+        TrainLoop::new(Adam::new(lr), epochs)
+            .with_hooks(hooks)
+            .run(&mut step)
     }
 
     /// Per-edge logits (inference).
     pub fn logits(&self, g: &PreparedGraph) -> Vec<f32> {
         let mut tape = Tape::new();
         let mut bind = Bindings::new();
-        let logits = self.forward(&mut tape, &mut bind, g);
+        self.logits_with(&mut tape, &mut bind, g)
+    }
+
+    /// [`FilterStage::logits`] against a caller-pooled tape/bindings pair
+    /// (repeated inference recycles buffers).
+    pub fn logits_with(&self, tape: &mut Tape, bind: &mut Bindings, g: &PreparedGraph) -> Vec<f32> {
+        tape.reset();
+        bind.reset();
+        let logits = self.forward(tape, bind, g);
         tape.value(logits).data().to_vec()
     }
 
     /// Indices of edges passing the threshold.
     pub fn kept_edges(&self, g: &PreparedGraph) -> Vec<usize> {
+        let mut tape = Tape::new();
+        let mut bind = Bindings::new();
+        self.kept_edges_with(&mut tape, &mut bind, g)
+    }
+
+    /// [`FilterStage::kept_edges`] against a caller-pooled tape/bindings
+    /// pair.
+    pub fn kept_edges_with(
+        &self,
+        tape: &mut Tape,
+        bind: &mut Bindings,
+        g: &PreparedGraph,
+    ) -> Vec<usize> {
         let cut = {
             let p = self.config.threshold.clamp(1e-6, 1.0 - 1e-6);
             (p / (1.0 - p)).ln()
         };
-        self.logits(g)
+        self.logits_with(tape, bind, g)
             .iter()
             .enumerate()
             .filter(|(_, &l)| l > cut)
@@ -126,15 +143,59 @@ impl FilterStage {
 
     /// Validation metrics at the configured threshold.
     pub fn evaluate(&self, graphs: &[PreparedGraph]) -> BinaryStats {
+        let mut tape = Tape::new();
+        let mut bind = Bindings::new();
         let mut stats = BinaryStats::default();
         for g in graphs {
             stats.merge(&BinaryStats::from_logits(
-                &self.logits(g),
+                &self.logits_with(&mut tape, &mut bind, g),
                 &g.labels,
                 self.config.threshold,
             ));
         }
         stats
+    }
+}
+
+/// The filter stage's schedule: one optimizer step per prepared graph.
+struct FilterTrainStep<'a> {
+    stage: &'a mut FilterStage,
+    graphs: &'a [PreparedGraph],
+}
+
+impl TrainStep for FilterTrainStep<'_> {
+    fn train_epoch(&mut self, _epoch: usize, ctx: &mut EpochCtx) -> EpochStats {
+        let t0 = Instant::now();
+        let mut loss_sum = 0.0;
+        for g in self.graphs {
+            if g.labels.is_empty() {
+                continue;
+            }
+            let stage = &*self.stage;
+            loss_sum += ctx.forward_backward(|tape, bind| {
+                let logits = stage.forward(tape, bind, g);
+                Some(bce_with_logits(
+                    tape,
+                    logits,
+                    &g.labels,
+                    stage.config.pos_weight,
+                ))
+            });
+            ctx.update(&mut self.stage.mlp.params_mut());
+        }
+        EpochStats {
+            loss_sum,
+            loss_denom: self.graphs.len(),
+            steps: ctx.steps(),
+            timing: EpochTiming {
+                train_s: t0.elapsed().as_secs_f64(),
+                ..Default::default()
+            },
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.stage.mlp.params_mut()
     }
 }
 

@@ -5,13 +5,14 @@
 //! (the paper's contributions). Produces the per-epoch convergence curves
 //! of Figure 4 and the epoch-time breakdowns of Figure 3.
 
+use crate::train::{EpochCtx, EpochStats, Hook, TrainLoop, TrainStep, ValMetrics};
 use rand::{rngs::StdRng, SeedableRng};
 use std::sync::Arc;
 use std::time::Instant;
 use trkx_ddp::{run_workers, AllReducer, DdpConfig, EpochTiming};
 use trkx_detector::EventGraph;
 use trkx_ignn::{IgnnConfig, InteractionGnn};
-use trkx_nn::{bce_with_logits, Adam, BinaryStats, Bindings, Optimizer};
+use trkx_nn::{bce_with_logits, Adam, BinaryStats, Bindings, Param};
 use trkx_sampling::{
     shard_batch, vertex_batches, BulkShadowSampler, SampledSubgraph, SamplerGraph, ShadowConfig,
     ShadowSampler,
@@ -137,15 +138,10 @@ impl GnnTrainConfig {
     }
 }
 
-/// One epoch's record: loss, validation metrics, timing breakdown.
-#[derive(Debug, Clone)]
-pub struct EpochRecord {
-    pub epoch: usize,
-    pub train_loss: f32,
-    pub val_precision: f64,
-    pub val_recall: f64,
-    pub timing: EpochTiming,
-}
+/// One epoch's record — legacy alias for the unified harness's
+/// [`EpochReport`](crate::train::EpochReport) (loss, validation metrics,
+/// step count, lr, timing).
+pub use crate::train::EpochReport as EpochRecord;
 
 /// Outcome of a training run.
 pub struct TrainResult {
@@ -160,65 +156,45 @@ pub struct TrainResult {
 pub fn infer_logits(model: &InteractionGnn, g: &PreparedGraph) -> Vec<f32> {
     let mut tape = Tape::new();
     let mut bind = Bindings::new();
-    let logits = model.forward(
-        &mut tape,
-        &mut bind,
-        &g.x,
-        &g.y,
-        g.src.clone(),
-        g.dst.clone(),
-    );
+    infer_logits_with(&mut tape, &mut bind, model, g)
+}
+
+/// [`infer_logits`] against a caller-pooled tape/bindings pair, so
+/// repeated inference recycles buffers instead of allocating fresh ones.
+pub fn infer_logits_with(
+    tape: &mut Tape,
+    bind: &mut Bindings,
+    model: &InteractionGnn,
+    g: &PreparedGraph,
+) -> Vec<f32> {
+    tape.reset();
+    bind.reset();
+    let logits = model.forward(tape, bind, &g.x, &g.y, g.src.clone(), g.dst.clone());
     tape.value(logits).data().to_vec()
 }
 
 /// Edge-classification metrics of `model` over `graphs`.
 pub fn evaluate(model: &InteractionGnn, graphs: &[PreparedGraph], threshold: f32) -> BinaryStats {
+    let mut tape = Tape::new();
+    let mut bind = Bindings::new();
+    evaluate_with(&mut tape, &mut bind, model, graphs, threshold)
+}
+
+/// [`evaluate`] against a caller-pooled tape/bindings pair (one tape
+/// serves all graphs; epoch-end validation reuses the same buffers).
+pub fn evaluate_with(
+    tape: &mut Tape,
+    bind: &mut Bindings,
+    model: &InteractionGnn,
+    graphs: &[PreparedGraph],
+    threshold: f32,
+) -> BinaryStats {
     let mut stats = BinaryStats::default();
     for g in graphs {
-        let logits = infer_logits(model, g);
+        let logits = infer_logits_with(tape, bind, model, g);
         stats.merge(&BinaryStats::from_logits(&logits, &g.labels, threshold));
     }
     stats
-}
-
-#[allow(clippy::too_many_arguments)]
-fn train_step(
-    tape: &mut Tape,
-    bind: &mut Bindings,
-    model: &mut InteractionGnn,
-    opt: &mut Adam,
-    x: &Matrix,
-    y: &Matrix,
-    src: Arc<Vec<u32>>,
-    dst: Arc<Vec<u32>>,
-    labels: &[f32],
-    pos_weight: f32,
-    reducer: Option<(&AllReducer, usize, trkx_ddp::AllReduceStrategy)>,
-) -> f32 {
-    let mut loss_value = 0.0;
-    if !labels.is_empty() {
-        // Reuse the caller's tape across steps: reset() parks all buffers
-        // in the tape's pool, so steady-state steps allocate nothing.
-        tape.reset();
-        bind.reset();
-        let logits = model.forward(tape, bind, x, y, src, dst);
-        let loss = bce_with_logits(tape, logits, labels, pos_weight);
-        loss_value = tape.value(loss).as_scalar();
-        tape.backward(loss);
-        let mut params = model.params_mut();
-        bind.harvest(tape, &mut params);
-    }
-    // Collective + update happen unconditionally so every DDP rank makes
-    // the same number of calls even when its shard sampled no edges.
-    let mut params = model.params_mut();
-    if let Some((reducer, rank, strategy)) = reducer {
-        reducer.sync_gradients(rank, &mut params, strategy);
-    }
-    opt.step(&mut params);
-    for p in params {
-        p.zero_grad();
-    }
-    loss_value
 }
 
 /// Full-graph training (the original Exa.TrkX baseline): each training
@@ -231,11 +207,24 @@ pub fn train_full_graph(
     val: &[PreparedGraph],
     activation_budget_floats: Option<usize>,
 ) -> TrainResult {
+    train_full_graph_with_hooks(cfg, train, val, activation_budget_floats, Vec::new())
+}
+
+/// [`train_full_graph`] with a caller-supplied hook stack (telemetry,
+/// checkpointing, early stopping). Figure 4's convergence curves need
+/// every epoch, so the harness attaches no hooks by default — early
+/// stopping is strictly opt-in here.
+pub fn train_full_graph_with_hooks(
+    cfg: &GnnTrainConfig,
+    train: &[PreparedGraph],
+    val: &[PreparedGraph],
+    activation_budget_floats: Option<usize>,
+    hooks: Vec<Box<dyn Hook>>,
+) -> TrainResult {
     let (nf, ef) = (train[0].x.cols(), train[0].y.cols());
     let icfg = cfg.ignn_config(nf, ef);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut model = InteractionGnn::new(icfg.clone(), &mut rng);
-    let mut opt = Adam::new(cfg.learning_rate);
+    let model = InteractionGnn::new(icfg.clone(), &mut rng);
     let pos_weight = cfg.derive_pos_weight(train);
 
     let usable: Vec<&PreparedGraph> = train
@@ -248,45 +237,80 @@ pub fn train_full_graph(
         .collect();
     let skipped_graphs = train.len() - usable.len();
 
-    let mut epochs = Vec::with_capacity(cfg.epochs);
-    let mut tape = Tape::new();
-    let mut bind = Bindings::new();
-    for epoch in 0..cfg.epochs {
-        let t0 = Instant::now();
-        let mut loss_sum = 0.0;
-        for g in &usable {
-            loss_sum += train_step(
-                &mut tape,
-                &mut bind,
-                &mut model,
-                &mut opt,
-                &g.x,
-                &g.y,
-                g.src.clone(),
-                g.dst.clone(),
-                &g.labels,
-                pos_weight,
-                None,
-            );
-        }
-        let train_s = t0.elapsed().as_secs_f64();
-        let stats = evaluate(&model, val, cfg.threshold);
-        epochs.push(EpochRecord {
-            epoch,
-            train_loss: loss_sum / usable.len().max(1) as f32,
-            val_precision: stats.precision(),
-            val_recall: stats.recall(),
-            timing: EpochTiming {
-                sampling_s: 0.0,
-                train_s,
-                comm_virtual_s: 0.0,
-            },
-        });
-    }
-    TrainResult {
+    let mut step = FullGraphStep {
         model,
+        usable,
+        val,
+        pos_weight,
+        threshold: cfg.threshold,
+        val_tape: Tape::new(),
+        val_bind: Bindings::new(),
+    };
+    let epochs = TrainLoop::new(Adam::new(cfg.learning_rate), cfg.epochs)
+        .with_hooks(hooks)
+        .run(&mut step);
+    TrainResult {
+        model: step.model,
         epochs,
         skipped_graphs,
+    }
+}
+
+/// The full-graph schedule: one optimizer step per (budget-surviving)
+/// event graph.
+struct FullGraphStep<'a> {
+    model: InteractionGnn,
+    usable: Vec<&'a PreparedGraph>,
+    val: &'a [PreparedGraph],
+    pos_weight: f32,
+    threshold: f32,
+    val_tape: Tape,
+    val_bind: Bindings,
+}
+
+impl TrainStep for FullGraphStep<'_> {
+    fn train_epoch(&mut self, _epoch: usize, ctx: &mut EpochCtx) -> EpochStats {
+        let t0 = Instant::now();
+        let mut loss_sum = 0.0;
+        for g in &self.usable {
+            let model = &self.model;
+            let pos_weight = self.pos_weight;
+            loss_sum += ctx.forward_backward(|tape, bind| {
+                if g.labels.is_empty() {
+                    return None;
+                }
+                let logits = model.forward(tape, bind, &g.x, &g.y, g.src.clone(), g.dst.clone());
+                Some(bce_with_logits(tape, logits, &g.labels, pos_weight))
+            });
+            ctx.update(&mut self.model.params_mut());
+        }
+        EpochStats {
+            loss_sum,
+            loss_denom: self.usable.len(),
+            steps: ctx.steps(),
+            timing: EpochTiming {
+                train_s: t0.elapsed().as_secs_f64(),
+                ..Default::default()
+            },
+        }
+    }
+
+    fn validate(&mut self, _epoch: usize) -> Option<ValMetrics> {
+        let stats = evaluate_with(
+            &mut self.val_tape,
+            &mut self.val_bind,
+            &self.model,
+            self.val,
+            self.threshold,
+        );
+        Some(ValMetrics {
+            precision: stats.precision(),
+            recall: stats.recall(),
+        })
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.model.params_mut()
     }
 }
 
@@ -309,8 +333,13 @@ fn build_schedule(
     schedule
 }
 
-/// Per-worker epoch record: loss, timing, and (rank 0 only) val metrics.
-type WorkerEpochRecord = (f32, EpochTiming, Option<(f64, f64)>);
+/// Per-rank hook factory for the threaded DDP trainer: called once per
+/// rank, on that rank's thread, to build its hook stack. Hooks must be
+/// deterministic functions of the reports they observe — every rank sees
+/// identical metrics (replicas stay synchronised), so identical hook
+/// stacks make identical stop/LR decisions and the collectives stay
+/// aligned.
+pub type HookFactory = dyn Fn(usize) -> Vec<Box<dyn Hook>> + Sync;
 
 /// Minibatch ShaDow training with distributed data parallelism.
 ///
@@ -325,12 +354,27 @@ pub fn train_minibatch(
     train: &[PreparedGraph],
     val: &[PreparedGraph],
 ) -> TrainResult {
+    train_minibatch_with_hooks(cfg, sampler, ddp, train, val, None)
+}
+
+/// [`train_minibatch`] with a per-rank hook factory. When hooks are
+/// attached, *every* rank runs the validation pass (not just rank 0) so
+/// metric-driven hooks make the same decision on every replica.
+pub fn train_minibatch_with_hooks(
+    cfg: &GnnTrainConfig,
+    sampler: SamplerKind,
+    ddp: DdpConfig,
+    train: &[PreparedGraph],
+    val: &[PreparedGraph],
+    hook_factory: Option<&HookFactory>,
+) -> TrainResult {
     let (nf, ef) = (train[0].x.cols(), train[0].y.cols());
     let icfg = cfg.ignn_config(nf, ef);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let init_model = InteractionGnn::new(icfg, &mut rng);
     let pos_weight = cfg.derive_pos_weight(train);
     let p = ddp.workers;
+    let validate_all = hook_factory.is_some();
 
     // Schedules are precomputed per epoch so every worker sees the same
     // global batch sequence (synchronous DDP).
@@ -340,129 +384,191 @@ pub fn train_minibatch(
 
     let reducer = AllReducer::new(p, ddp.cost_model);
     let results = run_workers(p, |rank| {
-        let mut model = init_model.clone();
-        let mut opt = Adam::new(cfg.learning_rate);
-        let mut tape = Tape::new();
-        let mut bind = Bindings::new();
-        let mut records: Vec<WorkerEpochRecord> = Vec::new();
-        let mut comm_seen = 0.0f64;
-        for (epoch, schedule) in schedules.iter().enumerate() {
-            let mut sampling_s = 0.0f64;
-            let mut train_s = 0.0f64;
-            let mut loss_sum = 0.0f32;
-            let mut steps = 0usize;
-
-            // Group consecutive steps of the same graph into bulk chunks.
-            let chunk = match sampler {
-                SamplerKind::Baseline => 1,
-                SamplerKind::Bulk { k } => k.max(1),
-            };
-            let mut i = 0usize;
-            while i < schedule.len() {
-                let gi = schedule[i].0;
-                let mut j = i;
-                while j < schedule.len() && schedule[j].0 == gi && j - i < chunk {
-                    j += 1;
-                }
-                let g = &train[gi];
-                // Per-worker shards of each global batch in this chunk.
-                let shards: Vec<Vec<u32>> = schedule[i..j]
-                    .iter()
-                    .map(|(_, batch)| shard_batch(batch, p)[rank].clone())
-                    .collect();
-
-                let t_sample = Instant::now();
-                let subgraphs: Vec<SampledSubgraph> = match sampler {
-                    SamplerKind::Baseline => {
-                        // Sequential per-batch sampling, like PyG's loader.
-                        let mut out = Vec::with_capacity(shards.len());
-                        for (si, shard) in shards.iter().enumerate() {
-                            let mut srng = StdRng::seed_from_u64(
-                                cfg.seed
-                                    ^ (epoch as u64) << 48
-                                    ^ ((i + si) as u64) << 16
-                                    ^ rank as u64,
-                            );
-                            out.push(
-                                ShadowSampler::new(cfg.shadow)
-                                    .sample_batch(&g.sampler, shard, &mut srng),
-                            );
-                        }
-                        out
-                    }
-                    SamplerKind::Bulk { .. } => {
-                        let seed = cfg.seed ^ (epoch as u64) << 48 ^ (i as u64) << 16 ^ rank as u64;
-                        BulkShadowSampler::new(cfg.shadow).sample_batches(&g.sampler, &shards, seed)
-                    }
-                };
-                sampling_s += t_sample.elapsed().as_secs_f64();
-
-                let t_train = Instant::now();
-                for sg in &subgraphs {
-                    let (x_sub, y_sub, labels) = g.subgraph_matrices(sg);
-                    loss_sum += train_step(
-                        &mut tape,
-                        &mut bind,
-                        &mut model,
-                        &mut opt,
-                        &x_sub,
-                        &y_sub,
-                        Arc::new(sg.sub_src.clone()),
-                        Arc::new(sg.sub_dst.clone()),
-                        &labels,
-                        pos_weight,
-                        Some((&reducer, rank, ddp.strategy)),
-                    );
-                    steps += 1;
-                }
-                train_s += t_train.elapsed().as_secs_f64();
-                i = j;
-            }
-
-            // Per-epoch virtual comm delta (identical on every rank; rank
-            // 0's value is used).
-            let comm_total = reducer.virtual_comm_seconds();
-            let comm_epoch = comm_total - comm_seen;
-            comm_seen = comm_total;
-
-            let timing = EpochTiming {
-                sampling_s,
-                train_s,
-                comm_virtual_s: comm_epoch,
-            };
-            let val_metrics = if rank == 0 {
-                let stats = evaluate(&model, val, cfg.threshold);
-                Some((stats.precision(), stats.recall()))
-            } else {
-                None
-            };
-            records.push((loss_sum / steps.max(1) as f32, timing, val_metrics));
-        }
-        (model, records)
+        let mut step = MinibatchRankStep {
+            rank,
+            p,
+            model: init_model.clone(),
+            cfg,
+            sampler,
+            strategy: ddp.strategy,
+            reducer: &reducer,
+            schedules: &schedules,
+            train,
+            val,
+            pos_weight,
+            comm_seen: 0.0,
+            run_validation: rank == 0 || validate_all,
+            val_tape: Tape::new(),
+            val_bind: Bindings::new(),
+        };
+        let hooks = hook_factory.map_or_else(Vec::new, |f| f(rank));
+        let reports = TrainLoop::new(Adam::new(cfg.learning_rate), cfg.epochs)
+            .with_hooks(hooks)
+            .run(&mut step);
+        (step.model, reports)
     });
 
     // Assemble: rank-0 model + metrics; timings are the max across ranks
     // (synchronous DDP advances at the slowest worker's pace).
     let mut results = results;
-    let (model, rank0_records) = results.remove(0);
-    let mut epochs = Vec::with_capacity(cfg.epochs);
-    for (e, (loss, mut timing, metrics)) in rank0_records.into_iter().enumerate() {
-        for (_, records) in &results {
-            timing.max_merge(&records[e].1);
+    let (model, rank0_reports) = results.remove(0);
+    let mut epochs = Vec::with_capacity(rank0_reports.len());
+    for (e, mut report) in rank0_reports.into_iter().enumerate() {
+        for (_, reports) in &results {
+            // Deterministic hooks stop every rank at the same epoch, so
+            // each rank reports the same number of epochs.
+            report.timing.max_merge(&reports[e].timing);
         }
-        let (val_precision, val_recall) = metrics.expect("rank 0 computes metrics");
-        epochs.push(EpochRecord {
-            epoch: e,
-            train_loss: loss,
-            val_precision,
-            val_recall,
-            timing,
-        });
+        epochs.push(report);
     }
     TrainResult {
         model,
         epochs,
         skipped_graphs: 0,
+    }
+}
+
+/// One DDP rank's schedule: its shard of every global batch, with the
+/// gradient collective folded into each step's `sync`.
+struct MinibatchRankStep<'a> {
+    rank: usize,
+    p: usize,
+    model: InteractionGnn,
+    cfg: &'a GnnTrainConfig,
+    sampler: SamplerKind,
+    strategy: trkx_ddp::AllReduceStrategy,
+    reducer: &'a AllReducer,
+    schedules: &'a [Vec<(usize, Vec<u32>)>],
+    train: &'a [PreparedGraph],
+    val: &'a [PreparedGraph],
+    pos_weight: f32,
+    /// Reducer-reported virtual comm seconds already attributed to past
+    /// epochs (the reducer's counter is cumulative and shared).
+    comm_seen: f64,
+    run_validation: bool,
+    val_tape: Tape,
+    val_bind: Bindings,
+}
+
+impl TrainStep for MinibatchRankStep<'_> {
+    fn train_epoch(&mut self, epoch: usize, ctx: &mut EpochCtx) -> EpochStats {
+        let (rank, p) = (self.rank, self.p);
+        let cfg = self.cfg;
+        let schedule = &self.schedules[epoch];
+        let mut sampling_s = 0.0f64;
+        let mut train_s = 0.0f64;
+        let mut loss_sum = 0.0f32;
+
+        // Group consecutive steps of the same graph into bulk chunks.
+        let chunk = match self.sampler {
+            SamplerKind::Baseline => 1,
+            SamplerKind::Bulk { k } => k.max(1),
+        };
+        let mut i = 0usize;
+        while i < schedule.len() {
+            let gi = schedule[i].0;
+            let mut j = i;
+            while j < schedule.len() && schedule[j].0 == gi && j - i < chunk {
+                j += 1;
+            }
+            let g = &self.train[gi];
+            // Per-worker shards of each global batch in this chunk.
+            let shards: Vec<Vec<u32>> = schedule[i..j]
+                .iter()
+                .map(|(_, batch)| shard_batch(batch, p)[rank].clone())
+                .collect();
+
+            let t_sample = Instant::now();
+            let subgraphs: Vec<SampledSubgraph> = match self.sampler {
+                SamplerKind::Baseline => {
+                    // Sequential per-batch sampling, like PyG's loader.
+                    let mut out = Vec::with_capacity(shards.len());
+                    for (si, shard) in shards.iter().enumerate() {
+                        let mut srng = StdRng::seed_from_u64(
+                            cfg.seed ^ (epoch as u64) << 48 ^ ((i + si) as u64) << 16 ^ rank as u64,
+                        );
+                        out.push(
+                            ShadowSampler::new(cfg.shadow)
+                                .sample_batch(&g.sampler, shard, &mut srng),
+                        );
+                    }
+                    out
+                }
+                SamplerKind::Bulk { .. } => {
+                    let seed = cfg.seed ^ (epoch as u64) << 48 ^ (i as u64) << 16 ^ rank as u64;
+                    BulkShadowSampler::new(cfg.shadow).sample_batches(&g.sampler, &shards, seed)
+                }
+            };
+            sampling_s += t_sample.elapsed().as_secs_f64();
+
+            let t_train = Instant::now();
+            for sg in &subgraphs {
+                let (x_sub, y_sub, labels) = g.subgraph_matrices(sg);
+                let model = &self.model;
+                let pos_weight = self.pos_weight;
+                loss_sum += ctx.forward_backward(|tape, bind| {
+                    if labels.is_empty() {
+                        return None;
+                    }
+                    let logits = model.forward(
+                        tape,
+                        bind,
+                        &x_sub,
+                        &y_sub,
+                        Arc::new(sg.sub_src.clone()),
+                        Arc::new(sg.sub_dst.clone()),
+                    );
+                    Some(bce_with_logits(tape, logits, &labels, pos_weight))
+                });
+                // The collective runs unconditionally inside the step so
+                // every rank makes the same number of calls even when its
+                // shard sampled no edges.
+                let (reducer, strategy) = (self.reducer, self.strategy);
+                ctx.update_with(&mut self.model.params_mut(), |params| {
+                    reducer.sync_gradients(rank, params, strategy);
+                });
+            }
+            train_s += t_train.elapsed().as_secs_f64();
+            i = j;
+        }
+
+        // Per-epoch virtual comm delta (identical on every rank; rank 0's
+        // value is used).
+        let comm_total = self.reducer.virtual_comm_seconds();
+        let comm_epoch = comm_total - self.comm_seen;
+        self.comm_seen = comm_total;
+
+        EpochStats {
+            loss_sum,
+            loss_denom: ctx.steps(),
+            steps: ctx.steps(),
+            timing: EpochTiming {
+                sampling_s,
+                train_s,
+                comm_virtual_s: comm_epoch,
+            },
+        }
+    }
+
+    fn validate(&mut self, _epoch: usize) -> Option<ValMetrics> {
+        if !self.run_validation {
+            return None;
+        }
+        let stats = evaluate_with(
+            &mut self.val_tape,
+            &mut self.val_bind,
+            &self.model,
+            self.val,
+            self.cfg.threshold,
+        );
+        Some(ValMetrics {
+            precision: stats.precision(),
+            recall: stats.recall(),
+        })
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.model.params_mut()
     }
 }
 
@@ -475,7 +581,6 @@ pub fn train_minibatch(
 /// and the epoch time reported is `max over ranks of per-rank compute`
 /// plus the α–β model's all-reduce time, which is what a real P-GPU
 /// synchronous system observes. The Figure 3 harness uses this trainer.
-#[allow(clippy::needless_range_loop)] // rank/step indices address parallel per-rank arrays
 pub fn train_minibatch_simulated(
     cfg: &GnnTrainConfig,
     sampler: SamplerKind,
@@ -483,31 +588,81 @@ pub fn train_minibatch_simulated(
     train: &[PreparedGraph],
     val: &[PreparedGraph],
 ) -> TrainResult {
+    train_minibatch_simulated_with_hooks(cfg, sampler, ddp, train, val, Vec::new())
+}
+
+/// [`train_minibatch_simulated`] with a caller-supplied hook stack. The
+/// simulator is single-threaded, so one hook stack observes the whole
+/// (virtual) cluster.
+pub fn train_minibatch_simulated_with_hooks(
+    cfg: &GnnTrainConfig,
+    sampler: SamplerKind,
+    ddp: DdpConfig,
+    train: &[PreparedGraph],
+    val: &[PreparedGraph],
+    hooks: Vec<Box<dyn Hook>>,
+) -> TrainResult {
     let (nf, ef) = (train[0].x.cols(), train[0].y.cols());
     let icfg = cfg.ignn_config(nf, ef);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     // Replicas stay identical under synchronous DDP, so one model
     // suffices: per-rank backward passes accumulate into its grads and
     // the average is the same update every replica would apply.
-    let mut model = InteractionGnn::new(icfg, &mut rng);
-    let mut opt = Adam::new(cfg.learning_rate);
+    let model = InteractionGnn::new(icfg, &mut rng);
     let pos_weight = cfg.derive_pos_weight(train);
-    let p = ddp.workers;
     let tensor_bytes: Vec<usize> = model.params().iter().map(|prm| prm.numel() * 4).collect();
 
-    let mut epochs = Vec::with_capacity(cfg.epochs);
-    // Ranks run sequentially here, so one reusable tape serves them all.
-    let mut tape = Tape::new();
-    let mut bind = Bindings::new();
-    for epoch in 0..cfg.epochs {
-        let schedule = build_schedule(train, cfg.batch_size, cfg.seed, epoch);
+    let mut step = SimulatedDdpStep {
+        model,
+        cfg,
+        sampler,
+        ddp,
+        tensor_bytes,
+        train,
+        val,
+        pos_weight,
+        val_tape: Tape::new(),
+        val_bind: Bindings::new(),
+    };
+    let epochs = TrainLoop::new(Adam::new(cfg.learning_rate), cfg.epochs)
+        .with_hooks(hooks)
+        .run(&mut step);
+    TrainResult {
+        model: step.model,
+        epochs,
+        skipped_graphs: 0,
+    }
+}
+
+/// The single-threaded DDP simulation schedule: per optimizer step, every
+/// rank's forward/backward accumulates into one model's gradients
+/// (gradient accumulation), then one averaged update plus the α–β-model
+/// collective charge.
+struct SimulatedDdpStep<'a> {
+    model: InteractionGnn,
+    cfg: &'a GnnTrainConfig,
+    sampler: SamplerKind,
+    ddp: DdpConfig,
+    tensor_bytes: Vec<usize>,
+    train: &'a [PreparedGraph],
+    val: &'a [PreparedGraph],
+    pos_weight: f32,
+    val_tape: Tape,
+    val_bind: Bindings,
+}
+
+impl TrainStep for SimulatedDdpStep<'_> {
+    #[allow(clippy::needless_range_loop)] // rank/step indices address parallel per-rank arrays
+    fn train_epoch(&mut self, epoch: usize, ctx: &mut EpochCtx) -> EpochStats {
+        let cfg = self.cfg;
+        let p = self.ddp.workers;
+        let schedule = build_schedule(self.train, cfg.batch_size, cfg.seed, epoch);
         let mut sampling_rank = vec![0.0f64; p];
         let mut train_rank = vec![0.0f64; p];
         let mut comm_s = 0.0f64;
         let mut loss_sum = 0.0f32;
-        let mut steps = 0usize;
 
-        let chunk = match sampler {
+        let chunk = match self.sampler {
             SamplerKind::Baseline => 1,
             SamplerKind::Bulk { k } => k.max(1),
         };
@@ -518,7 +673,7 @@ pub fn train_minibatch_simulated(
             while j < schedule.len() && schedule[j].0 == gi && j - i < chunk {
                 j += 1;
             }
-            let g = &train[gi];
+            let g = &self.train[gi];
             // Sample every rank's shards (timed per rank).
             let mut rank_subgraphs: Vec<Vec<SampledSubgraph>> = Vec::with_capacity(p);
             for rank in 0..p {
@@ -527,7 +682,7 @@ pub fn train_minibatch_simulated(
                     .map(|(_, batch)| shard_batch(batch, p)[rank].clone())
                     .collect();
                 let t = Instant::now();
-                let subs = match sampler {
+                let subs = match self.sampler {
                     SamplerKind::Baseline => shards
                         .iter()
                         .enumerate()
@@ -556,73 +711,81 @@ pub fn train_minibatch_simulated(
                     let sg = &rank_subgraphs[rank][step_idx];
                     let t = Instant::now();
                     let (x_sub, y_sub, labels) = g.subgraph_matrices(sg);
-                    if !labels.is_empty() {
-                        tape.reset();
-                        bind.reset();
+                    let model = &self.model;
+                    let pos_weight = self.pos_weight;
+                    let loss = ctx.forward_backward(|tape, bind| {
+                        if labels.is_empty() {
+                            return None;
+                        }
                         let logits = model.forward(
-                            &mut tape,
-                            &mut bind,
+                            tape,
+                            bind,
                             &x_sub,
                             &y_sub,
                             Arc::new(sg.sub_src.clone()),
                             Arc::new(sg.sub_dst.clone()),
                         );
-                        let loss = bce_with_logits(&mut tape, logits, &labels, pos_weight);
-                        if rank == 0 {
-                            loss_sum += tape.value(loss).as_scalar();
-                        }
-                        tape.backward(loss);
-                        let mut params = model.params_mut();
-                        bind.harvest(&tape, &mut params);
+                        Some(bce_with_logits(tape, logits, &labels, pos_weight))
+                    });
+                    if rank == 0 {
+                        loss_sum += loss;
                     }
+                    ctx.harvest(&mut self.model.params_mut());
                     train_rank[rank] += t.elapsed().as_secs_f64();
                 }
                 // Average accumulated gradients and charge the collective.
                 let inv = 1.0 / p as f32;
-                let mut params = model.params_mut();
-                for prm in params.iter_mut() {
-                    prm.grad.apply(|v| v * inv);
-                }
-                if p > 1 {
-                    comm_s += match ddp.strategy {
-                        trkx_ddp::AllReduceStrategy::PerTensor => {
-                            ddp.cost_model.per_tensor_time(&tensor_bytes, p)
-                        }
-                        trkx_ddp::AllReduceStrategy::Coalesced => {
-                            ddp.cost_model.coalesced_time(&tensor_bytes, p)
-                        }
-                        trkx_ddp::AllReduceStrategy::Bucketed { bucket_bytes } => {
-                            ddp.cost_model.bucketed_time(&tensor_bytes, bucket_bytes, p)
-                        }
-                    };
-                }
-                opt.step(&mut params);
-                for prm in params {
-                    prm.zero_grad();
-                }
-                steps += 1;
+                let (ddp, tensor_bytes) = (self.ddp, &self.tensor_bytes);
+                ctx.apply_with(&mut self.model.params_mut(), |params| {
+                    for prm in params.iter_mut() {
+                        prm.grad.apply(|v| v * inv);
+                    }
+                    if p > 1 {
+                        comm_s += match ddp.strategy {
+                            trkx_ddp::AllReduceStrategy::PerTensor => {
+                                ddp.cost_model.per_tensor_time(tensor_bytes, p)
+                            }
+                            trkx_ddp::AllReduceStrategy::Coalesced => {
+                                ddp.cost_model.coalesced_time(tensor_bytes, p)
+                            }
+                            trkx_ddp::AllReduceStrategy::Bucketed { bucket_bytes } => {
+                                ddp.cost_model.bucketed_time(tensor_bytes, bucket_bytes, p)
+                            }
+                        };
+                    }
+                });
             }
             i = j;
         }
 
-        let stats = evaluate(&model, val, cfg.threshold);
-        let timing = EpochTiming {
-            sampling_s: sampling_rank.iter().copied().fold(0.0, f64::max),
-            train_s: train_rank.iter().copied().fold(0.0, f64::max),
-            comm_virtual_s: comm_s,
-        };
-        epochs.push(EpochRecord {
-            epoch,
-            train_loss: loss_sum / steps.max(1) as f32,
-            val_precision: stats.precision(),
-            val_recall: stats.recall(),
-            timing,
-        });
+        EpochStats {
+            loss_sum,
+            loss_denom: ctx.steps(),
+            steps: ctx.steps(),
+            timing: EpochTiming {
+                sampling_s: sampling_rank.iter().copied().fold(0.0, f64::max),
+                train_s: train_rank.iter().copied().fold(0.0, f64::max),
+                comm_virtual_s: comm_s,
+            },
+        }
     }
-    TrainResult {
-        model,
-        epochs,
-        skipped_graphs: 0,
+
+    fn validate(&mut self, _epoch: usize) -> Option<ValMetrics> {
+        let stats = evaluate_with(
+            &mut self.val_tape,
+            &mut self.val_bind,
+            &self.model,
+            self.val,
+            self.cfg.threshold,
+        );
+        Some(ValMetrics {
+            precision: stats.precision(),
+            recall: stats.recall(),
+        })
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.model.params_mut()
     }
 }
 

@@ -27,6 +27,7 @@ pub mod graph_construction;
 pub mod metrics;
 pub mod pipeline;
 pub mod tracks;
+pub mod train;
 
 pub use checkpoint::{Checkpoint, CheckpointError, TensorEntry};
 pub use curves::{best_f1_threshold, efficiency_vs_pt, roc_auc, threshold_sweep, SweepPoint};
@@ -34,9 +35,10 @@ pub use early_stopping::EarlyStopping;
 pub use embedding::{EmbeddingConfig, EmbeddingStage};
 pub use filter::{FilterConfig, FilterStage};
 pub use gnn_stage::{
-    evaluate, infer_logits, prepare_graphs, train_full_graph, train_minibatch,
-    train_minibatch_simulated, EpochRecord, GnnTrainConfig, PreparedGraph, SamplerKind,
-    TrainResult,
+    evaluate, evaluate_with, infer_logits, infer_logits_with, prepare_graphs, train_full_graph,
+    train_full_graph_with_hooks, train_minibatch, train_minibatch_simulated,
+    train_minibatch_simulated_with_hooks, train_minibatch_with_hooks, EpochRecord, GnnTrainConfig,
+    HookFactory, PreparedGraph, SamplerKind, TrainResult,
 };
 pub use graph_construction::{
     build_graph_from_embeddings, build_graph_with_method, tune_radius, ConstructedGraph,
@@ -47,3 +49,7 @@ pub use pipeline::{
     train_pipeline, PipelineBundle, PipelineConfig, PipelineReport, TrainedPipeline,
 };
 pub use tracks::{build_tracks, build_tracks_oracle, TrackBuildResult};
+pub use train::{
+    BestCheckpointHook, Control, EarlyStoppingHook, Engine, EpochCtx, EpochReport, EpochStats,
+    Hook, HookCtx, LrScheduleHook, Monitor, TelemetryHook, TrainLoop, TrainStep, ValMetrics,
+};

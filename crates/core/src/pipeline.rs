@@ -5,7 +5,7 @@
 use crate::embedding::{EmbeddingConfig, EmbeddingStage};
 use crate::filter::{FilterConfig, FilterStage};
 use crate::gnn_stage::{
-    infer_logits, prepare_graphs, train_minibatch, GnnTrainConfig, PreparedGraph, SamplerKind,
+    infer_logits_with, prepare_graphs, train_minibatch, GnnTrainConfig, PreparedGraph, SamplerKind,
 };
 use crate::graph_construction::{build_graph_from_embeddings, tune_radius};
 use crate::metrics::TrackMetrics;
@@ -13,7 +13,8 @@ use crate::tracks::{build_tracks, TrackBuildResult};
 use trkx_ddp::DdpConfig;
 use trkx_detector::{edge_features, vertex_features, Event, EventGraph};
 use trkx_ignn::InteractionGnn;
-use trkx_tensor::Matrix;
+use trkx_nn::Bindings;
+use trkx_tensor::{Matrix, Tape};
 
 /// Full-pipeline configuration.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -118,10 +119,15 @@ pub fn train_pipeline(
     let pairs: Vec<(&Event, &Matrix)> = train_events.iter().zip(feats.iter()).collect();
     let embedding_loss = embedding.train(&pairs);
 
+    // One pooled tape/bindings pair serves every inference call below
+    // (per-event embeds, filter pruning, track-building logits).
+    let mut tape = Tape::new();
+    let mut bind = Bindings::new();
+
     // Stage 2: radius tuned on the first training event.
     let radius = tune_radius(
         &train_events[0],
-        &embedding.embed(&feats[0]),
+        &embedding.embed_with(&mut tape, &mut bind, &feats[0]),
         config.target_construction_efficiency,
         config.max_radius,
     );
@@ -129,7 +135,7 @@ pub fn train_pipeline(
     let mut construction_pur = 0.0;
     let mut train_graphs = Vec::with_capacity(train_events.len());
     for (event, f) in train_events.iter().zip(&feats) {
-        let emb = embedding.embed(f);
+        let emb = embedding.embed_with(&mut tape, &mut bind, f);
         let g = build_graph_from_embeddings(event, &emb, radius);
         construction_eff += g.edge_efficiency;
         construction_pur += g.edge_purity;
@@ -142,7 +148,7 @@ pub fn train_pipeline(
     let val_graphs: Vec<EventGraph> = val_events
         .iter()
         .map(|event| {
-            let emb = embedding.embed(&features_of(event, nf));
+            let emb = embedding.embed_with(&mut tape, &mut bind, &features_of(event, nf));
             let g = build_graph_from_embeddings(event, &emb, radius);
             event_graph_from_edges(event, g.src, g.dst, g.labels, nf, ef)
         })
@@ -156,12 +162,12 @@ pub fn train_pipeline(
     let filter_stats = filter.evaluate(&prepared_val);
 
     // Prune graphs with the filter before the GNN.
-    let prune = |graphs: &[EventGraph], prepared: &[PreparedGraph]| -> Vec<EventGraph> {
+    let mut prune = |graphs: &[EventGraph], prepared: &[PreparedGraph]| -> Vec<EventGraph> {
         graphs
             .iter()
             .zip(prepared)
             .map(|(g, pg)| {
-                let kept = filter.kept_edges(pg);
+                let kept = filter.kept_edges_with(&mut tape, &mut bind, pg);
                 let src: Vec<u32> = kept.iter().map(|&i| g.src[i]).collect();
                 let dst: Vec<u32> = kept.iter().map(|&i| g.dst[i]).collect();
                 let labels: Vec<f32> = kept.iter().map(|&i| g.labels[i]).collect();
@@ -191,7 +197,7 @@ pub fn train_pipeline(
         num_matched: 0,
     };
     for (g, pg) in pruned_val.iter().zip(&prepared_pruned_val) {
-        let logits = infer_logits(&gnn_result.model, pg);
+        let logits = infer_logits_with(&mut tape, &mut bind, &gnn_result.model, pg);
         let r = build_tracks(g, &logits, config.track_threshold, config.min_hits);
         val_track_metrics.merge(&r.metrics);
     }
@@ -272,21 +278,24 @@ impl TrainedPipeline {
         })
     }
 
-    /// Run the full inference pipeline on a new event.
+    /// Run the full inference pipeline on a new event. One pooled tape
+    /// serves all three learned stages.
     pub fn reconstruct(&self, event: &Event) -> TrackBuildResult {
         let (nf, ef) = (self.config.vertex_features, self.config.edge_features);
+        let mut tape = Tape::new();
+        let mut bind = Bindings::new();
         let f = features_of(event, nf);
-        let emb = self.embedding.embed(&f);
+        let emb = self.embedding.embed_with(&mut tape, &mut bind, &f);
         let g = build_graph_from_embeddings(event, &emb, self.radius);
         let graph = event_graph_from_edges(event, g.src, g.dst, g.labels, nf, ef);
         let prepared = PreparedGraph::from_event_graph(&graph);
-        let kept = self.filter.kept_edges(&prepared);
+        let kept = self.filter.kept_edges_with(&mut tape, &mut bind, &prepared);
         let src: Vec<u32> = kept.iter().map(|&i| graph.src[i]).collect();
         let dst: Vec<u32> = kept.iter().map(|&i| graph.dst[i]).collect();
         let labels: Vec<f32> = kept.iter().map(|&i| graph.labels[i]).collect();
         let pruned = event_graph_from_edges(event, src, dst, labels, nf, ef);
         let prepared_pruned = PreparedGraph::from_event_graph(&pruned);
-        let logits = infer_logits(&self.gnn, &prepared_pruned);
+        let logits = infer_logits_with(&mut tape, &mut bind, &self.gnn, &prepared_pruned);
         build_tracks(
             &pruned,
             &logits,

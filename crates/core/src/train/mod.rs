@@ -1,0 +1,15 @@
+//! Unified training harness: the [`TrainLoop`] epoch-loop engine, the
+//! per-stage [`TrainStep`] trait, and the [`Hook`] stack (early stopping,
+//! LR schedules, best-checkpointing, telemetry). Every trainable stage of
+//! the pipeline — embedding, filter, and all three GNN trainers — runs
+//! through this one loop; DDP gradient synchronisation plugs in as a
+//! per-step `sync` strategy, not a fork of the loop.
+
+pub mod engine;
+pub mod hooks;
+
+pub use engine::{Engine, EpochCtx, EpochReport, EpochStats, TrainLoop, TrainStep, ValMetrics};
+pub use hooks::{
+    BestCheckpointHook, Control, EarlyStoppingHook, Hook, HookCtx, LrScheduleHook, Monitor,
+    TelemetryHook,
+};

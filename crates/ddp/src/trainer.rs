@@ -35,7 +35,7 @@ impl DdpConfig {
 
 /// Wall-clock and virtual-clock breakdown of one epoch (Figure 3's bars:
 /// sampling time vs training time, plus modeled communication).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct EpochTiming {
     /// Seconds spent sampling minibatches (measured).
     pub sampling_s: f64,

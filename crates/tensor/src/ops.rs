@@ -3,7 +3,7 @@
 //!
 //! Keeping the rules in one explicit `enum` (rather than closures) makes
 //! every backward rule unit-testable against finite differences
-//! (see [`crate::gradcheck`]) and keeps the tape `Send`.
+//! (see [`mod@crate::gradcheck`]) and keeps the tape `Send`.
 //!
 //! Both passes are zero-copy over tape storage: [`forward`] reads operand
 //! values from the tape's value slice by reference and draws its output

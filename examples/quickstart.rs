@@ -8,7 +8,10 @@
 
 use trkx::ddp::DdpConfig;
 use trkx::detector::{dataset_stats, split_80_10_10, DatasetConfig};
-use trkx::pipeline::{prepare_graphs, train_minibatch, GnnTrainConfig, SamplerKind};
+use trkx::pipeline::{
+    prepare_graphs, train_minibatch_with_hooks, EarlyStoppingHook, GnnTrainConfig, Hook, Monitor,
+    SamplerKind, TelemetryHook,
+};
 use trkx::sampling::ShadowConfig;
 
 fn main() {
@@ -48,22 +51,38 @@ fn main() {
     };
 
     println!("\ntraining: bulk ShaDow (k=4), single worker");
-    let result = train_minibatch(
+    // Hooks ride along on the shared training engine: a TelemetryHook
+    // narrates each epoch as it finishes, and an EarlyStoppingHook halts
+    // the run once validation F1 stops improving.
+    let patience = 2;
+    let make_hooks = move |_rank: usize| -> Vec<Box<dyn Hook>> {
+        vec![
+            Box::new(TelemetryHook::new(|e| {
+                println!(
+                    "  epoch {:>2}  loss {:.4}  val P {:.3}  val R {:.3}  (sample {:.2}s train {:.2}s)",
+                    e.epoch,
+                    e.train_loss,
+                    e.val_precision,
+                    e.val_recall,
+                    e.timing.sampling_s,
+                    e.timing.train_s
+                );
+            })),
+            Box::new(EarlyStoppingHook::new(Monitor::ValF1, patience, 0.0)),
+        ]
+    };
+    let result = train_minibatch_with_hooks(
         &cfg,
         SamplerKind::Bulk { k: 4 },
         DdpConfig::single(),
         train,
         val,
+        Some(&make_hooks),
     );
-    for e in &result.epochs {
+    if result.epochs.len() < cfg.epochs {
         println!(
-            "  epoch {:>2}  loss {:.4}  val P {:.3}  val R {:.3}  (sample {:.2}s train {:.2}s)",
-            e.epoch,
-            e.train_loss,
-            e.val_precision,
-            e.val_recall,
-            e.timing.sampling_s,
-            e.timing.train_s
+            "  early stop after {} epochs (patience {patience})",
+            result.epochs.len()
         );
     }
 

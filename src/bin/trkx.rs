@@ -5,6 +5,7 @@
 //! trkx simulate  [--dataset ex3|ctd] [--scale 0.05] [--events 10] [--seed 42]
 //! trkx train     [--dataset ex3|ctd] [--scale 0.05] [--events 10] [--epochs 6]
 //!                [--sampler bulk|baseline] [--workers 1] [--out model.json]
+//!                [--patience N] [--telemetry epochs.jsonl]
 //! trkx evaluate  --model model.json [--dataset ex3|ctd] [--scale 0.05] [--events 10]
 //! trkx reconstruct [--particles 40] [--events 8] [--seed 7]
 //! ```
@@ -15,8 +16,9 @@ use trkx::detector::{
     dataset_stats, simulate_event, split_80_10_10, DatasetConfig, DetectorGeometry, GunConfig,
 };
 use trkx::pipeline::{
-    best_f1_threshold, evaluate, infer_logits, prepare_graphs, roc_auc, train_minibatch,
-    train_pipeline, Checkpoint, EmbeddingConfig, GnnTrainConfig, PipelineConfig, SamplerKind,
+    best_f1_threshold, evaluate, infer_logits, prepare_graphs, roc_auc, train_minibatch_with_hooks,
+    train_pipeline, Checkpoint, EarlyStoppingHook, EmbeddingConfig, GnnTrainConfig, Hook, Monitor,
+    PipelineConfig, SamplerKind, TelemetryHook,
 };
 use trkx::sampling::ShadowConfig;
 
@@ -103,21 +105,55 @@ fn cmd_train(args: &[String]) {
     };
     let workers = arg(args, "--workers", 1usize);
     let ddp = DdpConfig::new(workers, AllReduceStrategy::Coalesced);
+    let patience = arg(args, "--patience", 0usize); // 0 = train all epochs
+    let telemetry = arg_str(args, "--telemetry", "");
     println!(
         "training on {} ({} train / {} val graphs)...",
         cfg.name,
         tr.len(),
         va.len()
     );
-    let result = train_minibatch(&gnn_cfg, sampler, ddp, &prepared[tr], &prepared[va.clone()]);
-    for e in &result.epochs {
+    // Per-rank hook stacks: rank 0 narrates (and optionally records JSONL
+    // telemetry); every rank runs the same early-stopping policy so the
+    // replicas stop on the same epoch.
+    let make_hooks = move |rank: usize| -> Vec<Box<dyn Hook>> {
+        let mut hooks: Vec<Box<dyn Hook>> = Vec::new();
+        if rank == 0 {
+            hooks.push(Box::new(TelemetryHook::new(|r| {
+                println!(
+                    "epoch {:>2}: loss {:.4}  val P {:.3} R {:.3}  ({:.1}s)",
+                    r.epoch,
+                    r.train_loss,
+                    r.val_precision,
+                    r.val_recall,
+                    r.timing.total_s()
+                );
+            })));
+            if !telemetry.is_empty() {
+                hooks.push(Box::new(TelemetryHook::jsonl(telemetry.clone())));
+            }
+        }
+        if patience > 0 {
+            hooks.push(Box::new(EarlyStoppingHook::new(
+                Monitor::ValF1,
+                patience,
+                0.0,
+            )));
+        }
+        hooks
+    };
+    let result = train_minibatch_with_hooks(
+        &gnn_cfg,
+        sampler,
+        ddp,
+        &prepared[tr],
+        &prepared[va.clone()],
+        Some(&make_hooks),
+    );
+    if patience > 0 && result.epochs.len() < gnn_cfg.epochs {
         println!(
-            "epoch {:>2}: loss {:.4}  val P {:.3} R {:.3}  ({:.1}s)",
-            e.epoch,
-            e.train_loss,
-            e.val_precision,
-            e.val_recall,
-            e.timing.total_s()
+            "early stop after {} epochs (patience {patience})",
+            result.epochs.len()
         );
     }
     let ckpt = Checkpoint::from_params(&result.model.params());
