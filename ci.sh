@@ -15,3 +15,7 @@ cargo test -q --workspace --release
 # recorded budget (BENCH_trainstep.json baseline is 154 allocs/step).
 cargo run -q --release -p trkx-bench --bin trainstep -- \
     --steps 5 --out /tmp/BENCH_trainstep_smoke.json --max-allocs 162
+
+# Prefetch gate: on a tiny Ex3-like workload the overlapped (prefetching)
+# virtual-clock schedule must never cost more than the serial one.
+cargo run -q --release -p trkx-bench --bin fig3_epoch_time -- --overlap --tiny

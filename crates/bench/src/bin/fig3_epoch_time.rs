@@ -5,8 +5,16 @@
 //!
 //! ```text
 //! cargo run -p trkx-bench --bin fig3_epoch_time --release \
-//!   [-- --ctd-scale 0.004 --ex3-scale 0.05 --graphs 4 --epochs 1]
+//!   [-- --ctd-scale 0.004 --ex3-scale 0.05 --graphs 4 --epochs 1 \
+//!       --overlap --tiny]
 //! ```
+//!
+//! `--overlap` additionally accounts each epoch under the overlapped
+//! (prefetching-loader) virtual clock — `max(sampling, train) + comm`
+//! instead of their sum — and **asserts** the overlapped schedule never
+//! costs more than the serial one (strictly less whenever both stages do
+//! real work), exiting non-zero on violation. `--tiny` shrinks the
+//! workload to a seconds-long smoke run (the CI prefetch gate).
 //!
 //! As in the paper, the bulk factor `k` grows with the process count
 //! (more aggregate memory ⇒ more minibatches sampled per bulk call).
@@ -18,8 +26,8 @@
 //! scales with P; bulk sampling scales superlinearly with P because k
 //! grows with P.
 
-use trkx_bench::{append_jsonl, arg_value, Table};
-use trkx_core::{prepare_graphs, train_minibatch_simulated, GnnTrainConfig, SamplerKind};
+use trkx_bench::{append_jsonl, arg_flag, arg_value, Table};
+use trkx_core::{prepare_graphs, train_minibatch_simulated_opts, GnnTrainConfig, SamplerKind};
 use trkx_ddp::{AllReduceStrategy, DdpConfig};
 use trkx_detector::{DatasetConfig, EventGraph};
 use trkx_sampling::ShadowConfig;
@@ -30,6 +38,7 @@ struct Arm {
     strategy: AllReduceStrategy,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_dataset(
     dataset: &DatasetConfig,
     graphs: &[EventGraph],
@@ -37,6 +46,8 @@ fn run_dataset(
     epochs: usize,
     hidden: usize,
     layers: usize,
+    overlap: bool,
+    violations: &mut usize,
 ) {
     let prepared = prepare_graphs(graphs);
     let n_train = (graphs.len() * 4 / 5).max(1);
@@ -62,7 +73,7 @@ fn run_dataset(
         },
     ];
 
-    let mut table = Table::new(&[
+    let mut headers = vec![
         "P",
         "impl",
         "k",
@@ -70,10 +81,13 @@ fn run_dataset(
         "train(s)",
         "comm(s)",
         "epoch(s)",
-        "sample speedup",
-        "comm speedup",
-        "total speedup",
-    ]);
+    ];
+    if overlap {
+        headers.push("overlap(s)");
+        headers.push("hidden");
+    }
+    headers.extend(["sample speedup", "comm speedup", "total speedup"]);
+    let mut table = Table::new(&headers);
     for &p in process_counts {
         let mut baseline: Option<(f64, f64, f64)> = None;
         for arm in &arms {
@@ -97,9 +111,10 @@ fn run_dataset(
             } else {
                 SamplerKind::Baseline
             };
-            let r = train_minibatch_simulated(
+            let r = train_minibatch_simulated_opts(
                 &cfg,
                 sampler,
+                overlap,
                 DdpConfig {
                     workers: p,
                     strategy: arm.strategy,
@@ -107,6 +122,7 @@ fn run_dataset(
                 },
                 train,
                 val,
+                Vec::new(),
             );
             // Average over measured epochs.
             let n = r.epochs.len() as f64;
@@ -118,7 +134,27 @@ fn run_dataset(
                 .map(|e| e.timing.comm_virtual_s)
                 .sum::<f64>()
                 / n;
+            // Serial schedule: sampling then compute, back to back.
             let total = sample_s + train_s + comm_s;
+            // Overlapped schedule (the virtual clock's accounting when the
+            // loader prefetches): sampling hides behind compute.
+            let overlapped = r.epochs.iter().map(|e| e.timing.total_s()).sum::<f64>() / n;
+            if overlap {
+                // Prefetching can only remove sampling stalls, never add
+                // them; with both stages busy it must win outright.
+                let ok = if sample_s > 0.0 && train_s > 0.0 {
+                    overlapped < total
+                } else {
+                    overlapped <= total
+                };
+                if !ok {
+                    println!(
+                        "VIOLATION: {} P={} overlapped {overlapped:.3}s > serial {total:.3}s",
+                        arm.name, p
+                    );
+                    *violations += 1;
+                }
+            }
             let (su_sample, su_comm, su_total) = match baseline {
                 None => {
                     baseline = Some((sample_s, comm_s, total));
@@ -138,7 +174,7 @@ fn run_dataset(
                     format!("{:.2}x", bt / total),
                 ),
             };
-            table.row(vec![
+            let mut row = vec![
                 p.to_string(),
                 arm.name.into(),
                 k.to_string(),
@@ -146,10 +182,16 @@ fn run_dataset(
                 format!("{train_s:.3}"),
                 format!("{comm_s:.4}"),
                 format!("{total:.3}"),
-                su_sample,
-                su_comm,
-                su_total,
-            ]);
+            ];
+            if overlap {
+                row.push(format!("{overlapped:.3}"));
+                row.push(format!(
+                    "{:.0}%",
+                    100.0 * (total - overlapped) / total.max(1e-12)
+                ));
+            }
+            row.extend([su_sample, su_comm, su_total]);
+            table.row(row);
             append_jsonl(
                 "fig3",
                 &serde_json::json!({
@@ -161,6 +203,7 @@ fn run_dataset(
                     "train_s": train_s,
                     "comm_s": comm_s,
                     "total_s": total,
+                    "overlapped_s": overlapped,
                 }),
             );
         }
@@ -176,32 +219,48 @@ fn run_dataset(
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let tiny = arg_flag(&args, "--tiny");
+    let overlap = arg_flag(&args, "--overlap");
     let ctd_scale = arg_value(&args, "--ctd-scale", 0.002f64);
-    let ex3_scale = arg_value(&args, "--ex3-scale", 0.03f64);
-    let n_graphs = arg_value(&args, "--graphs", 3usize);
+    let ex3_scale = arg_value(&args, "--ex3-scale", if tiny { 0.01 } else { 0.03 });
+    let n_graphs = arg_value(&args, "--graphs", if tiny { 2usize } else { 3 });
     let epochs = arg_value(&args, "--epochs", 1usize);
-    let hidden = arg_value(&args, "--hidden", 16usize);
-    let layers = arg_value(&args, "--layers", 3usize);
+    let hidden = arg_value(&args, "--hidden", if tiny { 8usize } else { 16 });
+    let layers = arg_value(&args, "--layers", if tiny { 2usize } else { 3 });
 
     println!("# Figure 3: epoch time across simulated GPU counts");
+    let mut violations = 0usize;
     // Paper: CTD measured at P in {1, 2, 4} (PyG timed out at 4); Ex3 at
-    // P in {1, 2, 4, 8}.
-    let ctd = DatasetConfig::ctd_like(ctd_scale);
-    run_dataset(
-        &ctd,
-        &ctd.generate(n_graphs, 99),
-        &[1, 2, 4],
-        epochs,
-        hidden,
-        layers,
-    );
+    // P in {1, 2, 4, 8}. `--tiny` keeps only a small Ex3 sweep.
+    if !tiny {
+        let ctd = DatasetConfig::ctd_like(ctd_scale);
+        run_dataset(
+            &ctd,
+            &ctd.generate(n_graphs, 99),
+            &[1, 2, 4],
+            epochs,
+            hidden,
+            layers,
+            overlap,
+            &mut violations,
+        );
+    }
     let ex3 = DatasetConfig::ex3_like(ex3_scale);
     run_dataset(
         &ex3,
         &ex3.generate(n_graphs, 99),
-        &[1, 2, 4, 8],
+        if tiny { &[1, 2][..] } else { &[1, 2, 4, 8][..] },
         epochs,
         hidden,
         layers,
+        overlap,
+        &mut violations,
     );
+    if overlap {
+        if violations > 0 {
+            println!("\n{violations} overlap violation(s): overlapped epoch exceeded serial");
+            std::process::exit(1);
+        }
+        println!("\nOverlap check passed: overlapped epoch time never exceeded serial.");
+    }
 }

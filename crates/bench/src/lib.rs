@@ -82,6 +82,11 @@ pub fn arg_value<T: std::str::FromStr>(args: &[String], key: &str, default: T) -
         .unwrap_or(default)
 }
 
+/// Presence of a bare `--flag` switch.
+pub fn arg_flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}
+
 /// Append a JSON result line to `results/<name>.jsonl` (machine-readable
 /// record backing EXPERIMENTS.md).
 pub fn append_jsonl(name: &str, value: &serde_json::Value) {

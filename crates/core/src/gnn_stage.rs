@@ -5,7 +5,11 @@
 //! (the paper's contributions). Produces the per-epoch convergence curves
 //! of Figure 4 and the epoch-time breakdowns of Figure 3.
 
-use crate::train::{EpochCtx, EpochStats, Hook, TrainLoop, TrainStep, ValMetrics};
+use crate::train::{
+    plan_chunks, with_batch_source, BatchSource, BatchingMode, EpochCtx, EpochStats,
+    FullGraphSource, Hook, SampledBatch, SampledBatchSource, ShardChunks, TrainLoop, TrainStep,
+    ValMetrics,
+};
 use rand::{rngs::StdRng, SeedableRng};
 use std::sync::Arc;
 use std::time::Instant;
@@ -14,7 +18,7 @@ use trkx_detector::EventGraph;
 use trkx_ignn::{IgnnConfig, InteractionGnn};
 use trkx_nn::{bce_with_logits, Adam, BinaryStats, Bindings, Param};
 use trkx_sampling::{
-    shard_batch, vertex_batches, BulkShadowSampler, SampledSubgraph, SamplerGraph, ShadowConfig,
+    vertex_batches, BulkShadowSampler, SampledSubgraph, Sampler, SamplerGraph, ShadowConfig,
     ShadowSampler,
 };
 use trkx_tensor::{Matrix, Tape};
@@ -76,6 +80,24 @@ pub enum SamplerKind {
     Baseline,
     /// Matrix-based bulk ShaDow, sampling `k` minibatches per call.
     Bulk { k: usize },
+}
+
+impl SamplerKind {
+    /// Number of schedule batches sampled per `sample_bulk` call.
+    pub fn chunk_size(&self) -> usize {
+        match self {
+            SamplerKind::Baseline => 1,
+            SamplerKind::Bulk { k } => (*k).max(1),
+        }
+    }
+
+    /// Build the sampler implementation behind the unified trait.
+    pub fn build(&self, shadow: ShadowConfig) -> Box<dyn Sampler> {
+        match self {
+            SamplerKind::Baseline => Box::new(ShadowSampler::new(shadow)),
+            SamplerKind::Bulk { .. } => Box::new(BulkShadowSampler::new(shadow)),
+        }
+    }
 }
 
 /// GNN-stage hyperparameters (paper §IV-A: batch 256, hidden 64, 30
@@ -221,6 +243,28 @@ pub fn train_full_graph_with_hooks(
     activation_budget_floats: Option<usize>,
     hooks: Vec<Box<dyn Hook>>,
 ) -> TrainResult {
+    train_full_graph_opts(
+        cfg,
+        train,
+        val,
+        activation_budget_floats,
+        BatchingMode::Sync,
+        hooks,
+    )
+}
+
+/// [`train_full_graph_with_hooks`] with an explicit [`BatchingMode`]:
+/// `Prefetch` materialises the next graph's matrices on a background
+/// thread while the current one trains. Batch order and loss curves are
+/// identical in both modes.
+pub fn train_full_graph_opts(
+    cfg: &GnnTrainConfig,
+    train: &[PreparedGraph],
+    val: &[PreparedGraph],
+    activation_budget_floats: Option<usize>,
+    mode: BatchingMode,
+    hooks: Vec<Box<dyn Hook>>,
+) -> TrainResult {
     let (nf, ef) = (train[0].x.cols(), train[0].y.cols());
     let icfg = cfg.ignn_config(nf, ef);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -243,6 +287,7 @@ pub fn train_full_graph_with_hooks(
         val,
         pos_weight,
         threshold: cfg.threshold,
+        mode,
         val_tape: Tape::new(),
         val_bind: Bindings::new(),
     };
@@ -256,41 +301,68 @@ pub fn train_full_graph_with_hooks(
     }
 }
 
+/// Run one minibatch's forward/backward through the epoch context; shared
+/// by every GNN trainer (the batch is whatever its [`BatchSource`]
+/// produced — a sampled subgraph or a whole event graph).
+fn batch_forward_backward(
+    ctx: &mut EpochCtx,
+    model: &InteractionGnn,
+    batch: &SampledBatch,
+    pos_weight: f32,
+) -> f32 {
+    ctx.forward_backward(|tape, bind| {
+        if batch.labels.is_empty() {
+            return None;
+        }
+        let logits = model.forward(
+            tape,
+            bind,
+            &batch.x,
+            &batch.y,
+            batch.src.clone(),
+            batch.dst.clone(),
+        );
+        Some(bce_with_logits(tape, logits, &batch.labels, pos_weight))
+    })
+}
+
 /// The full-graph schedule: one optimizer step per (budget-surviving)
-/// event graph.
+/// event graph, pulled from a [`FullGraphSource`].
 struct FullGraphStep<'a> {
     model: InteractionGnn,
     usable: Vec<&'a PreparedGraph>,
     val: &'a [PreparedGraph],
     pos_weight: f32,
     threshold: f32,
+    mode: BatchingMode,
     val_tape: Tape,
     val_bind: Bindings,
 }
 
 impl TrainStep for FullGraphStep<'_> {
     fn train_epoch(&mut self, _epoch: usize, ctx: &mut EpochCtx) -> EpochStats {
-        let t0 = Instant::now();
-        let mut loss_sum = 0.0;
-        for g in &self.usable {
-            let model = &self.model;
-            let pos_weight = self.pos_weight;
-            loss_sum += ctx.forward_backward(|tape, bind| {
-                if g.labels.is_empty() {
-                    return None;
-                }
-                let logits = model.forward(tape, bind, &g.x, &g.y, g.src.clone(), g.dst.clone());
-                Some(bce_with_logits(tape, logits, &g.labels, pos_weight))
-            });
-            ctx.update(&mut self.model.params_mut());
-        }
+        let items: Vec<(usize, &PreparedGraph)> = self.usable.iter().copied().enumerate().collect();
+        let source = FullGraphSource::new(items);
+        let mut train_s = 0.0f64;
+        let mut loss_sum = 0.0f32;
+        let sampling_s = with_batch_source(self.mode, source, |src| {
+            while let Some(batch) = src.next_batch() {
+                let t = Instant::now();
+                loss_sum += batch_forward_backward(ctx, &self.model, &batch, self.pos_weight);
+                ctx.update(&mut self.model.params_mut());
+                train_s += t.elapsed().as_secs_f64();
+            }
+            src.sample_busy_s()
+        });
         EpochStats {
             loss_sum,
             loss_denom: self.usable.len(),
             steps: ctx.steps(),
             timing: EpochTiming {
-                train_s: t0.elapsed().as_secs_f64(),
-                ..Default::default()
+                sampling_s,
+                train_s,
+                comm_virtual_s: 0.0,
+                overlapped: self.mode.is_prefetch(),
             },
         }
     }
@@ -368,6 +440,31 @@ pub fn train_minibatch_with_hooks(
     val: &[PreparedGraph],
     hook_factory: Option<&HookFactory>,
 ) -> TrainResult {
+    train_minibatch_opts(
+        cfg,
+        sampler,
+        BatchingMode::Sync,
+        ddp,
+        train,
+        val,
+        hook_factory,
+    )
+}
+
+/// [`train_minibatch_with_hooks`] with an explicit [`BatchingMode`].
+/// Under `Prefetch`, every rank runs its own background sampling thread
+/// feeding a bounded queue, so step *t+1*'s sampling overlaps step *t*'s
+/// forward/backward. The sampler seeds are pure functions of the
+/// schedule, so prefetching reproduces sync-mode loss curves bit for bit.
+pub fn train_minibatch_opts(
+    cfg: &GnnTrainConfig,
+    sampler: SamplerKind,
+    mode: BatchingMode,
+    ddp: DdpConfig,
+    train: &[PreparedGraph],
+    val: &[PreparedGraph],
+    hook_factory: Option<&HookFactory>,
+) -> TrainResult {
     let (nf, ef) = (train[0].x.cols(), train[0].y.cols());
     let icfg = cfg.ignn_config(nf, ef);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -382,6 +479,11 @@ pub fn train_minibatch_with_hooks(
         .map(|e| build_schedule(train, cfg.batch_size, cfg.seed, e))
         .collect();
 
+    // One sampler instance serves every rank (and every rank's prefetch
+    // thread): `Sampler` is `Sync` and holds no mutable state.
+    let sampler_impl = sampler.build(cfg.shadow);
+    let chunk_size = sampler.chunk_size();
+
     let reducer = AllReducer::new(p, ddp.cost_model);
     let results = run_workers(p, |rank| {
         let mut step = MinibatchRankStep {
@@ -389,7 +491,9 @@ pub fn train_minibatch_with_hooks(
             p,
             model: init_model.clone(),
             cfg,
-            sampler,
+            sampler: &*sampler_impl,
+            chunk_size,
+            mode,
             strategy: ddp.strategy,
             reducer: &reducer,
             schedules: &schedules,
@@ -428,14 +532,18 @@ pub fn train_minibatch_with_hooks(
     }
 }
 
-/// One DDP rank's schedule: its shard of every global batch, with the
-/// gradient collective folded into each step's `sync`.
+/// One DDP rank's schedule: its shard of every global batch, pulled from
+/// a [`BatchSource`] ([`ShardChunks`] slices the global chunk plan for
+/// this rank), with the gradient collective folded into each step's
+/// `sync`.
 struct MinibatchRankStep<'a> {
     rank: usize,
     p: usize,
     model: InteractionGnn,
     cfg: &'a GnnTrainConfig,
-    sampler: SamplerKind,
+    sampler: &'a dyn Sampler,
+    chunk_size: usize,
+    mode: BatchingMode,
     strategy: trkx_ddp::AllReduceStrategy,
     reducer: &'a AllReducer,
     schedules: &'a [Vec<(usize, Vec<u32>)>],
@@ -452,74 +560,23 @@ struct MinibatchRankStep<'a> {
 
 impl TrainStep for MinibatchRankStep<'_> {
     fn train_epoch(&mut self, epoch: usize, ctx: &mut EpochCtx) -> EpochStats {
-        let (rank, p) = (self.rank, self.p);
-        let cfg = self.cfg;
-        let schedule = &self.schedules[epoch];
-        let mut sampling_s = 0.0f64;
+        let rank = self.rank;
+        // This rank's batch stream: the global chunk plan, sharded.
+        let chunks = plan_chunks(
+            &self.schedules[epoch],
+            self.chunk_size,
+            self.cfg.seed,
+            epoch,
+        );
+        let sharded = ShardChunks::new(chunks.into_iter(), rank, self.p);
+        let source = SampledBatchSource::new(self.train, self.sampler, sharded);
+
         let mut train_s = 0.0f64;
         let mut loss_sum = 0.0f32;
-
-        // Group consecutive steps of the same graph into bulk chunks.
-        let chunk = match self.sampler {
-            SamplerKind::Baseline => 1,
-            SamplerKind::Bulk { k } => k.max(1),
-        };
-        let mut i = 0usize;
-        while i < schedule.len() {
-            let gi = schedule[i].0;
-            let mut j = i;
-            while j < schedule.len() && schedule[j].0 == gi && j - i < chunk {
-                j += 1;
-            }
-            let g = &self.train[gi];
-            // Per-worker shards of each global batch in this chunk.
-            let shards: Vec<Vec<u32>> = schedule[i..j]
-                .iter()
-                .map(|(_, batch)| shard_batch(batch, p)[rank].clone())
-                .collect();
-
-            let t_sample = Instant::now();
-            let subgraphs: Vec<SampledSubgraph> = match self.sampler {
-                SamplerKind::Baseline => {
-                    // Sequential per-batch sampling, like PyG's loader.
-                    let mut out = Vec::with_capacity(shards.len());
-                    for (si, shard) in shards.iter().enumerate() {
-                        let mut srng = StdRng::seed_from_u64(
-                            cfg.seed ^ (epoch as u64) << 48 ^ ((i + si) as u64) << 16 ^ rank as u64,
-                        );
-                        out.push(
-                            ShadowSampler::new(cfg.shadow)
-                                .sample_batch(&g.sampler, shard, &mut srng),
-                        );
-                    }
-                    out
-                }
-                SamplerKind::Bulk { .. } => {
-                    let seed = cfg.seed ^ (epoch as u64) << 48 ^ (i as u64) << 16 ^ rank as u64;
-                    BulkShadowSampler::new(cfg.shadow).sample_batches(&g.sampler, &shards, seed)
-                }
-            };
-            sampling_s += t_sample.elapsed().as_secs_f64();
-
-            let t_train = Instant::now();
-            for sg in &subgraphs {
-                let (x_sub, y_sub, labels) = g.subgraph_matrices(sg);
-                let model = &self.model;
-                let pos_weight = self.pos_weight;
-                loss_sum += ctx.forward_backward(|tape, bind| {
-                    if labels.is_empty() {
-                        return None;
-                    }
-                    let logits = model.forward(
-                        tape,
-                        bind,
-                        &x_sub,
-                        &y_sub,
-                        Arc::new(sg.sub_src.clone()),
-                        Arc::new(sg.sub_dst.clone()),
-                    );
-                    Some(bce_with_logits(tape, logits, &labels, pos_weight))
-                });
+        let sampling_s = with_batch_source(self.mode, source, |src| {
+            while let Some(batch) = src.next_batch() {
+                let t = Instant::now();
+                loss_sum += batch_forward_backward(ctx, &self.model, &batch, self.pos_weight);
                 // The collective runs unconditionally inside the step so
                 // every rank makes the same number of calls even when its
                 // shard sampled no edges.
@@ -527,10 +584,10 @@ impl TrainStep for MinibatchRankStep<'_> {
                 ctx.update_with(&mut self.model.params_mut(), |params| {
                     reducer.sync_gradients(rank, params, strategy);
                 });
+                train_s += t.elapsed().as_secs_f64();
             }
-            train_s += t_train.elapsed().as_secs_f64();
-            i = j;
-        }
+            src.sample_busy_s()
+        });
 
         // Per-epoch virtual comm delta (identical on every rank; rank 0's
         // value is used).
@@ -546,6 +603,7 @@ impl TrainStep for MinibatchRankStep<'_> {
                 sampling_s,
                 train_s,
                 comm_virtual_s: comm_epoch,
+                overlapped: self.mode.is_prefetch(),
             },
         }
     }
@@ -602,6 +660,27 @@ pub fn train_minibatch_simulated_with_hooks(
     val: &[PreparedGraph],
     hooks: Vec<Box<dyn Hook>>,
 ) -> TrainResult {
+    train_minibatch_simulated_opts(cfg, sampler, false, ddp, train, val, hooks)
+}
+
+/// [`train_minibatch_simulated_with_hooks`] with overlap control. The
+/// simulator is single-threaded, so it cannot *run* sampling concurrently
+/// with compute — instead `overlap = true` flips the virtual-clock
+/// accounting: the epoch's [`EpochTiming`] is marked overlapped, so
+/// `total_s` charges `max(sampling, train)` the way a real prefetching
+/// loader would ([`VirtualClock::advance_overlapped`]). The math — losses,
+/// gradients, updates — is identical either way.
+///
+/// [`VirtualClock::advance_overlapped`]: trkx_ddp::VirtualClock::advance_overlapped
+pub fn train_minibatch_simulated_opts(
+    cfg: &GnnTrainConfig,
+    sampler: SamplerKind,
+    overlap: bool,
+    ddp: DdpConfig,
+    train: &[PreparedGraph],
+    val: &[PreparedGraph],
+    hooks: Vec<Box<dyn Hook>>,
+) -> TrainResult {
     let (nf, ef) = (train[0].x.cols(), train[0].y.cols());
     let icfg = cfg.ignn_config(nf, ef);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -611,11 +690,14 @@ pub fn train_minibatch_simulated_with_hooks(
     let model = InteractionGnn::new(icfg, &mut rng);
     let pos_weight = cfg.derive_pos_weight(train);
     let tensor_bytes: Vec<usize> = model.params().iter().map(|prm| prm.numel() * 4).collect();
+    let sampler_impl = sampler.build(cfg.shadow);
 
     let mut step = SimulatedDdpStep {
         model,
         cfg,
-        sampler,
+        sampler: &*sampler_impl,
+        chunk_size: sampler.chunk_size(),
+        overlap,
         ddp,
         tensor_bytes,
         train,
@@ -641,7 +723,11 @@ pub fn train_minibatch_simulated_with_hooks(
 struct SimulatedDdpStep<'a> {
     model: InteractionGnn,
     cfg: &'a GnnTrainConfig,
-    sampler: SamplerKind,
+    sampler: &'a dyn Sampler,
+    chunk_size: usize,
+    /// Account sampling as overlapped with compute (`max` instead of sum
+    /// in the virtual clock); the math is unchanged.
+    overlap: bool,
     ddp: DdpConfig,
     tensor_bytes: Vec<usize>,
     train: &'a [PreparedGraph],
@@ -652,110 +738,68 @@ struct SimulatedDdpStep<'a> {
 }
 
 impl TrainStep for SimulatedDdpStep<'_> {
-    #[allow(clippy::needless_range_loop)] // rank/step indices address parallel per-rank arrays
     fn train_epoch(&mut self, epoch: usize, ctx: &mut EpochCtx) -> EpochStats {
         let cfg = self.cfg;
         let p = self.ddp.workers;
         let schedule = build_schedule(self.train, cfg.batch_size, cfg.seed, epoch);
-        let mut sampling_rank = vec![0.0f64; p];
+        let chunks = plan_chunks(&schedule, self.chunk_size, cfg.seed, epoch);
+        // One batch stream per simulated rank: the same global chunk plan,
+        // sharded. The streams are equal-length by construction (one batch
+        // per schedule entry, empty shards included), so ranks can pull in
+        // lockstep — one batch each per optimizer step.
+        let mut sources: Vec<_> = (0..p)
+            .map(|rank| {
+                SampledBatchSource::new(
+                    self.train,
+                    self.sampler,
+                    ShardChunks::new(chunks.clone().into_iter(), rank, p),
+                )
+            })
+            .collect();
+
         let mut train_rank = vec![0.0f64; p];
         let mut comm_s = 0.0f64;
         let mut loss_sum = 0.0f32;
 
-        let chunk = match self.sampler {
-            SamplerKind::Baseline => 1,
-            SamplerKind::Bulk { k } => k.max(1),
-        };
-        let mut i = 0usize;
-        while i < schedule.len() {
-            let gi = schedule[i].0;
-            let mut j = i;
-            while j < schedule.len() && schedule[j].0 == gi && j - i < chunk {
-                j += 1;
+        loop {
+            let step_batches: Vec<Option<SampledBatch>> =
+                sources.iter_mut().map(|s| s.next_batch()).collect();
+            if step_batches[0].is_none() {
+                debug_assert!(step_batches.iter().all(|b| b.is_none()));
+                break;
             }
-            let g = &self.train[gi];
-            // Sample every rank's shards (timed per rank).
-            let mut rank_subgraphs: Vec<Vec<SampledSubgraph>> = Vec::with_capacity(p);
-            for rank in 0..p {
-                let shards: Vec<Vec<u32>> = schedule[i..j]
-                    .iter()
-                    .map(|(_, batch)| shard_batch(batch, p)[rank].clone())
-                    .collect();
+            // All ranks backward (accumulating), then average, one update.
+            for (rank, batch) in step_batches.iter().enumerate() {
+                let batch = batch.as_ref().expect("rank batch streams are equal length");
                 let t = Instant::now();
-                let subs = match self.sampler {
-                    SamplerKind::Baseline => shards
-                        .iter()
-                        .enumerate()
-                        .map(|(si, shard)| {
-                            let mut srng = StdRng::seed_from_u64(
-                                cfg.seed
-                                    ^ (epoch as u64) << 48
-                                    ^ ((i + si) as u64) << 16
-                                    ^ rank as u64,
-                            );
-                            ShadowSampler::new(cfg.shadow)
-                                .sample_batch(&g.sampler, shard, &mut srng)
-                        })
-                        .collect(),
-                    SamplerKind::Bulk { .. } => {
-                        let seed = cfg.seed ^ (epoch as u64) << 48 ^ (i as u64) << 16 ^ rank as u64;
-                        BulkShadowSampler::new(cfg.shadow).sample_batches(&g.sampler, &shards, seed)
-                    }
-                };
-                sampling_rank[rank] += t.elapsed().as_secs_f64();
-                rank_subgraphs.push(subs);
-            }
-            // Train each step: all ranks backward, average, one update.
-            for step_idx in 0..(j - i) {
-                for rank in 0..p {
-                    let sg = &rank_subgraphs[rank][step_idx];
-                    let t = Instant::now();
-                    let (x_sub, y_sub, labels) = g.subgraph_matrices(sg);
-                    let model = &self.model;
-                    let pos_weight = self.pos_weight;
-                    let loss = ctx.forward_backward(|tape, bind| {
-                        if labels.is_empty() {
-                            return None;
-                        }
-                        let logits = model.forward(
-                            tape,
-                            bind,
-                            &x_sub,
-                            &y_sub,
-                            Arc::new(sg.sub_src.clone()),
-                            Arc::new(sg.sub_dst.clone()),
-                        );
-                        Some(bce_with_logits(tape, logits, &labels, pos_weight))
-                    });
-                    if rank == 0 {
-                        loss_sum += loss;
-                    }
-                    ctx.harvest(&mut self.model.params_mut());
-                    train_rank[rank] += t.elapsed().as_secs_f64();
+                let loss = batch_forward_backward(ctx, &self.model, batch, self.pos_weight);
+                if rank == 0 {
+                    loss_sum += loss;
                 }
-                // Average accumulated gradients and charge the collective.
-                let inv = 1.0 / p as f32;
-                let (ddp, tensor_bytes) = (self.ddp, &self.tensor_bytes);
-                ctx.apply_with(&mut self.model.params_mut(), |params| {
-                    for prm in params.iter_mut() {
-                        prm.grad.apply(|v| v * inv);
-                    }
-                    if p > 1 {
-                        comm_s += match ddp.strategy {
-                            trkx_ddp::AllReduceStrategy::PerTensor => {
-                                ddp.cost_model.per_tensor_time(tensor_bytes, p)
-                            }
-                            trkx_ddp::AllReduceStrategy::Coalesced => {
-                                ddp.cost_model.coalesced_time(tensor_bytes, p)
-                            }
-                            trkx_ddp::AllReduceStrategy::Bucketed { bucket_bytes } => {
-                                ddp.cost_model.bucketed_time(tensor_bytes, bucket_bytes, p)
-                            }
-                        };
-                    }
-                });
+                ctx.harvest(&mut self.model.params_mut());
+                train_rank[rank] += t.elapsed().as_secs_f64();
             }
-            i = j;
+            // Average accumulated gradients and charge the collective.
+            let inv = 1.0 / p as f32;
+            let (ddp, tensor_bytes) = (self.ddp, &self.tensor_bytes);
+            ctx.apply_with(&mut self.model.params_mut(), |params| {
+                for prm in params.iter_mut() {
+                    prm.grad.apply(|v| v * inv);
+                }
+                if p > 1 {
+                    comm_s += match ddp.strategy {
+                        trkx_ddp::AllReduceStrategy::PerTensor => {
+                            ddp.cost_model.per_tensor_time(tensor_bytes, p)
+                        }
+                        trkx_ddp::AllReduceStrategy::Coalesced => {
+                            ddp.cost_model.coalesced_time(tensor_bytes, p)
+                        }
+                        trkx_ddp::AllReduceStrategy::Bucketed { bucket_bytes } => {
+                            ddp.cost_model.bucketed_time(tensor_bytes, bucket_bytes, p)
+                        }
+                    };
+                }
+            });
         }
 
         EpochStats {
@@ -763,9 +807,13 @@ impl TrainStep for SimulatedDdpStep<'_> {
             loss_denom: ctx.steps(),
             steps: ctx.steps(),
             timing: EpochTiming {
-                sampling_s: sampling_rank.iter().copied().fold(0.0, f64::max),
+                sampling_s: sources
+                    .iter()
+                    .map(|s| s.sample_busy_s())
+                    .fold(0.0, f64::max),
                 train_s: train_rank.iter().copied().fold(0.0, f64::max),
                 comm_virtual_s: comm_s,
+                overlapped: self.overlap,
             },
         }
     }

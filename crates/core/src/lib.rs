@@ -36,7 +36,8 @@ pub use embedding::{EmbeddingConfig, EmbeddingStage};
 pub use filter::{FilterConfig, FilterStage};
 pub use gnn_stage::{
     evaluate, evaluate_with, infer_logits, infer_logits_with, prepare_graphs, train_full_graph,
-    train_full_graph_with_hooks, train_minibatch, train_minibatch_simulated,
+    train_full_graph_opts, train_full_graph_with_hooks, train_minibatch, train_minibatch_opts,
+    train_minibatch_simulated, train_minibatch_simulated_opts,
     train_minibatch_simulated_with_hooks, train_minibatch_with_hooks, EpochRecord, GnnTrainConfig,
     HookFactory, PreparedGraph, SamplerKind, TrainResult,
 };
@@ -50,6 +51,8 @@ pub use pipeline::{
 };
 pub use tracks::{build_tracks, build_tracks_oracle, TrackBuildResult};
 pub use train::{
-    BestCheckpointHook, Control, EarlyStoppingHook, Engine, EpochCtx, EpochReport, EpochStats,
-    Hook, HookCtx, LrScheduleHook, Monitor, TelemetryHook, TrainLoop, TrainStep, ValMetrics,
+    plan_chunks, with_batch_source, BatchSource, BatchingMode, BestCheckpointHook, Control,
+    EarlyStoppingHook, Engine, EpochCtx, EpochReport, EpochStats, FullGraphSource, Hook, HookCtx,
+    LrScheduleHook, Monitor, PrefetchBatchSource, SampleChunk, SampledBatch, SampledBatchSource,
+    ShardChunks, TelemetryHook, TrainLoop, TrainStep, ValMetrics,
 };

@@ -7,9 +7,14 @@
 
 pub mod engine;
 pub mod hooks;
+pub mod source;
 
 pub use engine::{Engine, EpochCtx, EpochReport, EpochStats, TrainLoop, TrainStep, ValMetrics};
 pub use hooks::{
     BestCheckpointHook, Control, EarlyStoppingHook, Hook, HookCtx, LrScheduleHook, Monitor,
     TelemetryHook,
+};
+pub use source::{
+    plan_chunks, with_batch_source, BatchSource, BatchingMode, FullGraphSource,
+    PrefetchBatchSource, SampleChunk, SampledBatch, SampledBatchSource, ShardChunks,
 };

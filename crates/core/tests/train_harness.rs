@@ -12,9 +12,10 @@ use trkx_core::train::{
     HookCtx, LrScheduleHook, Monitor, TrainLoop, TrainStep, ValMetrics,
 };
 use trkx_core::{
-    prepare_graphs, train_full_graph, train_minibatch, train_minibatch_simulated,
-    train_minibatch_with_hooks, EmbeddingConfig, EmbeddingStage, FilterConfig, FilterStage,
-    GnnTrainConfig, PreparedGraph, SamplerKind, TrainResult,
+    prepare_graphs, train_full_graph, train_minibatch, train_minibatch_opts,
+    train_minibatch_simulated, train_minibatch_simulated_opts, train_minibatch_with_hooks,
+    BatchingMode, EmbeddingConfig, EmbeddingStage, FilterConfig, FilterStage, GnnTrainConfig,
+    PreparedGraph, SamplerKind, TrainResult,
 };
 use trkx_ddp::{AllReduceStrategy, DdpConfig};
 use trkx_detector::{simulate_event, vertex_features, DatasetConfig, DetectorGeometry, GunConfig};
@@ -161,6 +162,76 @@ fn baseline_sampler_curve_matches_pre_harness_golden() {
     );
     let losses: Vec<f32> = r.epochs.iter().map(|e| e.train_loss).collect();
     assert_eq!(losses, [1.162513, 0.8109751, 0.61612874]);
+}
+
+#[test]
+fn prefetch_ddp_curve_matches_pre_harness_golden() {
+    // Background-thread sampling must not change what is sampled: the
+    // prefetching loader reproduces the sync golden curves bit for bit.
+    let (train, val) = tiny_dataset();
+    let mut cfg = quick_cfg();
+    cfg.batch_size = 16;
+    let ddp = DdpConfig::new(2, AllReduceStrategy::Coalesced);
+    let r = train_minibatch_opts(
+        &cfg,
+        SamplerKind::Bulk { k: 2 },
+        BatchingMode::prefetch(),
+        ddp,
+        &train,
+        &val,
+        None,
+    );
+    assert_curves(&r, &DDP_GOLDEN_LOSS, &DDP_GOLDEN_VAL);
+    // Prefetched epochs are accounted as overlapped by the virtual clock.
+    for e in &r.epochs {
+        assert!(e.timing.overlapped);
+        let serial = e.timing.sampling_s + e.timing.train_s + e.timing.comm_virtual_s;
+        assert!(e.timing.total_s() <= serial);
+    }
+}
+
+#[test]
+fn prefetch_baseline_curve_matches_pre_harness_golden() {
+    let (train, val) = tiny_dataset();
+    let cfg = quick_cfg();
+    let r = train_minibatch_opts(
+        &cfg,
+        SamplerKind::Baseline,
+        BatchingMode::prefetch(),
+        DdpConfig::single(),
+        &train,
+        &val,
+        None,
+    );
+    let losses: Vec<f32> = r.epochs.iter().map(|e| e.train_loss).collect();
+    assert_eq!(losses, [1.162513, 0.8109751, 0.61612874]);
+}
+
+#[test]
+fn simulated_overlap_keeps_curves_and_charges_max() {
+    // The single-threaded simulator models overlap purely in the virtual
+    // clock: identical math, epoch time max(sampling, train) + comm.
+    let (train, val) = tiny_dataset();
+    let mut cfg = quick_cfg();
+    cfg.batch_size = 16;
+    let ddp = DdpConfig::new(2, AllReduceStrategy::Coalesced);
+    let r = train_minibatch_simulated_opts(
+        &cfg,
+        SamplerKind::Bulk { k: 2 },
+        true,
+        ddp,
+        &train,
+        &val,
+        Vec::new(),
+    );
+    assert_curves(&r, &DDP_GOLDEN_LOSS, &DDP_GOLDEN_VAL);
+    for e in &r.epochs {
+        assert!(e.timing.overlapped);
+        let t = &e.timing;
+        let expect = t.sampling_s.max(t.train_s) + t.comm_virtual_s;
+        assert!((t.total_s() - expect).abs() < 1e-12);
+        assert!(t.total_s() <= t.sampling_s + t.train_s + t.comm_virtual_s);
+    }
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! DDP configuration and timing types shared by the pipeline trainers.
 
 use crate::allreduce::AllReduceStrategy;
-use crate::comm::CommCostModel;
+use crate::comm::{CommCostModel, VirtualClock};
 
 /// Distributed-data-parallel run configuration.
 #[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
@@ -43,13 +43,27 @@ pub struct EpochTiming {
     pub train_s: f64,
     /// Modeled interconnect seconds from the all-reduce cost model.
     pub comm_virtual_s: f64,
+    /// Whether sampling ran on a background thread overlapping compute.
+    /// When set, [`EpochTiming::total_s`] charges `max(sampling, train)`
+    /// instead of their sum.
+    pub overlapped: bool,
 }
 
 impl EpochTiming {
-    /// Total epoch time as reported in Figure 3: compute (sampling +
-    /// training) plus modeled communication.
+    /// Total epoch time as reported in Figure 3, accounted through the
+    /// [`VirtualClock`]: serial loaders pay sampling + training back to
+    /// back; overlapped (prefetching) loaders pay `max(sampling, train)`
+    /// because sampling hides behind compute. Modeled communication is
+    /// added either way (the collective is on the critical path).
     pub fn total_s(&self) -> f64 {
-        self.sampling_s + self.train_s + self.comm_virtual_s
+        let mut clock = VirtualClock::new();
+        if self.overlapped {
+            clock.advance_overlapped(self.sampling_s, self.train_s);
+        } else {
+            clock.advance_serial(self.sampling_s, self.train_s);
+        }
+        clock.advance(self.comm_virtual_s);
+        clock.seconds()
     }
 
     /// Merge a per-worker maximum: synchronous DDP advances at the pace
@@ -58,6 +72,7 @@ impl EpochTiming {
         self.sampling_s = self.sampling_s.max(other.sampling_s);
         self.train_s = self.train_s.max(other.train_s);
         self.comm_virtual_s = self.comm_virtual_s.max(other.comm_virtual_s);
+        self.overlapped |= other.overlapped;
     }
 }
 
@@ -71,8 +86,27 @@ mod tests {
             sampling_s: 1.0,
             train_s: 2.0,
             comm_virtual_s: 0.5,
+            overlapped: false,
         };
         assert_eq!(t.total_s(), 3.5);
+    }
+
+    #[test]
+    fn overlapped_total_charges_max_of_sample_and_train() {
+        let mut t = EpochTiming {
+            sampling_s: 1.0,
+            train_s: 2.0,
+            comm_virtual_s: 0.5,
+            overlapped: true,
+        };
+        // Compute-bound epoch: sampling hides entirely.
+        assert_eq!(t.total_s(), 2.5);
+        // Sampling-bound epoch: compute hides instead.
+        t.sampling_s = 4.0;
+        assert_eq!(t.total_s(), 4.5);
+        // Overlap can never cost more than the serial schedule.
+        t.overlapped = false;
+        assert!(t.total_s() > 4.5);
     }
 
     #[test]
@@ -81,11 +115,13 @@ mod tests {
             sampling_s: 1.0,
             train_s: 5.0,
             comm_virtual_s: 0.1,
+            overlapped: false,
         };
         let b = EpochTiming {
             sampling_s: 2.0,
             train_s: 4.0,
             comm_virtual_s: 0.2,
+            overlapped: true,
         };
         a.max_merge(&b);
         assert_eq!(
@@ -93,7 +129,8 @@ mod tests {
             EpochTiming {
                 sampling_s: 2.0,
                 train_s: 5.0,
-                comm_virtual_s: 0.2
+                comm_virtual_s: 0.2,
+                overlapped: true,
             }
         );
     }

@@ -11,14 +11,18 @@
 //!   matrix-based sampling originally targeted, as extension baselines;
 //! * batching utilities (shuffled vertex batches, DDP shards).
 //!
-//! Every sampled edge carries its original edge id so trainers can gather
-//! edge features and truth labels from the parent event graph.
+//! All sampler families implement the unified [`Sampler`] trait, so the
+//! training stack treats the choice of sampler as configuration and can
+//! drive any of them from a background prefetch thread. Every sampled
+//! edge carries its original edge id so trainers can gather edge features
+//! and truth labels from the parent event graph.
 
 pub mod batching;
 pub mod bulk;
 pub mod layerwise;
 pub mod nodewise;
 pub mod saint;
+pub mod sampler;
 pub mod shadow;
 pub mod subgraph;
 
@@ -27,5 +31,6 @@ pub use bulk::{frontier_matrix, neighborhood_distribution, BulkShadowSampler};
 pub use layerwise::{LayerWiseConfig, LayerWiseSampler};
 pub use nodewise::{NodeWiseConfig, NodeWiseSampler};
 pub use saint::{SaintEdgeSampler, SaintWalkSampler};
+pub use sampler::Sampler;
 pub use shadow::{sample_distinct_neighbors, walk_touched_set, ShadowConfig, ShadowSampler};
 pub use subgraph::{SampledSubgraph, SamplerGraph};

@@ -54,13 +54,7 @@ impl SaintEdgeSampler {
         let (chosen, _) = ids.partial_shuffle(rng, take);
         let mut touched = Vec::with_capacity(take * 2);
         // Recover endpoints from the directed CSR by edge id.
-        let mut endpoint_of_edge = vec![(0u32, 0u32); m];
-        for r in 0..graph.num_nodes {
-            let (cols, vals) = graph.directed.row(r);
-            for (&c, &id) in cols.iter().zip(vals) {
-                endpoint_of_edge[id as usize] = (r as u32, c);
-            }
-        }
+        let endpoint_of_edge = graph.edge_endpoints();
         for &e in chosen.iter() {
             let (s, d) = endpoint_of_edge[e];
             touched.push(s);

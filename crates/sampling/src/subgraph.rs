@@ -49,6 +49,20 @@ impl SamplerGraph {
     pub fn num_edges(&self) -> usize {
         self.directed.nnz()
     }
+
+    /// Endpoint pair `(src, dst)` of every original edge, indexed by edge
+    /// id — the inverse of the CSR's `(src, dst) → id` lookup. Used by
+    /// edge-rooted samplers and by round-trip validation.
+    pub fn edge_endpoints(&self) -> Vec<(u32, u32)> {
+        let mut out = vec![(0u32, 0u32); self.num_edges()];
+        for r in 0..self.num_nodes {
+            let (cols, ids) = self.directed.row(r);
+            for (&c, &id) in cols.iter().zip(ids) {
+                out[id as usize] = (r as u32, c);
+            }
+        }
+        out
+    }
 }
 
 /// One sampled minibatch subgraph: a block-diagonal union of per-batch-
@@ -191,6 +205,16 @@ mod tests {
         assert_eq!(g.undirected.get(1, 0), Some(0));
         assert_eq!(g.undirected.get(0, 1), Some(0));
         assert_eq!(g.undirected.get(2, 0), Some(3));
+    }
+
+    #[test]
+    fn edge_endpoints_invert_the_csr_lookup() {
+        let g = graph();
+        let endpoints = g.edge_endpoints();
+        assert_eq!(endpoints, vec![(0, 1), (1, 2), (2, 3), (0, 2)]);
+        for (id, &(s, d)) in endpoints.iter().enumerate() {
+            assert_eq!(g.directed.get(s as usize, d), Some(id as u32));
+        }
     }
 
     #[test]

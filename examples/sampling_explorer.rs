@@ -1,5 +1,6 @@
-//! Compare the four samplers on a synthetic event graph: subgraph sizes,
-//! wall time per minibatch, and (for ShaDow) baseline-vs-bulk speedup.
+//! Compare every sampler family — behind the one [`Sampler`] trait — on a
+//! synthetic event graph: subgraph sizes, wall time per epoch of
+//! minibatches, and the ShaDow baseline-vs-bulk speedup.
 //!
 //! ```text
 //! cargo run --example sampling_explorer --release
@@ -10,7 +11,8 @@ use std::time::Instant;
 use trkx::detector::DatasetConfig;
 use trkx::sampling::{
     vertex_batches, BulkShadowSampler, LayerWiseConfig, LayerWiseSampler, NodeWiseConfig,
-    NodeWiseSampler, SamplerGraph, ShadowConfig, ShadowSampler,
+    NodeWiseSampler, SaintEdgeSampler, SaintWalkSampler, Sampler, SamplerGraph, ShadowConfig,
+    ShadowSampler,
 };
 
 fn main() {
@@ -37,67 +39,62 @@ fn main() {
         fanout: 6,
     }; // paper values
 
-    // ShaDow baseline: one batch at a time, sequential per-vertex walks.
-    let t = Instant::now();
-    let mut base_nodes = 0usize;
-    let mut base_edges = 0usize;
-    for b in &batches {
-        let sg = ShadowSampler::new(shadow_cfg).sample_batch(&graph, b, &mut rng);
-        base_nodes += sg.num_nodes();
-        base_edges += sg.num_edges();
+    // Every family behind the one trait; each samples the same epoch of
+    // minibatches via `sample_bulk` (the ShaDow pair differ only in *how*
+    // they process the batches — sequentially vs matrix-stacked).
+    let samplers: Vec<Box<dyn Sampler>> = vec![
+        Box::new(ShadowSampler::new(shadow_cfg)),
+        Box::new(BulkShadowSampler::new(shadow_cfg)),
+        Box::new(NodeWiseSampler::new(NodeWiseConfig {
+            fanouts: vec![6, 6, 6],
+        })),
+        Box::new(LayerWiseSampler::new(LayerWiseConfig {
+            layer_sizes: vec![512, 512, 512],
+        })),
+        Box::new(SaintWalkSampler {
+            num_roots: 64,
+            walk_length: 4,
+        }),
+        Box::new(SaintEdgeSampler { num_edges: 512 }),
+    ];
+
+    let mut shadow_time = None;
+    for sampler in &samplers {
+        // Best of three runs (first run pays allocator warm-up).
+        let mut dt = f64::INFINITY;
+        let mut subs = Vec::new();
+        for _ in 0..3 {
+            let t = Instant::now();
+            subs = sampler.sample_bulk(&graph, &batches, 7);
+            dt = dt.min(t.elapsed().as_secs_f64());
+        }
+        for sg in &subs {
+            sg.validate(&graph);
+        }
+        let nodes: usize = subs.iter().map(|s| s.num_nodes()).sum();
+        let edges: usize = subs.iter().map(|s| s.num_edges()).sum();
+        let note = match sampler.name() {
+            "shadow" => {
+                shadow_time = Some(dt);
+                String::new()
+            }
+            "bulk-shadow" => shadow_time
+                .map(|base| format!("  ({:.2}x vs baseline ShaDow)", base / dt))
+                .unwrap_or_default(),
+            _ => String::new(),
+        };
+        println!(
+            "{:<12}: {:>8.1} ms, {:>7} nodes, {:>7} edges sampled{note}",
+            sampler.name(),
+            dt * 1e3,
+            nodes,
+            edges
+        );
     }
-    let base_time = t.elapsed().as_secs_f64();
-    println!(
-        "ShaDow baseline      : {:>8.1} ms, {:>7} nodes, {:>7} edges sampled",
-        base_time * 1e3,
-        base_nodes,
-        base_edges
-    );
-
-    // Bulk ShaDow: all batches in one stacked call.
-    let t = Instant::now();
-    let subs = BulkShadowSampler::new(shadow_cfg).sample_batches(&graph, &batches, 7);
-    let bulk_time = t.elapsed().as_secs_f64();
-    let bulk_nodes: usize = subs.iter().map(|s| s.num_nodes()).sum();
-    let bulk_edges: usize = subs.iter().map(|s| s.num_edges()).sum();
-    println!(
-        "ShaDow bulk (k={:>2})  : {:>8.1} ms, {:>7} nodes, {:>7} edges sampled  ({:.2}x speedup)",
-        batches.len(),
-        bulk_time * 1e3,
-        bulk_nodes,
-        bulk_edges,
-        base_time / bulk_time
-    );
-
-    // Node-wise (GraphSAGE-style) on one batch.
-    let t = Instant::now();
-    let nw = NodeWiseSampler::new(NodeWiseConfig {
-        fanouts: vec![6, 6, 6],
-    })
-    .sample_batch(&graph, &batches[0], &mut rng);
-    println!(
-        "node-wise [6,6,6]    : {:>8.1} ms, {:>7} nodes, {:>7} edges (one batch)",
-        t.elapsed().as_secs_f64() * 1e3,
-        nw.num_nodes(),
-        nw.num_edges()
-    );
-
-    // Layer-wise (LADIES-style) on one batch.
-    let t = Instant::now();
-    let lw = LayerWiseSampler::new(LayerWiseConfig {
-        layer_sizes: vec![512, 512, 512],
-    })
-    .sample_batch(&graph, &batches[0], &mut rng);
-    println!(
-        "layer-wise [512x3]   : {:>8.1} ms, {:>7} nodes, {:>7} edges (one batch)",
-        t.elapsed().as_secs_f64() * 1e3,
-        lw.num_nodes(),
-        lw.num_edges()
-    );
 
     println!(
-        "\nShaDow subgraphs have one component per batch vertex ({} per batch);\n\
-         node/layer-wise return one blob containing the whole batch.",
-        subs[0].num_components()
+        "\nShaDow subgraphs have one component per batch vertex; node/layer-wise\n\
+         return one blob containing the whole batch; the SAINT samplers ignore\n\
+         the batch entirely and draw one subgraph per call from the full graph."
     );
 }

@@ -4,10 +4,13 @@
 //! ```text
 //! trkx simulate  [--dataset ex3|ctd] [--scale 0.05] [--events 10] [--seed 42]
 //! trkx train     [--dataset ex3|ctd] [--scale 0.05] [--events 10] [--epochs 6]
-//!                [--sampler bulk|baseline] [--workers 1] [--out model.json]
-//!                [--patience N] [--telemetry epochs.jsonl]
+//!                [--sampler bulk|baseline] [--workers 1] [--prefetch 0]
+//!                [--out model.json] [--patience N] [--telemetry epochs.jsonl]
 //! trkx evaluate  --model model.json [--dataset ex3|ctd] [--scale 0.05] [--events 10]
 //! trkx reconstruct [--particles 40] [--events 8] [--seed 7]
+//! trkx sample    [--sampler shadow|bulk-shadow|nodewise|layerwise|
+//!                 saint-walk|saint-edge|all] [--dataset ex3|ctd] [--scale 0.1]
+//!                [--batch 256] [--repeat 3] [--seed 1]
 //! ```
 
 use rand::{rngs::StdRng, SeedableRng};
@@ -16,11 +19,15 @@ use trkx::detector::{
     dataset_stats, simulate_event, split_80_10_10, DatasetConfig, DetectorGeometry, GunConfig,
 };
 use trkx::pipeline::{
-    best_f1_threshold, evaluate, infer_logits, prepare_graphs, roc_auc, train_minibatch_with_hooks,
-    train_pipeline, Checkpoint, EarlyStoppingHook, EmbeddingConfig, GnnTrainConfig, Hook, Monitor,
-    PipelineConfig, SamplerKind, TelemetryHook,
+    best_f1_threshold, evaluate, infer_logits, prepare_graphs, roc_auc, train_minibatch_opts,
+    train_pipeline, BatchingMode, Checkpoint, EarlyStoppingHook, EmbeddingConfig, GnnTrainConfig,
+    Hook, Monitor, PipelineConfig, SamplerKind, TelemetryHook,
 };
-use trkx::sampling::ShadowConfig;
+use trkx::sampling::{
+    vertex_batches, BulkShadowSampler, LayerWiseConfig, LayerWiseSampler, NodeWiseConfig,
+    NodeWiseSampler, SaintEdgeSampler, SaintWalkSampler, Sampler, SamplerGraph, ShadowConfig,
+    ShadowSampler,
+};
 
 fn arg<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
     args.iter()
@@ -105,6 +112,12 @@ fn cmd_train(args: &[String]) {
     };
     let workers = arg(args, "--workers", 1usize);
     let ddp = DdpConfig::new(workers, AllReduceStrategy::Coalesced);
+    // --prefetch N > 0 samples on a background thread per rank, keeping up
+    // to N batches queued; the loss curves are identical to sync mode.
+    let mode = match arg(args, "--prefetch", 0usize) {
+        0 => BatchingMode::Sync,
+        depth => BatchingMode::Prefetch { depth },
+    };
     let patience = arg(args, "--patience", 0usize); // 0 = train all epochs
     let telemetry = arg_str(args, "--telemetry", "");
     println!(
@@ -142,9 +155,10 @@ fn cmd_train(args: &[String]) {
         }
         hooks
     };
-    let result = train_minibatch_with_hooks(
+    let result = train_minibatch_opts(
         &gnn_cfg,
         sampler,
+        mode,
         ddp,
         &prepared[tr],
         &prepared[va.clone()],
@@ -265,6 +279,99 @@ fn cmd_reconstruct(args: &[String]) {
     );
 }
 
+/// Build any sampler family behind the unified trait, by CLI name.
+fn build_sampler(name: &str, args: &[String]) -> Box<dyn Sampler> {
+    let shadow = ShadowConfig {
+        depth: arg(args, "--shadow-depth", 3),
+        fanout: arg(args, "--shadow-fanout", 6),
+    };
+    match name {
+        "shadow" => Box::new(ShadowSampler::new(shadow)),
+        "bulk-shadow" => Box::new(BulkShadowSampler::new(shadow)),
+        "nodewise" => Box::new(NodeWiseSampler::new(NodeWiseConfig {
+            fanouts: vec![arg(args, "--fanout", 6usize); arg(args, "--hops", 3usize)],
+        })),
+        "layerwise" => Box::new(LayerWiseSampler::new(LayerWiseConfig {
+            layer_sizes: vec![arg(args, "--layer-size", 512usize); arg(args, "--hops", 3usize)],
+        })),
+        "saint-walk" => Box::new(SaintWalkSampler {
+            num_roots: arg(args, "--roots", 64usize),
+            walk_length: arg(args, "--walk-length", 4usize),
+        }),
+        "saint-edge" => Box::new(SaintEdgeSampler {
+            num_edges: arg(args, "--edges", 512usize),
+        }),
+        other => {
+            eprintln!(
+                "unknown sampler {other:?} (expected shadow, bulk-shadow, nodewise, \
+                 layerwise, saint-walk, or saint-edge)"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Time any sampler (by name, via the unified `Sampler` trait) over one
+/// generated event's minibatch schedule.
+fn cmd_sample(args: &[String]) {
+    let cfg = dataset_config(args);
+    let seed = arg(args, "--seed", 1u64);
+    let batch_size = arg(args, "--batch", 256usize);
+    let repeat = arg(args, "--repeat", 3usize).max(1);
+    let which = arg_str(args, "--sampler", "all");
+
+    let g = &cfg.generate(1, seed)[0];
+    let graph = SamplerGraph::new(g.num_nodes, &g.src, &g.dst);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let batches = vertex_batches(g.num_nodes, batch_size, &mut rng);
+    println!(
+        "{}: {} vertices, {} edges; {} batches of {batch_size}\n",
+        cfg.name,
+        g.num_nodes,
+        g.num_edges(),
+        batches.len()
+    );
+
+    let names: Vec<&str> = if which == "all" {
+        vec![
+            "shadow",
+            "bulk-shadow",
+            "nodewise",
+            "layerwise",
+            "saint-walk",
+            "saint-edge",
+        ]
+    } else {
+        vec![which.as_str()]
+    };
+    println!(
+        "{:<12} {:>10} {:>9} {:>9}  (best of {repeat})",
+        "sampler", "ms/epoch", "nodes", "edges"
+    );
+    for name in names {
+        let sampler = build_sampler(name, args);
+        let mut best = f64::INFINITY;
+        let mut subgraphs = Vec::new();
+        for _ in 0..repeat {
+            let t = std::time::Instant::now();
+            subgraphs = sampler.sample_bulk(&graph, &batches, seed);
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        for sg in &subgraphs {
+            sg.validate(&graph);
+        }
+        let nodes: usize = subgraphs.iter().map(|s| s.num_nodes()).sum();
+        let edges: usize = subgraphs.iter().map(|s| s.num_edges()).sum();
+        println!(
+            "{:<12} {:>10.2} {:>9} {:>9}",
+            sampler.name(),
+            best * 1e3,
+            nodes,
+            edges
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -272,9 +379,10 @@ fn main() {
         Some("train") => cmd_train(&args[1..]),
         Some("evaluate") => cmd_evaluate(&args[1..]),
         Some("reconstruct") => cmd_reconstruct(&args[1..]),
+        Some("sample") => cmd_sample(&args[1..]),
         _ => {
             eprintln!(
-                "usage: trkx <simulate|train|evaluate|reconstruct> [options]\n\
+                "usage: trkx <simulate|train|evaluate|reconstruct|sample> [options]\n\
                  see the module docs at the top of src/bin/trkx.rs"
             );
             std::process::exit(2);
