@@ -12,9 +12,20 @@ cargo build --workspace --release
 cargo test -q --workspace --release
 
 # Allocation gate: the pooled-tape train step must stay at or below the
-# recorded budget (BENCH_trainstep.json baseline is 154 allocs/step).
+# recorded budget (BENCH_trainstep.json baseline is 70 allocs/step with
+# the fused message-passing path and the shim pool's single-block
+# fast path).
 cargo run -q --release -p trkx-bench --bin trainstep -- \
-    --steps 5 --out /tmp/BENCH_trainstep_smoke.json --max-allocs 162
+    --steps 5 --out /tmp/BENCH_trainstep_smoke.json --max-allocs 80
+
+# Message-passing kernel smoke: per-kernel fused-vs-unfused timings plus
+# the structural gate that fusion strictly shrinks the live tape. The
+# determinism suite re-runs under two pool sizes with the size gate off,
+# pinning the parallel kernels to their serial references bit for bit.
+cargo run -q --release -p trkx-bench --bin mp -- \
+    --edges 2048 --layers 2 --reps 2 --threads 1,2 --out /tmp/BENCH_mp_smoke.json
+RAYON_NUM_THREADS=1 cargo test -q --release -p trkx-tensor --test determinism
+RAYON_NUM_THREADS=4 cargo test -q --release -p trkx-tensor --test determinism
 
 # Prefetch gate: on a tiny Ex3-like workload the overlapped (prefetching)
 # virtual-clock schedule must never cost more than the serial one.

@@ -16,14 +16,7 @@ use trkx_tensor::Tape;
 fn step(model: &mut InteractionGnn, opt: &mut Adam, g: &PreparedGraph) -> f32 {
     let mut tape = Tape::new();
     let mut bind = Bindings::new();
-    let logits = model.forward(
-        &mut tape,
-        &mut bind,
-        &g.x,
-        &g.y,
-        g.src.clone(),
-        g.dst.clone(),
-    );
+    let logits = model.forward_planned(&mut tape, &mut bind, &g.x, &g.y, &g.plans);
     let loss = bce_with_logits(&mut tape, logits, &g.labels, 1.0);
     let v = tape.value(loss).as_scalar();
     tape.backward(loss);
@@ -69,15 +62,15 @@ fn bench_ignn(c: &mut Criterion) {
         .sample_batches(&g.sampler, &[batch], 3)
         .remove(0);
         let (x, y, labels) = g.subgraph_matrices(&sub);
-        let sub_prepared = PreparedGraph {
-            num_nodes: sub.num_nodes(),
+        let sub_prepared = PreparedGraph::new(
+            sub.num_nodes(),
             x,
             y,
-            src: Arc::new(sub.sub_src.clone()),
-            dst: Arc::new(sub.sub_dst.clone()),
+            Arc::new(sub.sub_src.clone()),
+            Arc::new(sub.sub_dst.clone()),
             labels,
-            sampler: g.sampler.clone(),
-        };
+            g.sampler.clone(),
+        );
         let icfg = IgnnConfig::new(6, 2).with_hidden(32).with_gnn_layers(4);
         let mut rng = StdRng::seed_from_u64(2);
         let mut model = InteractionGnn::new(icfg, &mut rng);

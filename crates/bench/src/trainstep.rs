@@ -7,16 +7,19 @@ use std::sync::Arc;
 use trkx_core::train::Engine;
 use trkx_ignn::InteractionGnn;
 use trkx_nn::{bce_with_logits, Adam};
-use trkx_tensor::Matrix;
+use trkx_tensor::{EdgePlans, Matrix};
 
 /// A random graph with the shape of a prepared event: node/edge features,
-/// COO endpoints, and binary edge labels.
+/// COO endpoints, binary edge labels, and the cached edge plans (built
+/// once, like the data layer does for real batches — plan construction is
+/// not part of the per-step cost being measured).
 pub struct SyntheticGraph {
     pub x: Matrix,
     pub y: Matrix,
     pub src: Arc<Vec<u32>>,
     pub dst: Arc<Vec<u32>>,
     pub labels: Vec<f32>,
+    pub plans: Arc<EdgePlans>,
 }
 
 impl SyntheticGraph {
@@ -28,12 +31,16 @@ impl SyntheticGraph {
         let src: Vec<u32> = (0..edges).map(|_| rng.gen_range(0..nodes as u32)).collect();
         let dst: Vec<u32> = (0..edges).map(|_| rng.gen_range(0..nodes as u32)).collect();
         let labels: Vec<f32> = (0..edges).map(|_| f32::from(rng.gen_bool(0.3))).collect();
+        let src = Arc::new(src);
+        let dst = Arc::new(dst);
+        let plans = Arc::new(EdgePlans::new(src.clone(), dst.clone(), nodes));
         Self {
             x,
             y,
-            src: Arc::new(src),
-            dst: Arc::new(dst),
+            src,
+            dst,
             labels,
+            plans,
         }
     }
 }
@@ -57,7 +64,7 @@ impl StepScratch {
 pub fn run_step(model: &mut InteractionGnn, g: &SyntheticGraph, scratch: &mut StepScratch) -> f32 {
     let m = &*model;
     let v = scratch.engine.forward_backward(|tape, bind| {
-        let logits = m.forward(tape, bind, &g.x, &g.y, g.src.clone(), g.dst.clone());
+        let logits = m.forward_planned(tape, bind, &g.x, &g.y, &g.plans);
         Some(bce_with_logits(tape, logits, &g.labels, 1.0))
     });
     scratch.engine.update(&mut model.params_mut());

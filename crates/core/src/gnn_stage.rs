@@ -21,7 +21,7 @@ use trkx_sampling::{
     vertex_batches, BulkShadowSampler, SampledSubgraph, Sampler, SamplerGraph, ShadowConfig,
     ShadowSampler,
 };
-use trkx_tensor::{Matrix, Tape};
+use trkx_tensor::{EdgePlans, Matrix, Tape};
 
 /// An event graph converted to training-ready matrices plus the sampler
 /// view of its adjacency. Built once, reused every epoch.
@@ -33,22 +33,49 @@ pub struct PreparedGraph {
     pub dst: Arc<Vec<u32>>,
     pub labels: Vec<f32>,
     pub sampler: SamplerGraph,
+    /// Edge plans for the full graph's adjacency, built once here and
+    /// reused by every full-graph forward pass (training and inference).
+    pub plans: Arc<EdgePlans>,
 }
 
 impl PreparedGraph {
+    /// Assemble from already-built matrices and index arrays; the edge
+    /// plans are derived here so every constructor path caches them.
+    pub fn new(
+        num_nodes: usize,
+        x: Matrix,
+        y: Matrix,
+        src: Arc<Vec<u32>>,
+        dst: Arc<Vec<u32>>,
+        labels: Vec<f32>,
+        sampler: SamplerGraph,
+    ) -> Self {
+        let plans = Arc::new(EdgePlans::new(src.clone(), dst.clone(), num_nodes));
+        Self {
+            num_nodes,
+            x,
+            y,
+            src,
+            dst,
+            labels,
+            sampler,
+            plans,
+        }
+    }
+
     pub fn from_event_graph(g: &EventGraph) -> Self {
         let x = Matrix::from_vec(g.num_nodes, g.num_vertex_features, g.x.clone());
         let y = Matrix::from_vec(g.num_edges(), g.num_edge_features, g.y.clone());
         let sampler = SamplerGraph::new(g.num_nodes, &g.src, &g.dst);
-        Self {
-            num_nodes: g.num_nodes,
+        Self::new(
+            g.num_nodes,
             x,
             y,
-            src: Arc::new(g.src.clone()),
-            dst: Arc::new(g.dst.clone()),
-            labels: g.labels.clone(),
+            Arc::new(g.src.clone()),
+            Arc::new(g.dst.clone()),
+            g.labels.clone(),
             sampler,
-        }
+        )
     }
 
     pub fn num_edges(&self) -> usize {
@@ -191,7 +218,7 @@ pub fn infer_logits_with(
 ) -> Vec<f32> {
     tape.reset();
     bind.reset();
-    let logits = model.forward(tape, bind, &g.x, &g.y, g.src.clone(), g.dst.clone());
+    let logits = model.forward_planned(tape, bind, &g.x, &g.y, &g.plans);
     tape.value(logits).data().to_vec()
 }
 
@@ -314,14 +341,7 @@ fn batch_forward_backward(
         if batch.labels.is_empty() {
             return None;
         }
-        let logits = model.forward(
-            tape,
-            bind,
-            &batch.x,
-            &batch.y,
-            batch.src.clone(),
-            batch.dst.clone(),
-        );
+        let logits = model.forward_planned(tape, bind, &batch.x, &batch.y, &batch.plans);
         Some(bce_with_logits(tape, logits, &batch.labels, pos_weight))
     })
 }

@@ -29,7 +29,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
 use trkx_sampling::{shard_batch, SampledSubgraph, Sampler};
-use trkx_tensor::Matrix;
+use trkx_tensor::{EdgePlans, Matrix};
 
 /// How a trainer obtains its batches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -141,6 +141,10 @@ pub struct SampledBatch {
     pub labels: Vec<f32>,
     pub src: Arc<Vec<u32>>,
     pub dst: Arc<Vec<u32>>,
+    /// Precomputed edge plans for this batch's `src`/`dst`, built where
+    /// the batch was materialized — on the prefetch thread when
+    /// prefetching, i.e. off the training thread's critical path.
+    pub plans: Arc<EdgePlans>,
     /// Seconds of sampling + gathering attributed to this batch.
     pub sample_s: f64,
 }
@@ -196,13 +200,17 @@ impl<I: Iterator<Item = SampleChunk>> BatchSource for SampledBatchSource<'_, I> 
                 .into_iter()
                 .map(|sg| {
                     let (x, y, labels) = g.subgraph_matrices(&sg);
+                    let src = Arc::new(sg.sub_src.clone());
+                    let dst = Arc::new(sg.sub_dst.clone());
+                    let plans = Arc::new(EdgePlans::new(src.clone(), dst.clone(), x.rows()));
                     SampledBatch {
                         graph: chunk.graph,
                         x,
                         y,
                         labels,
-                        src: Arc::new(sg.sub_src.clone()),
-                        dst: Arc::new(sg.sub_dst.clone()),
+                        src,
+                        dst,
+                        plans,
                         subgraph: Some(sg),
                         sample_s: 0.0,
                     }
@@ -262,6 +270,7 @@ impl BatchSource for FullGraphSource<'_> {
             labels: g.labels.clone(),
             src: g.src.clone(),
             dst: g.dst.clone(),
+            plans: g.plans.clone(),
             sample_s: 0.0,
         };
         let dt = t.elapsed().as_secs_f64();

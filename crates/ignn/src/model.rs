@@ -20,7 +20,7 @@
 use rand::Rng;
 use std::sync::Arc;
 use trkx_nn::{Activation, Bindings, Mlp, MlpConfig, Param};
-use trkx_tensor::{Matrix, Tape, Var};
+use trkx_tensor::{EdgePlans, Matrix, Tape, Var};
 
 /// Interaction-GNN hyperparameters.
 #[derive(Debug, Clone)]
@@ -80,11 +80,14 @@ impl IgnnConfig {
     /// f32 elements) of one forward pass over a graph with `n` nodes and
     /// `m` edges — used for the OOM-skip emulation *before* building the
     /// tape. Per layer the tape retains the concatenations, MLP hidden
-    /// activations, messages, and aggregates.
+    /// activations, messages, and aggregates. Tracks the fused
+    /// (`GatherConcat`) path, which assembles the edge-MLP input directly
+    /// — there are no materialized `X'[src]`/`X'[dst]` intermediates
+    /// (the `4h·m` per layer the unfused path would additionally retain).
     pub fn estimate_activation_floats(&self, n: usize, m: usize) -> usize {
         let h = self.hidden;
         let d = self.mlp_depth;
-        // Per layer: Y'(2h·m) + concat(6h·m) + edge MLP activations
+        // Per layer: Y'(2h·m) + fused msg_in (6h·m) + edge MLP activations
         // (~d·h·m) + M_src/M_dst (2·h·n) + X'(2h·n) + node concat (4h·n)
         // + node MLP activations (~d·h·n).
         let per_layer = m * h * (2 + 6 + d) + n * h * (2 + 2 + 4 + d);
@@ -168,6 +171,12 @@ impl InteractionGnn {
     ///
     /// `x`: `n x node_features` vertex features; `y`: `m x edge_features`
     /// edge features; `src`/`dst`: edge endpoints (COO rows/cols of A).
+    ///
+    /// Builds the [`EdgePlans`] for this edge list and runs the fused
+    /// path ([`InteractionGnn::forward_planned`]). Callers that reuse one
+    /// subgraph across steps should build the plans once and call
+    /// `forward_planned` directly — plan construction is `O(n + m)` but
+    /// pointless to repeat.
     pub fn forward(
         &self,
         tape: &mut Tape,
@@ -177,19 +186,69 @@ impl InteractionGnn {
         src: Arc<Vec<u32>>,
         dst: Arc<Vec<u32>>,
     ) -> Var {
+        let plans = Arc::new(EdgePlans::new(src, dst, x.rows()));
+        self.forward_planned(tape, bind, x, y, &plans)
+    }
+
+    /// Fused forward pass over a precomputed edge plan: one
+    /// `GatherConcat` node assembles each layer's edge-MLP input in a
+    /// single pass (no `X'[src]`/`X'[dst]` intermediates on the tape) and
+    /// the AGG scatters run the deterministic parallel segment-reduce.
+    /// Bit-identical to [`InteractionGnn::forward_unfused`] in both
+    /// values and gradients, at any thread count.
+    pub fn forward_planned(
+        &self,
+        tape: &mut Tape,
+        bind: &mut Bindings,
+        x: &Matrix,
+        y: &Matrix,
+        plans: &Arc<EdgePlans>,
+    ) -> Var {
+        self.check_inputs(x, y, plans.num_edges());
+        assert_eq!(plans.nodes(), x.rows(), "plan node count mismatch");
+
+        let xin = tape.constant_copied(x);
+        let yin = tape.constant_copied(y);
+        let x0 = self.node_encoder.forward(tape, bind, xin);
+        let y0 = self.edge_encoder.forward(tape, bind, yin);
+        let mut xl = x0;
+        let mut yl = y0;
+        for l in 0..self.config.gnn_layers {
+            // Skip-connections to the input encodings.
+            let x_cat = tape.concat_cols(&[xl, x0]);
+            let y_cat = tape.concat_cols(&[yl, y0]);
+            // MSG: fused [Y' X'[src] X'[dst]] assembly + per-edge MLP.
+            let msg_in = tape.gather_concat(y_cat, x_cat, plans.clone());
+            let y_next = self.edge_mlps[l].forward(tape, bind, msg_in);
+            yl = y_next;
+            if l + 1 < self.config.gnn_layers {
+                // AGG: sum messages into both endpoints (plan-driven).
+                let m_src =
+                    tape.scatter_add_planned(y_next, plans.src.clone(), plans.src_plan.clone());
+                let m_dst =
+                    tape.scatter_add_planned(y_next, plans.dst.clone(), plans.dst_plan.clone());
+                let node_in = tape.concat_cols(&[m_src, m_dst, x_cat]);
+                xl = self.node_mlps[l].forward(tape, bind, node_in);
+            }
+        }
+        self.decoder.forward(tape, bind, yl)
+    }
+
+    /// Unfused reference forward pass: explicit per-endpoint gathers and
+    /// a three-way concat, serial scatter on the backward. Kept as the
+    /// ground truth the fused path is parity-tested against.
+    pub fn forward_unfused(
+        &self,
+        tape: &mut Tape,
+        bind: &mut Bindings,
+        x: &Matrix,
+        y: &Matrix,
+        src: Arc<Vec<u32>>,
+        dst: Arc<Vec<u32>>,
+    ) -> Var {
         let n = x.rows();
-        assert_eq!(
-            x.cols(),
-            self.config.node_features,
-            "node feature dim mismatch"
-        );
-        assert_eq!(
-            y.cols(),
-            self.config.edge_features,
-            "edge feature dim mismatch"
-        );
-        assert_eq!(src.len(), y.rows(), "src length mismatch");
-        assert_eq!(dst.len(), y.rows(), "dst length mismatch");
+        self.check_inputs(x, y, src.len());
+        assert_eq!(src.len(), dst.len(), "src/dst length mismatch");
 
         let xin = tape.constant_copied(x);
         let yin = tape.constant_copied(y);
@@ -217,6 +276,20 @@ impl InteractionGnn {
             }
         }
         self.decoder.forward(tape, bind, yl)
+    }
+
+    fn check_inputs(&self, x: &Matrix, y: &Matrix, num_edges: usize) {
+        assert_eq!(
+            x.cols(),
+            self.config.node_features,
+            "node feature dim mismatch"
+        );
+        assert_eq!(
+            y.cols(),
+            self.config.edge_features,
+            "edge feature dim mismatch"
+        );
+        assert_eq!(num_edges, y.rows(), "edge count mismatch");
     }
 
     pub fn params(&self) -> Vec<&Param> {
@@ -380,6 +453,71 @@ mod tests {
                 "edge {i} logit not equivariant"
             );
         }
+    }
+
+    #[test]
+    fn fused_forward_matches_unfused_bitwise() {
+        // The fused GatherConcat/planned-scatter path must reproduce the
+        // unfused reference exactly — same logits, same gradients, to the
+        // last bit — or the golden training curves would drift.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut model = InteractionGnn::new(tiny_config(), &mut rng);
+        let (x, y, src, dst) = tiny_graph();
+        let targets = [1.0f32, 0.0, 1.0, 0.0, 1.0];
+
+        let mut run = |fused: bool| -> (Matrix, Vec<Matrix>) {
+            let mut tape = Tape::new();
+            let mut bind = Bindings::new();
+            let (src, dst) = (Arc::new(src.clone()), Arc::new(dst.clone()));
+            let logits = if fused {
+                model.forward(&mut tape, &mut bind, &x, &y, src, dst)
+            } else {
+                model.forward_unfused(&mut tape, &mut bind, &x, &y, src, dst)
+            };
+            let loss = trkx_nn::bce_with_logits(&mut tape, logits, &targets, 1.0);
+            tape.backward(loss);
+            let out = tape.value(logits).clone();
+            let mut params = model.params_mut();
+            for p in params.iter_mut() {
+                p.zero_grad();
+            }
+            bind.harvest(&tape, &mut params);
+            let grads = model.params().iter().map(|p| p.grad.clone()).collect();
+            (out, grads)
+        };
+
+        let (logits_f, grads_f) = run(true);
+        let (logits_u, grads_u) = run(false);
+        assert_eq!(logits_f.data(), logits_u.data(), "fused logits differ");
+        for (gf, gu) in grads_f.iter().zip(&grads_u) {
+            assert_eq!(gf.data(), gu.data(), "fused gradients differ");
+        }
+    }
+
+    #[test]
+    fn fused_tape_drops_gather_intermediates() {
+        // Per layer the fused path retains 4h·m fewer floats (the two
+        // m×2h endpoint gathers never materialize).
+        let mut rng = StdRng::seed_from_u64(10);
+        let cfg = tiny_config();
+        let model = InteractionGnn::new(cfg.clone(), &mut rng);
+        let (x, y, src, dst) = tiny_graph();
+        let measure = |fused: bool| {
+            let mut tape = Tape::new();
+            let mut bind = Bindings::new();
+            let (src, dst) = (Arc::new(src.clone()), Arc::new(dst.clone()));
+            let _ = if fused {
+                model.forward(&mut tape, &mut bind, &x, &y, src, dst)
+            } else {
+                model.forward_unfused(&mut tape, &mut bind, &x, &y, src, dst)
+            };
+            tape.activation_floats()
+        };
+        let fused = measure(true);
+        let unfused = measure(false);
+        let m = y.rows();
+        let saved_per_layer = 4 * cfg.hidden * m;
+        assert_eq!(unfused - fused, cfg.gnn_layers * saved_per_layer);
     }
 
     #[test]

@@ -26,11 +26,13 @@
 pub mod gradcheck;
 pub mod matrix;
 pub mod ops;
+pub mod plan;
 pub mod pool;
 pub mod tape;
 
 pub use gradcheck::{gradcheck, GradCheckReport};
 pub use matrix::Matrix;
 pub use ops::{sigmoid, Op};
+pub use plan::{EdgePlan, EdgePlans};
 pub use pool::BufferPool;
 pub use tape::{Tape, Var};

@@ -13,6 +13,7 @@
 //! pass uses these to accumulate gradients in place with no per-op
 //! allocation (buffers come from [`crate::BufferPool`]).
 
+use crate::plan::EdgePlan;
 use rand::Rng;
 use rayon::prelude::*;
 use std::sync::OnceLock;
@@ -562,13 +563,20 @@ impl Matrix {
             (rows, cols),
             "concat_cols output shape mismatch"
         );
-        for r in 0..rows {
-            let dst = out.row_mut(r);
+        if cols == 0 {
+            return;
+        }
+        let body = |(r, dst): (usize, &mut [f32])| {
             let mut off = 0;
             for p in parts {
                 dst[off..off + p.cols].copy_from_slice(p.row(r));
                 off += p.cols;
             }
+        };
+        if rows * cols >= par_threshold() {
+            out.data.par_chunks_mut(cols).enumerate().for_each(body);
+        } else {
+            out.data.chunks_mut(cols).enumerate().for_each(body);
         }
     }
 
@@ -600,8 +608,17 @@ impl Matrix {
             (self.rows, end - start),
             "slice_cols output shape mismatch"
         );
-        for r in 0..self.rows {
-            out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
+        let w = end - start;
+        if w == 0 {
+            return;
+        }
+        let body = |(r, dst): (usize, &mut [f32])| {
+            dst.copy_from_slice(&self.row(r)[start..end]);
+        };
+        if self.rows * w >= par_threshold() {
+            out.data.par_chunks_mut(w).enumerate().for_each(body);
+        } else {
+            out.data.chunks_mut(w).enumerate().for_each(body);
         }
     }
 
@@ -612,6 +629,21 @@ impl Matrix {
         out
     }
 
+    /// One-shot validation that every index addresses a row below
+    /// `bound`. Indices come from event data, not internal invariants, so
+    /// the kernels check them with a real `assert!` — but only once, at
+    /// the kernel boundary, never inside the (possibly parallel) inner
+    /// loop.
+    #[inline]
+    fn assert_row_indices(idx: &[u32], bound: usize, what: &str) {
+        if let Some(&max) = idx.iter().max() {
+            assert!(
+                (max as usize) < bound,
+                "{what} index {max} out of range for {bound} rows"
+            );
+        }
+    }
+
     /// Row gather into a caller-provided buffer (overwrites).
     pub fn gather_rows_into(&self, idx: &[u32], out: &mut Matrix) {
         assert_eq!(
@@ -619,11 +651,11 @@ impl Matrix {
             (idx.len(), self.cols),
             "gather output shape mismatch"
         );
+        Self::assert_row_indices(idx, self.rows, "gather_rows");
         let cols = self.cols;
         let src = &self.data;
         let body = |(i, dst): (usize, &mut [f32])| {
             let r = idx[i] as usize;
-            debug_assert!(r < self.rows, "gather_rows index {r} out of {}", self.rows);
             dst.copy_from_slice(&src[r * cols..(r + 1) * cols]);
         };
         if idx.len() * cols >= par_threshold() {
@@ -634,21 +666,31 @@ impl Matrix {
     }
 
     /// `out[i, :] += self[idx[i], :]` — accumulating row gather (the
-    /// adjoint of scatter-add, used by its backward pass).
+    /// adjoint of scatter-add, used by its backward pass). Parallel over
+    /// output rows: each is written by exactly one task, so the result is
+    /// thread-count independent.
     pub fn gather_rows_acc(&self, idx: &[u32], out: &mut Matrix) {
         assert_eq!(
             out.shape(),
             (idx.len(), self.cols),
             "gather output shape mismatch"
         );
+        Self::assert_row_indices(idx, self.rows, "gather_rows");
         let cols = self.cols;
-        for (i, &r) in idx.iter().enumerate() {
-            let r = r as usize;
-            debug_assert!(r < self.rows, "gather_rows index {r} out of {}", self.rows);
-            let src = &self.data[r * cols..(r + 1) * cols];
-            for (d, &s) in out.row_mut(i).iter_mut().zip(src) {
+        let src = &self.data;
+        let body = |(i, dst): (usize, &mut [f32])| {
+            let r = idx[i] as usize;
+            for (d, &s) in dst.iter_mut().zip(&src[r * cols..(r + 1) * cols]) {
                 *d += s;
             }
+        };
+        if cols == 0 {
+            return;
+        }
+        if idx.len() * cols >= par_threshold() {
+            out.data.par_chunks_mut(cols).enumerate().for_each(body);
+        } else {
+            out.data.chunks_mut(cols).enumerate().for_each(body);
         }
     }
 
@@ -661,7 +703,11 @@ impl Matrix {
     }
 
     /// `out[idx[i], :] += self[i, :]`, accumulating into an existing
-    /// buffer. Serial: rows collide by construction.
+    /// buffer. Serial reference kernel: output rows collide by
+    /// construction, and each receives its contributions in ascending
+    /// edge order. [`Matrix::scatter_rows_planned_acc`] is the parallel
+    /// version; it reproduces this kernel's per-row accumulation order
+    /// exactly.
     pub fn scatter_rows_acc(&self, idx: &[u32], out: &mut Matrix) {
         assert_eq!(
             idx.len(),
@@ -669,15 +715,49 @@ impl Matrix {
             "scatter_add_rows index length mismatch"
         );
         assert_eq!(out.cols, self.cols, "scatter_add_rows col mismatch");
-        let out_rows = out.rows;
+        Self::assert_row_indices(idx, out.rows, "scatter_rows");
         for (i, &r) in idx.iter().enumerate() {
             let r = r as usize;
-            debug_assert!(r < out_rows, "scatter index {r} out of {out_rows}");
             let src = self.row(i);
             let dst = out.row_mut(r);
             for (d, &s) in dst.iter_mut().zip(src) {
                 *d += s;
             }
+        }
+    }
+
+    /// Plan-driven deterministic parallel scatter-add:
+    /// `out[r, :] += Σ self[e, :]` over the plan's edges incident to `r`,
+    /// summed in ascending edge order. Parallel over **output** rows —
+    /// each row is reduced by exactly one task in a fixed order, so the
+    /// result is bit-identical to [`Matrix::scatter_rows_acc`] at any
+    /// thread count, with no atomics. Indices were validated when the
+    /// plan was built; the inner loop is check-free.
+    pub fn scatter_rows_planned_acc(&self, plan: &EdgePlan, out: &mut Matrix) {
+        assert_eq!(
+            plan.num_edges(),
+            self.rows,
+            "scatter plan edge count mismatch"
+        );
+        assert_eq!(out.cols, self.cols, "scatter_add_rows col mismatch");
+        assert_eq!(out.rows, plan.nodes(), "scatter plan node count mismatch");
+        let cols = self.cols;
+        if cols == 0 || out.rows == 0 {
+            return;
+        }
+        let src = &self.data;
+        let body = |(r, dst): (usize, &mut [f32])| {
+            for &e in plan.incident(r) {
+                let e = e as usize;
+                for (d, &s) in dst.iter_mut().zip(&src[e * cols..(e + 1) * cols]) {
+                    *d += s;
+                }
+            }
+        };
+        if self.rows * cols >= par_threshold() {
+            out.data.par_chunks_mut(cols).enumerate().for_each(body);
+        } else {
+            out.data.chunks_mut(cols).enumerate().for_each(body);
         }
     }
 
@@ -702,13 +782,28 @@ impl Matrix {
         }
     }
 
-    /// Row sums as a `rows x 1` matrix.
+    /// Row sums as a `rows x 1` matrix. Parallel over rows above the
+    /// size threshold; each row reduces serially left-to-right, so the
+    /// result is thread-count independent.
     pub fn row_sums(&self) -> Matrix {
         let mut out = Matrix::zeros(self.rows, 1);
-        for r in 0..self.rows {
-            out.data[r] = self.row(r).iter().sum();
-        }
+        self.row_sums_into(&mut out);
         out
+    }
+
+    /// Row sums into an existing `rows x 1` buffer (overwrites).
+    pub fn row_sums_into(&self, out: &mut Matrix) {
+        assert_eq!(out.shape(), (self.rows, 1), "row_sums shape mismatch");
+        let data = &self.data;
+        let cols = self.cols;
+        let body = |(r, o): (usize, &mut f32)| {
+            *o = data[r * cols..(r + 1) * cols].iter().sum();
+        };
+        if self.rows * cols >= par_threshold() {
+            out.data.par_iter_mut().enumerate().for_each(body);
+        } else {
+            out.data.iter_mut().enumerate().for_each(body);
+        }
     }
 
     /// Sum of all elements.

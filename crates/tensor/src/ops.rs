@@ -12,9 +12,16 @@
 //! or accumulating a gradient never clones an operand and (once the pool is
 //! warm) never allocates.
 
-use crate::matrix::Matrix;
+use crate::matrix::{par_threshold, Matrix};
+use crate::plan::{EdgePlan, EdgePlans};
 use crate::pool::BufferPool;
+use rayon::prelude::*;
 use std::sync::Arc;
+
+/// Fixed chunk width for parallel loss reductions. Chunk partials are
+/// combined in chunk order on one thread, so the result depends only on
+/// the chunk width — never on how many threads happened to run.
+const REDUCE_CHUNK: usize = 8192;
 
 /// Operation recorded on a tape node.
 #[derive(Clone)]
@@ -63,13 +70,30 @@ pub enum Op {
     Sigmoid { a: usize },
     /// Hyperbolic tangent.
     Tanh { a: usize },
-    /// `C[i, :] = A[idx[i], :]`.
-    Gather { a: usize, idx: Arc<Vec<u32>> },
-    /// `C[idx[i], :] += A[i, :]` into `out_rows` rows.
+    /// `C[i, :] = A[idx[i], :]`. When a precomputed [`EdgePlan`] for
+    /// `idx` is supplied, the backward scatter runs the deterministic
+    /// parallel segment-reduce instead of the serial kernel.
+    Gather {
+        a: usize,
+        idx: Arc<Vec<u32>>,
+        plan: Option<Arc<EdgePlan>>,
+    },
+    /// `C[idx[i], :] += A[i, :]` into `out_rows` rows. With a plan, the
+    /// forward runs the deterministic parallel segment-reduce.
     ScatterAdd {
         a: usize,
         idx: Arc<Vec<u32>>,
+        plan: Option<Arc<EdgePlan>>,
         out_rows: usize,
+    },
+    /// Fused message-input assembly: `C = [Y  X[src]  X[dst]]` built in
+    /// one pass, with no materialized `X[src]`/`X[dst]` intermediates.
+    /// The backward scatters the three column slices back through the
+    /// bundled plans.
+    GatherConcat {
+        y: usize,
+        x: usize,
+        plans: Arc<EdgePlans>,
     },
     /// Row sums: `rows x cols -> rows x 1`.
     RowSum { a: usize },
@@ -122,6 +146,7 @@ impl Op {
             | Op::MeanAll { a }
             | Op::MulMask { a, .. } => vec![*a],
             Op::ConcatCols { parts, .. } => parts.clone(),
+            Op::GatherConcat { y, x, .. } => vec![*y, *x],
             Op::BceWithLogits { logits, .. } => vec![*logits],
             Op::Mse { pred, .. } => vec![*pred],
             Op::LayerNorm { a, gamma, beta, .. } => vec![*a, *gamma, *beta],
@@ -247,24 +272,61 @@ pub fn forward(op: &Op, values: &[Matrix], pool: &mut BufferPool) -> Matrix {
             out.apply(f32::tanh);
             out
         }
-        Op::Gather { a, idx } => {
+        Op::Gather { a, idx, .. } => {
             let a = &values[*a];
             let mut out = pool.zeros(idx.len(), a.cols());
             a.gather_rows_into(idx, &mut out);
             out
         }
-        Op::ScatterAdd { a, idx, out_rows } => {
+        Op::ScatterAdd {
+            a,
+            idx,
+            plan,
+            out_rows,
+        } => {
             let a = &values[*a];
             let mut out = pool.zeros(*out_rows, a.cols());
-            a.scatter_rows_acc(idx, &mut out);
+            match plan {
+                Some(p) => a.scatter_rows_planned_acc(p, &mut out),
+                None => a.scatter_rows_acc(idx, &mut out),
+            }
+            out
+        }
+        Op::GatherConcat { y, x, plans } => {
+            let (yv, xv) = (&values[*y], &values[*x]);
+            let m = plans.num_edges();
+            assert_eq!(yv.rows(), m, "gather_concat edge count mismatch");
+            assert_eq!(
+                xv.rows(),
+                plans.nodes(),
+                "gather_concat node count mismatch"
+            );
+            let (wy, wx) = (yv.cols(), xv.cols());
+            let cols = wy + 2 * wx;
+            let mut out = pool.zeros(m, cols);
+            if cols == 0 {
+                return out;
+            }
+            let (src, dst) = (&plans.src, &plans.dst);
+            let body = |(e, row): (usize, &mut [f32])| {
+                row[..wy].copy_from_slice(yv.row(e));
+                row[wy..wy + wx].copy_from_slice(xv.row(src[e] as usize));
+                row[wy + wx..].copy_from_slice(xv.row(dst[e] as usize));
+            };
+            if m * cols >= par_threshold() {
+                out.data_mut()
+                    .par_chunks_mut(cols)
+                    .enumerate()
+                    .for_each(body);
+            } else {
+                out.data_mut().chunks_mut(cols).enumerate().for_each(body);
+            }
             out
         }
         Op::RowSum { a } => {
             let a = &values[*a];
             let mut out = pool.zeros(a.rows(), 1);
-            for r in 0..a.rows() {
-                out.data_mut()[r] = a.row(r).iter().sum();
-            }
+            a.row_sums_into(&mut out);
             out
         }
         Op::SumAll { a } => scalar_from(pool, values[*a].sum()),
@@ -276,14 +338,37 @@ pub fn forward(op: &Op, values: &[Matrix], pool: &mut BufferPool) -> Matrix {
         } => {
             let x = &values[*logits];
             assert_eq!(x.len(), targets.len(), "bce target length mismatch");
-            let mut acc = 0.0f64;
-            for (&xi, &ti) in x.data().iter().zip(targets.iter()) {
-                // Stable: max(x,0) - x*t + ln(1 + e^{-|x|}), positive term
-                // weighted by pos_weight.
-                let w = if ti > 0.5 { *pos_weight } else { 1.0 };
-                let loss = xi.max(0.0) - xi * ti + (1.0 + (-xi.abs()).exp()).ln();
-                acc += (w * loss) as f64;
-            }
+            // Stable: max(x,0) - x*t + ln(1 + e^{-|x|}), positive term
+            // weighted by pos_weight.
+            let pw = *pos_weight;
+            let chunk_sum = |xs: &[f32], ts: &[f32]| -> f64 {
+                let mut acc = 0.0f64;
+                for (&xi, &ti) in xs.iter().zip(ts) {
+                    let w = if ti > 0.5 { pw } else { 1.0 };
+                    let loss = xi.max(0.0) - xi * ti + (1.0 + (-xi.abs()).exp()).ln();
+                    acc += (w * loss) as f64;
+                }
+                acc
+            };
+            let acc: f64 = if x.len() > REDUCE_CHUNK && x.len() >= par_threshold() {
+                // Fixed-width chunks with partials combined in chunk
+                // order: the grouping (and thus the f64 sum) depends only
+                // on REDUCE_CHUNK, never on the thread count.
+                let xd = x.data();
+                let n_chunks = x.len().div_ceil(REDUCE_CHUNK);
+                (0..n_chunks)
+                    .into_par_iter()
+                    .map(|c| {
+                        let lo = c * REDUCE_CHUNK;
+                        let hi = (lo + REDUCE_CHUNK).min(xd.len());
+                        chunk_sum(&xd[lo..hi], &targets[lo..hi])
+                    })
+                    .collect::<Vec<f64>>()
+                    .into_iter()
+                    .sum()
+            } else {
+                chunk_sum(x.data(), targets)
+            };
             scalar_from(pool, (acc / x.len().max(1) as f64) as f32)
         }
         Op::Mse { pred, target } => {
@@ -475,12 +560,19 @@ pub fn backward_into(
             let rows = grad_out.rows();
             let mut off = 0;
             for (&p, &w) in parts.iter().zip(widths) {
+                if w == 0 {
+                    continue;
+                }
                 if let Some(gp) = store.acc(p, rows, w) {
-                    for r in 0..rows {
-                        let src = &grad_out.row(r)[off..off + w];
-                        for (g, &s) in gp.row_mut(r).iter_mut().zip(src) {
+                    let body = |(r, grow): (usize, &mut [f32])| {
+                        for (g, &s) in grow.iter_mut().zip(&grad_out.row(r)[off..off + w]) {
                             *g += s;
                         }
+                    };
+                    if rows * w >= par_threshold() {
+                        gp.data_mut().par_chunks_mut(w).enumerate().for_each(body);
+                    } else {
+                        gp.data_mut().chunks_mut(w).enumerate().for_each(body);
                     }
                 }
                 off += w;
@@ -488,12 +580,24 @@ pub fn backward_into(
         }
         Op::SliceCols { a, start, width } => {
             let av = &values[*a];
-            if let Some(ga) = store.acc(*a, av.rows(), av.cols()) {
-                for r in 0..grad_out.rows() {
-                    let dst = &mut ga.row_mut(r)[*start..*start + *width];
-                    for (g, &s) in dst.iter_mut().zip(grad_out.row(r)) {
+            let (rows, cols) = (av.rows(), av.cols());
+            if cols == 0 {
+                return;
+            }
+            if let Some(ga) = store.acc(*a, rows, cols) {
+                let (start, width) = (*start, *width);
+                let body = |(r, grow): (usize, &mut [f32])| {
+                    for (g, &s) in grow[start..start + width].iter_mut().zip(grad_out.row(r)) {
                         *g += s;
                     }
+                };
+                if rows * width >= par_threshold() {
+                    ga.data_mut()
+                        .par_chunks_mut(cols)
+                        .enumerate()
+                        .for_each(body);
+                } else {
+                    ga.data_mut().chunks_mut(cols).enumerate().for_each(body);
                 }
             }
         }
@@ -572,10 +676,13 @@ pub fn backward_into(
                 }
             }
         }
-        Op::Gather { a, idx } => {
+        Op::Gather { a, idx, plan } => {
             let av = &values[*a];
             if let Some(ga) = store.acc(*a, av.rows(), av.cols()) {
-                grad_out.scatter_rows_acc(idx, ga);
+                match plan {
+                    Some(p) => grad_out.scatter_rows_planned_acc(p, ga),
+                    None => grad_out.scatter_rows_acc(idx, ga),
+                }
             }
         }
         Op::ScatterAdd { a, idx, .. } => {
@@ -584,14 +691,76 @@ pub fn backward_into(
                 grad_out.gather_rows_acc(idx, ga);
             }
         }
+        Op::GatherConcat { y, x, plans } => {
+            let (yv, xv) = (&values[*y], &values[*x]);
+            let (wy, wx) = (yv.cols(), xv.cols());
+            let m = plans.num_edges();
+            if wy > 0 {
+                if let Some(gy) = store.acc(*y, m, wy) {
+                    let body = |(e, grow): (usize, &mut [f32])| {
+                        for (g, &s) in grow.iter_mut().zip(&grad_out.row(e)[..wy]) {
+                            *g += s;
+                        }
+                    };
+                    if m * wy >= par_threshold() {
+                        gy.data_mut().par_chunks_mut(wy).enumerate().for_each(body);
+                    } else {
+                        gy.data_mut().chunks_mut(wy).enumerate().for_each(body);
+                    }
+                }
+            }
+            if wx > 0 {
+                if let Some(gx) = store.acc(*x, plans.nodes(), wx) {
+                    // Per output node: dst-slice contributions first, then
+                    // src-slice, each in ascending edge order — the exact
+                    // accumulation order of the unfused path, where the
+                    // `X[dst]` gather sits later on the tape than `X[src]`
+                    // and is therefore differentiated first. Parallel over
+                    // nodes: one writer per row, no atomics, bit-identical
+                    // at any thread count.
+                    let (src_plan, dst_plan) = (&plans.src_plan, &plans.dst_plan);
+                    let body = |(r, grow): (usize, &mut [f32])| {
+                        for &e in dst_plan.incident(r) {
+                            let go = &grad_out.row(e as usize)[wy + wx..wy + 2 * wx];
+                            for (g, &s) in grow.iter_mut().zip(go) {
+                                *g += s;
+                            }
+                        }
+                        for &e in src_plan.incident(r) {
+                            let go = &grad_out.row(e as usize)[wy..wy + wx];
+                            for (g, &s) in grow.iter_mut().zip(go) {
+                                *g += s;
+                            }
+                        }
+                    };
+                    if m * wx >= par_threshold() {
+                        gx.data_mut().par_chunks_mut(wx).enumerate().for_each(body);
+                    } else {
+                        gx.data_mut().chunks_mut(wx).enumerate().for_each(body);
+                    }
+                }
+            }
+        }
         Op::RowSum { a } => {
             let av = &values[*a];
-            if let Some(ga) = store.acc(*a, av.rows(), av.cols()) {
-                for r in 0..av.rows() {
+            let (rows, cols) = (av.rows(), av.cols());
+            if cols == 0 {
+                return;
+            }
+            if let Some(ga) = store.acc(*a, rows, cols) {
+                let body = |(r, grow): (usize, &mut [f32])| {
                     let go = grad_out.get(r, 0);
-                    for g in ga.row_mut(r) {
+                    for g in grow {
                         *g += go;
                     }
+                };
+                if rows * cols >= par_threshold() {
+                    ga.data_mut()
+                        .par_chunks_mut(cols)
+                        .enumerate()
+                        .for_each(body);
+                } else {
+                    ga.data_mut().chunks_mut(cols).enumerate().for_each(body);
                 }
             }
         }
@@ -621,9 +790,27 @@ pub fn backward_into(
             let x = &values[*logits];
             let go = grad_out.as_scalar() / x.len().max(1) as f32;
             if let Some(ga) = store.acc(*logits, x.rows(), x.cols()) {
-                for ((g, &xi), &ti) in ga.data_mut().iter_mut().zip(x.data()).zip(targets.iter()) {
-                    let w = if ti > 0.5 { *pos_weight } else { 1.0 };
-                    *g += go * w * (sigmoid(xi) - ti);
+                let pw = *pos_weight;
+                let xd = x.data();
+                // Elementwise — each slot has exactly one writer, so the
+                // parallel split cannot change any result bit.
+                let body = |(c, gs): (usize, &mut [f32])| {
+                    let lo = c * REDUCE_CHUNK;
+                    for ((g, &xi), &ti) in gs.iter_mut().zip(&xd[lo..]).zip(&targets[lo..]) {
+                        let w = if ti > 0.5 { pw } else { 1.0 };
+                        *g += go * w * (sigmoid(xi) - ti);
+                    }
+                };
+                if x.len() >= par_threshold() {
+                    ga.data_mut()
+                        .par_chunks_mut(REDUCE_CHUNK)
+                        .enumerate()
+                        .for_each(body);
+                } else {
+                    ga.data_mut()
+                        .chunks_mut(REDUCE_CHUNK)
+                        .enumerate()
+                        .for_each(body);
                 }
             }
         }

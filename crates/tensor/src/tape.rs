@@ -23,6 +23,7 @@
 
 use crate::matrix::Matrix;
 use crate::ops::{self, GradStore, Op};
+use crate::plan::{EdgePlan, EdgePlans};
 use crate::pool::BufferPool;
 use std::sync::Arc;
 
@@ -208,7 +209,22 @@ impl Tape {
 
     /// `out[i, :] = a[idx[i], :]`.
     pub fn gather(&mut self, a: Var, idx: Arc<Vec<u32>>) -> Var {
-        self.eval(Op::Gather { a: a.0, idx })
+        self.eval(Op::Gather {
+            a: a.0,
+            idx,
+            plan: None,
+        })
+    }
+
+    /// [`Tape::gather`] with a precomputed plan for `idx`: the backward
+    /// scatter runs the deterministic parallel segment-reduce.
+    pub fn gather_planned(&mut self, a: Var, idx: Arc<Vec<u32>>, plan: Arc<EdgePlan>) -> Var {
+        debug_assert_eq!(plan.num_edges(), idx.len(), "plan/idx length mismatch");
+        self.eval(Op::Gather {
+            a: a.0,
+            idx,
+            plan: Some(plan),
+        })
     }
 
     /// `out[idx[i], :] += a[i, :]` into a fresh `out_rows x cols` matrix.
@@ -216,7 +232,32 @@ impl Tape {
         self.eval(Op::ScatterAdd {
             a: a.0,
             idx,
+            plan: None,
             out_rows,
+        })
+    }
+
+    /// [`Tape::scatter_add`] with a precomputed plan for `idx`: the
+    /// forward reduction runs the deterministic parallel segment-reduce.
+    /// The output row count is the plan's node count.
+    pub fn scatter_add_planned(&mut self, a: Var, idx: Arc<Vec<u32>>, plan: Arc<EdgePlan>) -> Var {
+        debug_assert_eq!(plan.num_edges(), idx.len(), "plan/idx length mismatch");
+        let out_rows = plan.nodes();
+        self.eval(Op::ScatterAdd {
+            a: a.0,
+            idx,
+            plan: Some(plan),
+            out_rows,
+        })
+    }
+
+    /// Fused `[y  x[src]  x[dst]]` message-input assembly — one node and
+    /// one buffer instead of two gathers plus a three-way concat.
+    pub fn gather_concat(&mut self, y: Var, x: Var, plans: Arc<EdgePlans>) -> Var {
+        self.eval(Op::GatherConcat {
+            y: y.0,
+            x: x.0,
+            plans,
         })
     }
 

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use std::sync::Arc;
-use trkx_tensor::{gradcheck, Matrix, Tape};
+use trkx_tensor::{gradcheck, EdgePlan, EdgePlans, Matrix, Tape};
 
 fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(-2.0f32..2.0, rows * cols)
@@ -95,6 +95,41 @@ proptest! {
         let grad = t.grad(wv).unwrap();
         let expect = x.col_sums().transpose();
         prop_assert!(grad.approx_eq(&expect, 1e-4));
+    }
+
+    #[test]
+    fn planned_scatter_matches_serial(nodes in 1usize..12,
+                                      cols in 1usize..6,
+                                      idx_seed in 0u64..1000,
+                                      edges in 0usize..40) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(idx_seed);
+        let idx: Vec<u32> = (0..edges).map(|_| rng.gen_range(0..nodes as u32)).collect();
+        let a = Matrix::randn(edges, cols, 1.0, &mut rng);
+        let serial = a.scatter_add_rows(&idx, nodes);
+        let plan = EdgePlan::new(&idx, nodes);
+        let mut planned = Matrix::zeros(nodes, cols);
+        a.scatter_rows_planned_acc(&plan, &mut planned);
+        prop_assert_eq!(serial.data(), planned.data());
+    }
+
+    #[test]
+    fn gradcheck_gather_concat(seed in 0u64..200) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nodes = rng.gen_range(2usize..6);
+        let edges = rng.gen_range(1usize..10);
+        let src: Vec<u32> = (0..edges).map(|_| rng.gen_range(0..nodes as u32)).collect();
+        let dst: Vec<u32> = (0..edges).map(|_| rng.gen_range(0..nodes as u32)).collect();
+        let plans = Arc::new(EdgePlans::new(Arc::new(src), Arc::new(dst), nodes));
+        let x = Matrix::randn(nodes, 3, 0.5, &mut rng);
+        let y = Matrix::randn(edges, 2, 0.5, &mut rng);
+        let report = gradcheck(&[y, x], 1e-2, move |t, v| {
+            let cat = t.gather_concat(v[0], v[1], plans.clone());
+            let h = t.tanh(cat);
+            t.mean_all(h)
+        });
+        prop_assert!(report.passes(3e-2), "{:?}", report);
     }
 
     #[test]

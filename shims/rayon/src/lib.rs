@@ -30,8 +30,22 @@ impl<T> Copy for SendPtr<T> {}
 unsafe impl<T: Send> Send for SendPtr<T> {}
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
+/// True when `block_ranges(len, min_block)` would produce a single block:
+/// the caller can run inline without allocating the range list.
+fn single_block(len: usize, min_block: usize) -> bool {
+    pool::num_threads() == 1 || len / min_block.max(1) <= 1
+}
+
 /// Run `f` over each index block of `0..len` in parallel.
 fn for_each_block(len: usize, min_block: usize, f: impl Fn(std::ops::Range<usize>) + Sync) {
+    if len == 0 {
+        return;
+    }
+    if single_block(len, min_block) {
+        // Zero-allocation fast path: no range Vec, no queue round-trip.
+        // Keeps steady-state kernel calls off the allocator on one thread.
+        return f(0..len);
+    }
     let ranges = pool::block_ranges(len, min_block);
     pool::join_n(ranges.len(), &|b| f(ranges[b].clone()));
 }
@@ -208,9 +222,16 @@ impl<'a, T: Send> ParChunksMutEnum<'a, T> {
         let len = self.data.len();
         let n_chunks = len.div_ceil(self.size);
         let size = self.size;
-        let base = SendPtr(self.data.as_mut_ptr());
         // One pool block per group of chunks, ≥1 chunk each.
         let chunks_per_block = (MIN_BLOCK / size.max(1)).max(1);
+        if single_block(n_chunks, chunks_per_block) {
+            // Zero-allocation fast path (see `for_each_block`).
+            for (c, chunk) in self.data.chunks_mut(size).enumerate() {
+                f((c, chunk));
+            }
+            return;
+        }
+        let base = SendPtr(self.data.as_mut_ptr());
         let ranges = pool::block_ranges(n_chunks, chunks_per_block);
         pool::join_n(ranges.len(), &|b| {
             let base = base;
