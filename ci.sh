@@ -13,19 +13,34 @@ cargo test -q --workspace --release
 
 # Allocation gate: the pooled-tape train step must stay at or below the
 # recorded budget (BENCH_trainstep.json baseline is 70 allocs/step with
-# the fused message-passing path and the shim pool's single-block
-# fast path).
+# the fused message-passing path, the blocked GEMM's pooled packing
+# scratch, and the shim pool's POD unit queue).
 cargo run -q --release -p trkx-bench --bin trainstep -- \
-    --steps 5 --out /tmp/BENCH_trainstep_smoke.json --max-allocs 80
+    --steps 5 --out /tmp/BENCH_trainstep_smoke.json --max-allocs 72
 
-# Message-passing kernel smoke: per-kernel fused-vs-unfused timings plus
-# the structural gate that fusion strictly shrinks the live tape. The
-# determinism suite re-runs under two pool sizes with the size gate off,
-# pinning the parallel kernels to their serial references bit for bit.
-cargo run -q --release -p trkx-bench --bin mp -- \
-    --edges 2048 --layers 2 --reps 2 --threads 1,2 --out /tmp/BENCH_mp_smoke.json
+# Matmul scaling smoke: sweep pool sizes 1/2/4 with the parallel GEMM
+# path forced on for every shape. Gates (a) the structural
+# fused-shrinks-the-tape invariant at each pool size and (b) allocation
+# flatness — per-thread pooled scratch means the fused step's alloc
+# count must not vary with the pool size (±5 tolerates one-off pool
+# warmup effects).
+TRKX_PAR_MATMUL_THRESHOLD=1 cargo run -q --release -p trkx-bench --bin mp -- \
+    --edges 2048 --layers 2 --reps 2 --threads 1,2,4 \
+    --max-alloc-spread 5 --out /tmp/BENCH_mp_smoke.json
+
+# Determinism suites at two pool sizes with every size gate forced off:
+# the parallel kernels (message passing AND the blocked GEMM panels) are
+# pinned to serial references bit for bit, so passing at both sizes
+# proves thread-count invariance.
 RAYON_NUM_THREADS=1 cargo test -q --release -p trkx-tensor --test determinism
 RAYON_NUM_THREADS=4 cargo test -q --release -p trkx-tensor --test determinism
+RAYON_NUM_THREADS=1 cargo test -q --release -p trkx-tensor --test matmul_blocked
+RAYON_NUM_THREADS=4 cargo test -q --release -p trkx-tensor --test matmul_blocked
+
+# Zero-alloc steady state for the pool executor and the GEMM kernels at
+# a multi-thread pool size.
+RAYON_NUM_THREADS=4 cargo test -q --release -p trkx-tensor --test alloc_probe
+(cd shims/rayon && RAYON_NUM_THREADS=4 cargo test -q --release --test alloc_probe)
 
 # Prefetch gate: on a tiny Ex3-like workload the overlapped (prefetching)
 # virtual-clock schedule must never cost more than the serial one.

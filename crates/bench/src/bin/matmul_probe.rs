@@ -1,0 +1,67 @@
+//! Quick GFLOP/s probe for the matmul kernels at the IGNN hot shapes.
+
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Instant;
+use trkx_tensor::Matrix;
+
+fn time_gflops(reps: usize, flops: f64, mut f: impl FnMut()) -> (f64, f64) {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best * 1e3, flops / best / 1e9)
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for (m, k, n) in [
+        (4096usize, 192usize, 64usize),
+        (4096, 64, 64),
+        (4096, 66, 32),
+        (1024, 160, 64),
+        (4096, 64, 1),
+    ] {
+        let a = Matrix::randn(m, k, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 1.0, &mut rng);
+        let bt = b.transpose();
+        let at = a.transpose();
+        let flops = 2.0 * m as f64 * k as f64 * n as f64;
+        let (ms, gf) = time_gflops(5, flops, || {
+            std::hint::black_box(a.matmul(&b));
+        });
+        let (ms_tn, gf_tn) = time_gflops(5, flops, || {
+            std::hint::black_box(at.matmul_tn(&b));
+        });
+        let (ms_nt, gf_nt) = time_gflops(5, flops, || {
+            std::hint::black_box(a.matmul_nt(&bt));
+        });
+        println!(
+            "{m}x{k}x{n}: nn {ms:.3} ms ({gf:.2} GF/s)  tn {ms_tn:.3} ms ({gf_tn:.2} GF/s)  nt {ms_nt:.3} ms ({gf_nt:.2} GF/s)"
+        );
+    }
+    // Backward shapes: weight grad (TN, m = fan-in, k = edges) and input
+    // grad (NT, k = fan-out).
+    for (edges, fin, fout) in [
+        (4096usize, 66usize, 32usize),
+        (4096, 96, 32),
+        (4096, 32, 32),
+        (4096, 64, 1),
+    ] {
+        let av = Matrix::randn(edges, fin, 1.0, &mut rng);
+        let g = Matrix::randn(edges, fout, 1.0, &mut rng);
+        let w = Matrix::randn(fin, fout, 1.0, &mut rng);
+        let flops = 2.0 * edges as f64 * fin as f64 * fout as f64;
+        let (ms_tn, gf_tn) = time_gflops(5, flops, || {
+            std::hint::black_box(av.matmul_tn(&g));
+        });
+        let (ms_nt, gf_nt) = time_gflops(5, flops, || {
+            std::hint::black_box(g.matmul_nt(&w));
+        });
+        println!(
+            "bwd e={edges} {fin}->{fout}: wgrad-tn {ms_tn:.3} ms ({gf_tn:.2} GF/s)  xgrad-nt {ms_nt:.3} ms ({gf_nt:.2} GF/s)"
+        );
+    }
+}

@@ -192,16 +192,12 @@ fn main() {
     }
 
     let out: String = arg_value(&args, "--out", "BENCH_mp.json".to_string());
-    let nproc = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let threads_arg: String = arg_value(&args, "--threads", {
-        if nproc > 1 {
-            format!("1,{nproc}")
-        } else {
-            "1".to_string()
-        }
-    });
+    // Children pin their pool size via RAYON_NUM_THREADS, so the sweep
+    // covers oversubscribed pools too — scaling numbers on a smaller
+    // machine then mostly measure scheduling overhead, but the record
+    // keeps the same shape everywhere.
+    let threads_arg: String = arg_value(&args, "--threads", "1,2,4,8".to_string());
+    let max_alloc_spread: f64 = arg_value(&args, "--max-alloc-spread", f64::INFINITY);
     let thread_counts: Vec<usize> = threads_arg
         .split(',')
         .filter_map(|t| t.trim().parse().ok())
@@ -240,9 +236,33 @@ fn main() {
         );
         let stdout = String::from_utf8_lossy(&output.stdout);
         let record = serde_json::parse_value(stdout.trim()).expect("parse child record");
-        let ms = |key: &str| record.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        runs.push(record);
+    }
+
+    // Thread-scaling factor relative to the single-thread fused run,
+    // computed here in the parent (children only know their own pool
+    // size). >1 means the pool is helping at that size.
+    let fused_ms = |run: &serde_json::Value| run.get("model_fb_fused_ms").and_then(|v| v.as_f64());
+    let t1_fused = runs
+        .iter()
+        .find(|r| r.get("threads").and_then(|v| v.as_u64()) == Some(1))
+        .and_then(&fused_ms);
+    for run in &mut runs {
+        let scaling = match (t1_fused, fused_ms(run)) {
+            (Some(t1), Some(tn)) if tn > 0.0 => t1 / tn,
+            _ => 0.0,
+        };
+        if let serde_json::Value::Map(fields) = run {
+            fields.push((
+                "model_fb_scaling_x".to_string(),
+                serde_json::Value::F64(scaling),
+            ));
+        }
+        let ms = |key: &str| run.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let n = run.get("threads").and_then(|v| v.as_u64()).unwrap_or(0);
         println!(
-            "mp threads={n}: scatter {:.3}→{:.3} ms, assembly {:.3}→{:.3} ms, model f+b {:.1}→{:.1} ms",
+            "mp threads={n}: scatter {:.3}→{:.3} ms, assembly {:.3}→{:.3} ms, \
+             model f+b {:.1}→{:.1} ms ({scaling:.2}x vs 1 thread)",
             ms("scatter_serial_ms"),
             ms("scatter_planned_ms"),
             ms("msg_assembly_unfused_ms"),
@@ -250,9 +270,14 @@ fn main() {
             ms("model_fb_unfused_ms"),
             ms("model_fb_fused_ms"),
         );
-        runs.push(record);
     }
 
+    // Physical core count caps the scaling any pool size can show; record
+    // it so readings from core-starved hosts aren't mistaken for kernel
+    // regressions.
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let report = serde_json::json!({
         "bench": "message_passing",
         "nodes": sizes.nodes,
@@ -260,6 +285,7 @@ fn main() {
         "hidden": sizes.hidden,
         "layers": sizes.layers,
         "reps": sizes.reps,
+        "host_cores": host_cores,
         "runs": runs,
     });
     std::fs::write(&out, format!("{report}\n")).expect("write bench report");
@@ -272,6 +298,26 @@ fn main() {
         let unfused = floats("activation_floats_unfused").unwrap_or(0);
         if fused >= unfused {
             eprintln!("FAIL: fused tape holds {fused} activation floats, unfused {unfused}");
+            std::process::exit(1);
+        }
+    }
+
+    // Alloc-flatness gate: per-thread pooled scratch means the fused
+    // step's allocation count must not grow with the pool size.
+    let fused_allocs: Vec<u64> = report
+        .get("runs")
+        .and_then(|r| r.as_seq())
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|run| run.get("allocs_fused_per_step").and_then(|v| v.as_u64()))
+        .collect();
+    if let (Some(&lo), Some(&hi)) = (fused_allocs.iter().min(), fused_allocs.iter().max()) {
+        let spread = hi - lo;
+        if spread as f64 > max_alloc_spread {
+            eprintln!(
+                "FAIL: fused allocs/step spread {spread} across pool sizes \
+                 ({fused_allocs:?}) exceeds --max-alloc-spread {max_alloc_spread}"
+            );
             std::process::exit(1);
         }
     }

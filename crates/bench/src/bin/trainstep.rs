@@ -26,10 +26,30 @@ struct CountingAlloc;
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
 
+static TRACE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+static TRACE_LEFT: AtomicU64 = AtomicU64::new(0);
+std::thread_local! {
+    static IN_TRACE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        if TRACE.load(Ordering::Relaxed)
+            && !IN_TRACE.with(|c| c.get())
+            && TRACE_LEFT
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_ok()
+        {
+            IN_TRACE.with(|c| c.set(true));
+            eprintln!(
+                "--- alloc {} bytes ---\n{}",
+                layout.size(),
+                std::backtrace::Backtrace::force_capture()
+            );
+            IN_TRACE.with(|c| c.set(false));
+        }
         unsafe { System.alloc(layout) }
     }
 
@@ -69,6 +89,10 @@ fn main() {
         run_step(&mut model, &g, &mut scratch);
     }
 
+    if std::env::var("TRKX_TRACE_ALLOCS").is_ok() {
+        TRACE_LEFT.store(600, Ordering::Relaxed);
+        TRACE.store(true, Ordering::Relaxed);
+    }
     let allocs0 = ALLOCS.load(Ordering::Relaxed);
     let bytes0 = ALLOC_BYTES.load(Ordering::Relaxed);
     let t0 = Instant::now();

@@ -3,10 +3,11 @@
 //! This is the storage type behind the autograd tape ([`crate::Tape`]) and
 //! everything the Interaction GNN computes on. Kernels switch to parallel
 //! execution above a size threshold so that small per-subgraph matrices do
-//! not pay thread-pool overhead; the matmul family is register-tiled with
-//! fixed-width column accumulators so the autovectorizer can keep partial
-//! sums in SIMD registers (strict-FP ordering otherwise forces a serial
-//! scalar add chain).
+//! not pay thread-pool overhead; the matmul family is a packed, blocked
+//! GEMM with MR×NR register-tile micro-kernels (see the *Blocked GEMM*
+//! section below) whose per-element summation order is fixed regardless
+//! of blocking or thread count, because the golden-curve and
+//! fused/unfused-parity tests pin results bit-for-bit.
 //!
 //! Every dense kernel has an accumulate-into (`*_acc`) variant writing
 //! `out += result` into a caller-provided buffer — the autograd backward
@@ -16,6 +17,7 @@
 use crate::plan::EdgePlan;
 use rand::Rng;
 use rayon::prelude::*;
+use std::cell::RefCell;
 use std::sync::OnceLock;
 
 /// Default element count above which elementwise kernels use Rayon.
@@ -43,83 +45,258 @@ pub fn par_matmul_threshold() -> usize {
     })
 }
 
-/// Column-tile width of the matmul micro-kernels: 16 f32 lanes, so the
-/// per-tile accumulator array fits in four SSE (two AVX) registers and
-/// survives the whole reduction loop without touching memory.
+// ---------------------------------------------------------------------
+// Blocked GEMM.
+//
+// `matmul` and `matmul_tn` funnel into one packed, cache-blocked core:
+// B is packed once per call into NR-wide column panels, then row blocks
+// of A (MC rows, full reduction depth) are packed into per-thread
+// scratch and swept with an MR×NR register-tile micro-kernel. The
+// parallel split is over row blocks of the output's m axis — every
+// output element is produced by exactly one block with a single
+// sequential accumulator over the reduction index, so results are
+// bit-identical at any thread count or block size. `matmul_nt` keeps
+// its own layout (both operands are already k-contiguous) but shares
+// the same ordering contract via the `dot8` lane structure.
+
+/// Micro-kernel tile width: each packed-B panel is NR columns, and the
+/// accumulator tile holds NR partial sums per row — one 512-bit, two
+/// 256-bit, or four 128-bit SIMD registers per row depending on
+/// `target-cpu`, resident for the whole reduction loop.
 const NR: usize = 16;
 
-/// `out_row += a_row * B` for one output row, accumulating NR-wide column
-/// tiles in registers. `b` is `k x n` row-major with `k == a_row.len()`.
-#[inline]
-fn matmul_row_kernel(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
-    let mut j0 = 0;
-    while j0 < n {
-        let w = (n - j0).min(NR);
-        let mut acc = [0.0f32; NR];
-        if w == NR {
-            for (i, &a_ik) in a_row.iter().enumerate() {
-                let bt = &b[i * n + j0..i * n + j0 + NR];
-                for t in 0..NR {
-                    acc[t] += a_ik * bt[t];
-                }
-            }
-        } else {
-            for (i, &a_ik) in a_row.iter().enumerate() {
-                let bt = &b[i * n + j0..i * n + j0 + w];
-                for (a, &bv) in acc[..w].iter_mut().zip(bt) {
-                    *a += a_ik * bv;
-                }
-            }
-        }
-        for (o, &a) in out_row[j0..j0 + w].iter_mut().zip(&acc) {
-            *o += a;
-        }
-        j0 += NR;
+/// Micro-kernel tile height: rows of packed A per tile. All MR rows
+/// share each NR-wide panel load, so the kernel performs MR×NR useful
+/// multiply-adds per B load instead of 1×NR.
+const MR: usize = 8;
+
+/// Default row-block size: rows of A packed per scratch block. 128 rows
+/// at the model's reduction depths keeps a block's packed panel in L2
+/// while the B panels stay L1-resident (`TRKX_MATMUL_MC` overrides).
+const DEFAULT_MC: usize = 128;
+
+/// Configured row-block size, rounded up to a whole number of MR tiles
+/// (override: `TRKX_MATMUL_MC`).
+fn matmul_mc() -> usize {
+    static V: OnceLock<usize> = OnceLock::new();
+    *V.get_or_init(|| {
+        env_usize("TRKX_MATMUL_MC")
+            .unwrap_or(DEFAULT_MC)
+            .max(MR)
+            .next_multiple_of(MR)
+    })
+}
+
+/// Row-block size for an `m`-row product: the configured block size,
+/// shrunk when `m` is small so the pool still sees several blocks (the
+/// `matmul_tn` backward has m = hidden width, not edge count). Block
+/// geometry never affects results, only the parallel split.
+fn mc_for(m: usize) -> usize {
+    let target = m.div_ceil(4 * rayon::current_num_threads().max(1));
+    target.next_multiple_of(MR).clamp(MR, matmul_mc())
+}
+
+thread_local! {
+    /// Packed-B column panels for the current GEMM call (caller thread).
+    static PACK_B: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+    /// Packed-A row-block scratch (one per pool thread).
+    static PACK_A: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Borrow a thread-local scratch buffer for the duration of `f`.
+///
+/// Each slot is a small stack of buffers: `f` pops one (or starts fresh)
+/// and pushes it back after. Re-entrant use — a thread help-draining the
+/// pool runs another GEMM's block while its own call has a buffer checked
+/// out — simply pops a second buffer, so nesting depth d parks at most d
+/// buffers per thread and the steady-state training loop performs no
+/// scratch allocation at any thread count.
+fn with_scratch<R>(
+    cell: &'static std::thread::LocalKey<RefCell<Vec<Vec<f32>>>>,
+    f: impl FnOnce(&mut Vec<f32>) -> R,
+) -> R {
+    let mut buf = cell.with(|c| c.borrow_mut().pop().unwrap_or_default());
+    let r = f(&mut buf);
+    cell.with(|c| c.borrow_mut().push(buf));
+    r
+}
+
+/// Grow `buf` to at least `len` elements (never shrinks, keeps capacity).
+fn ensure_len(buf: &mut Vec<f32>, len: usize) {
+    if buf.len() < len {
+        buf.resize(len, 0.0);
     }
 }
 
-/// `out_row += (Aᵀ)[i] * B` for output row `i` of `Aᵀ B`: walks `a` down
-/// column `i` (stride `m`) while streaming B row tiles.
+/// Pack `b` (`k x n` row-major) into NR-wide column panels: panel `p`
+/// holds columns `p*NR..`, laid out reduction-major —
+/// `bp[p*k*NR + kk*NR + t] = b[kk, p*NR + t]` — zero-padded to NR on the
+/// ragged right edge so the micro-kernel never branches on width.
+fn pack_b(b: &[f32], k: usize, n: usize, bp: &mut Vec<f32>) {
+    let panels = n.div_ceil(NR);
+    ensure_len(bp, panels * k * NR);
+    for p in 0..panels {
+        let j0 = p * NR;
+        let w = (n - j0).min(NR);
+        let panel = &mut bp[p * k * NR..(p + 1) * k * NR];
+        for kk in 0..k {
+            let dst = &mut panel[kk * NR..(kk + 1) * NR];
+            dst[..w].copy_from_slice(&b[kk * n + j0..kk * n + j0 + w]);
+            dst[w..].fill(0.0);
+        }
+    }
+}
+
+/// Pack `rows` rows of `a` (`.. x k` row-major) starting at `r0` into
+/// MR-row tiles: `ap[t*k*MR + kk*MR + r] = a[r0 + t*MR + r, kk]`,
+/// zero-padded on the ragged bottom edge.
+fn pack_a_block(a: &[f32], k: usize, r0: usize, rows: usize, ap: &mut Vec<f32>) {
+    let tiles = rows.div_ceil(MR);
+    ensure_len(ap, tiles * k * MR);
+    for t in 0..tiles {
+        let tile = &mut ap[t * k * MR..(t + 1) * k * MR];
+        let tr = (rows - t * MR).min(MR);
+        if tr < MR {
+            tile.fill(0.0);
+        }
+        for r in 0..tr {
+            let row = &a[(r0 + t * MR + r) * k..(r0 + t * MR + r + 1) * k];
+            for (kk, &v) in row.iter().enumerate() {
+                tile[kk * MR + r] = v;
+            }
+        }
+    }
+}
+
+/// Pack columns `c0..c0+cols` of `a` (`k x m` row-major) into MR-row
+/// tiles of `aᵀ`: produces exactly the layout [`pack_a_block`] would on
+/// the materialised transpose — `ap[t*k*MR + kk*MR + r] = a[kk, c0 +
+/// t*MR + r]` — but reads each of `a`'s rows once, contiguously, instead
+/// of paying a strided transpose pass first.
+fn pack_a_block_tn(a: &[f32], k: usize, m: usize, c0: usize, cols: usize, ap: &mut Vec<f32>) {
+    let tiles = cols.div_ceil(MR);
+    ensure_len(ap, tiles * k * MR);
+    if !cols.is_multiple_of(MR) {
+        // Zero the ragged last tile's pad lanes once up front.
+        ap[(tiles - 1) * k * MR..tiles * k * MR].fill(0.0);
+    }
+    for kk in 0..k {
+        let src = &a[kk * m + c0..kk * m + c0 + cols];
+        for t in 0..tiles {
+            let w = (cols - t * MR).min(MR);
+            let dst = &mut ap[t * k * MR + kk * MR..t * k * MR + kk * MR + w];
+            dst.copy_from_slice(&src[t * MR..t * MR + w]);
+        }
+    }
+}
+
+/// Which operand layout a GEMM row block packs its A tiles from.
+#[derive(Clone, Copy)]
+enum ASource<'a> {
+    /// `a` is `m x k` row-major; blocks cover row ranges.
+    Rows(&'a [f32]),
+    /// `a` is `k x m` row-major (the TN operand); blocks cover column
+    /// ranges, packed transposed on the fly.
+    TnCols(&'a [f32], usize),
+}
+
+/// One MR×NR accumulator tile over the full reduction depth. Per output
+/// element this is a single sequential accumulator over `kk` ascending —
+/// the summation order every variant pins, independent of blocking.
 #[inline]
-fn matmul_tn_row_kernel(
-    a: &[f32],
-    i: usize,
+fn gemm_tile(ap: &[f32], bp: &[f32], k: usize) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (av, bv) in ap[..k * MR]
+        .chunks_exact(MR)
+        .zip(bp[..k * NR].chunks_exact(NR))
+    {
+        for r in 0..MR {
+            let a_rk = av[r];
+            let row = &mut acc[r];
+            for t in 0..NR {
+                row[t] += a_rk * bv[t];
+            }
+        }
+    }
+    acc
+}
+
+/// One packed row block of the GEMM: pack rows `r0..r0+rows` of `a` into
+/// this thread's scratch, then sweep packed-B panels × MR-row tiles.
+/// `OVERWRITE` selects `out = A·B` (skips the caller's zero pass) versus
+/// `out += A·B`; both add the identical accumulator to the same start
+/// value, so they are bit-compatible.
+fn gemm_block<const OVERWRITE: bool>(
+    a: ASource<'_>,
+    k: usize,
+    r0: usize,
+    rows: usize,
+    bp: &[f32],
+    n: usize,
+    out_block: &mut [f32],
+) {
+    with_scratch(&PACK_A, |apack| {
+        match a {
+            ASource::Rows(a) => pack_a_block(a, k, r0, rows, apack),
+            ASource::TnCols(a, m) => pack_a_block_tn(a, k, m, r0, rows, apack),
+        }
+        let tiles = rows.div_ceil(MR);
+        let panels = n.div_ceil(NR);
+        for p in 0..panels {
+            let j0 = p * NR;
+            let w = (n - j0).min(NR);
+            let bpanel = &bp[p * k * NR..(p + 1) * k * NR];
+            for t in 0..tiles {
+                let acc = gemm_tile(&apack[t * k * MR..(t + 1) * k * MR], bpanel, k);
+                let tr = (rows - t * MR).min(MR);
+                for (r, acc_row) in acc.iter().enumerate().take(tr) {
+                    let o0 = (t * MR + r) * n + j0;
+                    let dst = &mut out_block[o0..o0 + w];
+                    for (o, &v) in dst.iter_mut().zip(&acc_row[..w]) {
+                        if OVERWRITE {
+                            *o = v;
+                        } else {
+                            *o += v;
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Blocked-GEMM driver shared by `matmul` and `matmul_tn`:
+/// `out (+)= a · b` with `a` `m x k` row-major. Packs B once, then
+/// parallelises over MC-row blocks of the m axis.
+fn gemm_dispatch<const OVERWRITE: bool>(
+    a: ASource<'_>,
     m: usize,
-    k_rows: usize,
+    k: usize,
     b: &[f32],
     n: usize,
-    out_row: &mut [f32],
+    out: &mut [f32],
 ) {
-    let mut j0 = 0;
-    while j0 < n {
-        let w = (n - j0).min(NR);
-        let mut acc = [0.0f32; NR];
-        if w == NR {
-            for r in 0..k_rows {
-                let a_ri = a[r * m + i];
-                let bt = &b[r * n + j0..r * n + j0 + NR];
-                for t in 0..NR {
-                    acc[t] += a_ri * bt[t];
-                }
-            }
-        } else {
-            for r in 0..k_rows {
-                let a_ri = a[r * m + i];
-                let bt = &b[r * n + j0..r * n + j0 + w];
-                for (a, &bv) in acc[..w].iter_mut().zip(bt) {
-                    *a += a_ri * bv;
-                }
-            }
-        }
-        for (o, &a) in out_row[j0..j0 + w].iter_mut().zip(&acc) {
-            *o += a;
-        }
-        j0 += NR;
+    if m == 0 || n == 0 {
+        return;
     }
+    with_scratch(&PACK_B, |bp| {
+        pack_b(b, k, n, bp);
+        let bp = &bp[..n.div_ceil(NR) * k * NR];
+        let mc = mc_for(m);
+        let body = |(ci, chunk): (usize, &mut [f32])| {
+            gemm_block::<OVERWRITE>(a, k, ci * mc, chunk.len() / n, bp, n, chunk);
+        };
+        if m * n >= par_matmul_threshold() && m > 1 {
+            out.par_chunks_mut(mc * n).enumerate().for_each(body);
+        } else {
+            out.chunks_mut(mc * n).enumerate().for_each(body);
+        }
+    });
 }
 
 /// Eight-lane dot product: breaks the float add dependency chain so LLVM
 /// vectorizes the reduction (a plain `zip().sum()` must stay scalar).
+/// This lane structure is the pinned summation order of `matmul_nt`.
 #[inline]
 fn dot8(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
@@ -137,6 +314,39 @@ fn dot8(a: &[f32], b: &[f32]) -> f32 {
         tail += a[t] * b[t];
     }
     lanes.iter().sum::<f32>() + tail
+}
+
+/// Blocked transpose of `src` (`rows x cols`) into `dst` (`cols x rows`),
+/// overwriting. Parallel over blocks of output rows; tiled so the
+/// strided source reads stay cache-resident.
+fn transpose_buf(src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
+    // Tile edge: 32x32 f32 tiles = two 4 KiB pages of source touched
+    // per tile, well inside L1.
+    const TB: usize = 32;
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    debug_assert!(src.len() == rows * cols && dst.len() == rows * cols);
+    // Each chunk covers up to TB output rows (= TB source columns).
+    let body = |(chunk_idx, out_chunk): (usize, &mut [f32])| {
+        let c0 = chunk_idx * TB;
+        let cw = out_chunk.len() / rows;
+        for r0 in (0..rows).step_by(TB) {
+            let rw = (rows - r0).min(TB);
+            for dc in 0..cw {
+                let out_seg = &mut out_chunk[dc * rows + r0..dc * rows + r0 + rw];
+                let c = c0 + dc;
+                for (dr, o) in out_seg.iter_mut().enumerate() {
+                    *o = src[(r0 + dr) * cols + c];
+                }
+            }
+        }
+    };
+    if rows * cols >= par_threshold() && cols > 1 {
+        dst.par_chunks_mut(TB * rows).enumerate().for_each(body);
+    } else {
+        dst.chunks_mut(TB * rows).enumerate().for_each(body);
+    }
 }
 
 /// A dense row-major `f32` matrix.
@@ -313,11 +523,28 @@ impl Matrix {
         self.data.copy_from_slice(&other.data);
     }
 
-    /// Dense matrix product `self * b`. Parallel over output rows.
+    /// Dense matrix product `self * b`. Parallel over row blocks of the
+    /// output.
     pub fn matmul(&self, b: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(self.rows, b.cols);
-        self.matmul_acc(b, &mut out);
+        self.matmul_into(b, &mut out);
         out
+    }
+
+    /// `out = self * b`, overwriting a caller-provided buffer.
+    ///
+    /// Bit-identical to zeroing `out` and calling [`Matrix::matmul_acc`]
+    /// (the register accumulators start from zero either way), but skips
+    /// the zero-fill pass, so pooled buffers need no clearing first.
+    pub fn matmul_into(&self, b: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, b.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, b.rows, b.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, b.cols);
+        assert_eq!(out.shape(), (m, n), "matmul output shape mismatch");
+        gemm_dispatch::<true>(ASource::Rows(&self.data), m, k, &b.data, n, &mut out.data);
     }
 
     /// `out += self * b`, accumulating into a caller-provided buffer.
@@ -329,19 +556,10 @@ impl Matrix {
         );
         let (m, k, n) = (self.rows, self.cols, b.cols);
         assert_eq!(out.shape(), (m, n), "matmul output shape mismatch");
-        let a_data = &self.data;
-        let b_data = &b.data;
-        let body = |(r, out_row): (usize, &mut [f32])| {
-            matmul_row_kernel(&a_data[r * k..(r + 1) * k], b_data, n, out_row);
-        };
-        if m * n >= par_matmul_threshold() && m > 1 {
-            out.data.par_chunks_mut(n).enumerate().for_each(body);
-        } else {
-            out.data.chunks_mut(n).enumerate().for_each(body);
-        }
+        gemm_dispatch::<false>(ASource::Rows(&self.data), m, k, &b.data, n, &mut out.data);
     }
 
-    /// `selfᵀ * b` without materialising the transpose.
+    /// `selfᵀ * b` without materialising the transpose in the caller.
     pub fn matmul_tn(&self, b: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(self.cols, b.cols);
         self.matmul_tn_acc(b, &mut out);
@@ -349,6 +567,14 @@ impl Matrix {
     }
 
     /// `out += selfᵀ * b` without materialising the transpose.
+    ///
+    /// Runs the same blocked GEMM core as [`Matrix::matmul_acc`], with A
+    /// tiles packed transposed on the fly (`pack_a_block_tn`): per
+    /// element the same products are added by one accumulator in the same
+    /// ascending-reduction order as the historical strided column walk,
+    /// so results are bit-identical — but every stream is contiguous, and
+    /// the parallel split is over output row blocks (the m axis) instead
+    /// of fighting the reduction layout.
     pub fn matmul_tn_acc(&self, b: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, b.rows,
@@ -357,16 +583,14 @@ impl Matrix {
         );
         let (m, k, n) = (self.cols, self.rows, b.cols);
         assert_eq!(out.shape(), (m, n), "matmul_tn output shape mismatch");
-        let a = &self.data;
-        let bd = &b.data;
-        let body = |(i, out_row): (usize, &mut [f32])| {
-            matmul_tn_row_kernel(a, i, m, k, bd, n, out_row);
-        };
-        if m * n >= par_matmul_threshold() && m > 1 {
-            out.data.par_chunks_mut(n).enumerate().for_each(body);
-        } else {
-            out.data.chunks_mut(n).enumerate().for_each(body);
-        }
+        gemm_dispatch::<false>(
+            ASource::TnCols(&self.data, m),
+            m,
+            k,
+            &b.data,
+            n,
+            &mut out.data,
+        );
     }
 
     /// `self * bᵀ` without materialising the transpose.
@@ -376,7 +600,13 @@ impl Matrix {
         out
     }
 
-    /// `out += self * bᵀ` without materialising the transpose.
+    /// `out += self * bᵀ` without materialising the transpose: both
+    /// operands are already contiguous along the reduction axis, so no
+    /// packing is needed — each output element is one `dot8` of
+    /// `self`'s row against a B row. (A 4-rows-at-once variant was
+    /// tried and measured ~2x *slower*: four lane arrays exceed the
+    /// baseline SSE register file and spill, while this single-dot
+    /// loop vectorizes cleanly.)
     pub fn matmul_nt_acc(&self, b: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, b.cols,
@@ -415,37 +645,7 @@ impl Matrix {
             (self.cols, self.rows),
             "transpose output shape mismatch"
         );
-        // Tile edge: 32x32 f32 tiles = two 4 KiB pages of source touched
-        // per tile, well inside L1.
-        const TB: usize = 32;
-        let (rows, cols) = (self.rows, self.cols);
-        if rows == 0 || cols == 0 {
-            return;
-        }
-        let src = &self.data;
-        // Each chunk covers up to TB output rows (= TB source columns).
-        let body = |(chunk_idx, out_chunk): (usize, &mut [f32])| {
-            let c0 = chunk_idx * TB;
-            let cw = out_chunk.len() / rows;
-            for r0 in (0..rows).step_by(TB) {
-                let rw = (rows - r0).min(TB);
-                for dc in 0..cw {
-                    let out_seg = &mut out_chunk[dc * rows + r0..dc * rows + r0 + rw];
-                    let c = c0 + dc;
-                    for (dr, o) in out_seg.iter_mut().enumerate() {
-                        *o = src[(r0 + dr) * cols + c];
-                    }
-                }
-            }
-        };
-        if rows * cols >= par_threshold() && cols > 1 {
-            out.data
-                .par_chunks_mut(TB * rows)
-                .enumerate()
-                .for_each(body);
-        } else {
-            out.data.chunks_mut(TB * rows).enumerate().for_each(body);
-        }
+        transpose_buf(&self.data, self.rows, self.cols, &mut out.data);
     }
 
     fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32 + Sync) -> Matrix {

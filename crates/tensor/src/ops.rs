@@ -16,12 +16,19 @@ use crate::matrix::{par_threshold, Matrix};
 use crate::plan::{EdgePlan, EdgePlans};
 use crate::pool::BufferPool;
 use rayon::prelude::*;
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Fixed chunk width for parallel loss reductions. Chunk partials are
 /// combined in chunk order on one thread, so the result depends only on
 /// the chunk width — never on how many threads happened to run.
 const REDUCE_CHUNK: usize = 8192;
+
+thread_local! {
+    /// Chunk partials for the parallel BCE reduction: reused call to call
+    /// so the hot loss path stays allocation-free at any pool size.
+    static BCE_PARTIALS: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Operation recorded on a tape node.
 #[derive(Clone)]
@@ -161,8 +168,10 @@ pub fn forward(op: &Op, values: &[Matrix], pool: &mut BufferPool) -> Matrix {
         Op::Leaf | Op::Constant => unreachable!("leaves carry their own value"),
         Op::MatMul { a, b } => {
             let (a, b) = (&values[*a], &values[*b]);
-            let mut out = pool.zeros(a.rows(), b.cols());
-            a.matmul_acc(b, &mut out);
+            // Overwriting product: bit-identical to zeroing + `matmul_acc`
+            // but skips clearing the recycled buffer.
+            let mut out = pool.uninit(a.rows(), b.cols());
+            a.matmul_into(b, &mut out);
             out
         }
         Op::Add { a, b } => {
@@ -353,19 +362,21 @@ pub fn forward(op: &Op, values: &[Matrix], pool: &mut BufferPool) -> Matrix {
             let acc: f64 = if x.len() > REDUCE_CHUNK && x.len() >= par_threshold() {
                 // Fixed-width chunks with partials combined in chunk
                 // order: the grouping (and thus the f64 sum) depends only
-                // on REDUCE_CHUNK, never on the thread count.
+                // on REDUCE_CHUNK, never on the thread count. Partials
+                // live in a per-thread buffer so the steady-state loss
+                // evaluation allocates nothing.
                 let xd = x.data();
                 let n_chunks = x.len().div_ceil(REDUCE_CHUNK);
-                (0..n_chunks)
-                    .into_par_iter()
-                    .map(|c| {
+                BCE_PARTIALS.with_borrow_mut(|partials| {
+                    partials.clear();
+                    partials.resize(n_chunks, 0.0);
+                    partials.par_iter_mut().enumerate().for_each(|(c, slot)| {
                         let lo = c * REDUCE_CHUNK;
                         let hi = (lo + REDUCE_CHUNK).min(xd.len());
-                        chunk_sum(&xd[lo..hi], &targets[lo..hi])
-                    })
-                    .collect::<Vec<f64>>()
-                    .into_iter()
-                    .sum()
+                        *slot = chunk_sum(&xd[lo..hi], &targets[lo..hi]);
+                    });
+                    partials.iter().sum()
+                })
             } else {
                 chunk_sum(x.data(), targets)
             };

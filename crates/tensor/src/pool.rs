@@ -49,9 +49,26 @@ impl BufferPool {
         }
     }
 
+    /// Take a buffer of exactly `len` elements with unspecified contents
+    /// (recycled buffers keep their stale values). For kernels that
+    /// overwrite every element, e.g. [`Matrix::matmul_into`] — skips the
+    /// zero-fill pass `take_zeroed` pays.
+    pub fn take_raw(&mut self, len: usize) -> Vec<f32> {
+        match self.buckets.get_mut(&len).and_then(Vec::pop) {
+            Some(buf) => buf,
+            None => vec![0.0; len],
+        }
+    }
+
     /// A zeroed `rows x cols` matrix backed by pooled storage.
     pub fn zeros(&mut self, rows: usize, cols: usize) -> Matrix {
         Matrix::from_vec(rows, cols, self.take_zeroed(rows * cols))
+    }
+
+    /// A `rows x cols` matrix of unspecified contents backed by pooled
+    /// storage; the caller must overwrite every element.
+    pub fn uninit(&mut self, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_vec(rows, cols, self.take_raw(rows * cols))
     }
 
     /// A pooled copy of `m`.

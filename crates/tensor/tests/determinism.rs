@@ -20,7 +20,10 @@ use trkx_tensor::{sigmoid, EdgePlan, EdgePlans, Matrix, Tape};
 /// Must be the first call in every test.
 fn force_parallel() {
     static FORCE: Once = Once::new();
-    FORCE.call_once(|| std::env::set_var("TRKX_PAR_THRESHOLD", "1"));
+    FORCE.call_once(|| {
+        std::env::set_var("TRKX_PAR_THRESHOLD", "1");
+        std::env::set_var("TRKX_PAR_MATMUL_THRESHOLD", "1");
+    });
 }
 
 /// Random COO endpoints over `nodes` vertices; with few nodes and many
@@ -243,5 +246,55 @@ fn parallel_bce_matches_fixed_chunk_reference() {
         let w = if ti > 0.5 { pw } else { 1.0 };
         let want = go * w * (sigmoid(xi) - ti);
         assert_eq!(grad.data()[i].to_bits(), want.to_bits(), "bce grad {i}");
+    }
+}
+
+#[test]
+fn blocked_matmul_is_thread_count_invariant() {
+    force_parallel();
+    let mut rng = StdRng::seed_from_u64(41);
+    // Shapes straddling the MR=8 tile and NR=16 panel boundaries, plus
+    // the paper's edge-regime shape (many rows, narrow features).
+    for (m, k, n) in [(7, 5, 3), (17, 16, 15), (64, 66, 32), (513, 33, 9)] {
+        let a = Matrix::randn(m, k, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 1.0, &mut rng);
+        let at = a.transpose();
+        let bt = b.transpose();
+
+        // References: one sequential accumulator per element, ascending
+        // reduction index — independent of tiles, blocks, and threads.
+        let mut nn = vec![0.0f32; m * n];
+        for r in 0..m {
+            for c in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a.data()[r * k + kk] * b.data()[kk * n + c];
+                }
+                nn[r * n + c] = acc;
+            }
+        }
+        let got_nn = a.matmul(&b);
+        assert_eq!(got_nn.data(), &nn[..], "matmul diverged ({m}x{k}x{n})");
+
+        let got_tn = at.matmul_tn(&b);
+        assert_eq!(got_tn.data(), &nn[..], "matmul_tn diverged ({m}x{k}x{n})");
+
+        // NT pins the dot8 lane order, which differs from the ascending
+        // scalar walk — anchor it to itself across pool sizes instead:
+        // the serial path (forced by m=1 row splits) must match the
+        // parallel one. Each output element is produced by exactly one
+        // task, so the comparison is exact.
+        let got_nt = a.matmul_nt(&bt);
+        let mut row = Matrix::zeros(1, n);
+        for r in 0..m {
+            row.fill(0.0);
+            let a_row = Matrix::from_vec(1, k, a.data()[r * k..(r + 1) * k].to_vec());
+            a_row.matmul_nt_acc(&bt, &mut row);
+            assert_eq!(
+                &got_nt.data()[r * n..(r + 1) * n],
+                row.data(),
+                "matmul_nt row {r} diverged ({m}x{k}x{n})"
+            );
+        }
     }
 }

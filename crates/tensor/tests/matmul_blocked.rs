@@ -1,0 +1,164 @@
+//! Property tests pinning the blocked GEMM kernels to their reference
+//! summation orders, bit for bit.
+//!
+//! Every test forces the parallel dispatch path by setting
+//! `TRKX_PAR_MATMUL_THRESHOLD=1` before any kernel has run (the
+//! threshold is read once per process, so this binary must never be
+//! linked into the unit-test harness). The references are naive triple
+//! loops that spell out each kernel's pinned per-element order:
+//!
+//! * `matmul` / `matmul_tn`: one sequential accumulator over ascending
+//!   reduction index;
+//! * `matmul_nt`: the `dot8` lane structure (8 lanes filled
+//!   chunk-ascending, lanes summed in order, sequential tail).
+//!
+//! Because the references are scalar and thread-independent, bitwise
+//! equality at any pool size also proves thread-count invariance;
+//! `ci.sh` runs this binary under `RAYON_NUM_THREADS=1` and `=4`.
+//! Shapes sweep every alignment class around the NR=16 panel width and
+//! MR=8 tile height: below, at, and one past each boundary.
+
+use proptest::prelude::*;
+use std::sync::Once;
+use trkx_tensor::Matrix;
+
+/// Force the GEMM parallel path for this process. Must run before any
+/// kernel call in every test.
+fn force_parallel() {
+    static FORCE: Once = Once::new();
+    FORCE.call_once(|| std::env::set_var("TRKX_PAR_MATMUL_THRESHOLD", "1"));
+}
+
+/// Dimension sweep: ragged/aligned around the MR=8, NR=16 and dot8
+/// boundaries, plus the degenerate width 1.
+const DIMS: [usize; 8] = [1, 7, 15, 16, 17, 63, 64, 65];
+
+fn dim() -> impl Strategy<Value = usize> {
+    (0usize..DIMS.len()).prop_map(|i| DIMS[i])
+}
+
+fn buf(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-2.0f32..2.0, len)
+}
+
+/// `a (m x k) * b (k x n)`, one sequential accumulator per element over
+/// ascending `kk` — the pinned order of `matmul` and (via on-the-fly
+/// transposed packing) `matmul_tn`.
+fn naive_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for r in 0..m {
+        for c in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a[r * k + kk] * b[kk * n + c];
+            }
+            out[r * n + c] = acc;
+        }
+    }
+    out
+}
+
+/// The `dot8` lane structure, restated independently: 8 partial lanes
+/// filled chunk-ascending, summed left to right, plus a sequential tail.
+fn ref_dot8(a: &[f32], b: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    for c in 0..chunks {
+        for t in 0..8 {
+            lanes[t] += a[c * 8 + t] * b[c * 8 + t];
+        }
+    }
+    let mut tail = 0.0f32;
+    for t in chunks * 8..a.len() {
+        tail += a[t] * b[t];
+    }
+    lanes.iter().sum::<f32>() + tail
+}
+
+fn case() -> impl Strategy<Value = (usize, usize, usize, Vec<f32>, Vec<f32>, Vec<f32>)> {
+    (dim(), dim(), dim()).prop_flat_map(|(m, k, n)| {
+        (
+            Just(m),
+            Just(k),
+            Just(n),
+            buf(m * k),
+            buf(k * n),
+            buf(m * n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // `matmul`, `matmul_into`, `matmul_acc` are all bit-identical to
+    // the naive ascending-k reference (acc: one final add onto the
+    // pre-existing output value).
+    #[test]
+    fn nn_variants_match_naive((m, k, n, av, bv, pre) in case()) {
+        force_parallel();
+        let a = Matrix::from_vec(m, k, av.clone());
+        let b = Matrix::from_vec(k, n, bv.clone());
+        let naive = naive_nn(&av, &bv, m, k, n);
+
+        let fresh = a.matmul(&b);
+        prop_assert_eq!(fresh.data(), &naive[..]);
+
+        let mut into = Matrix::from_vec(m, n, pre.clone());
+        a.matmul_into(&b, &mut into);
+        prop_assert_eq!(into.data(), &naive[..]);
+
+        let mut acc = Matrix::from_vec(m, n, pre.clone());
+        a.matmul_acc(&b, &mut acc);
+        let expect: Vec<f32> = pre.iter().zip(&naive).map(|(p, v)| p + v).collect();
+        prop_assert_eq!(acc.data(), &expect[..]);
+    }
+
+    // `matmul_tn` / `matmul_tn_acc` (self is `k x m`, result `selfᵀ*b`)
+    // match the same ascending-k reference on the transposed operand.
+    #[test]
+    fn tn_variants_match_naive((m, k, n, av, bv, pre) in case()) {
+        force_parallel();
+        // Self is k x m; the reference wants the m x k row-major view.
+        let at = Matrix::from_vec(k, m, av.clone());
+        let b = Matrix::from_vec(k, n, bv.clone());
+        let mut a_rows = vec![0.0f32; m * k];
+        for kk in 0..k {
+            for r in 0..m {
+                a_rows[r * k + kk] = av[kk * m + r];
+            }
+        }
+        let naive = naive_nn(&a_rows, &bv, m, k, n);
+
+        let fresh = at.matmul_tn(&b);
+        prop_assert_eq!(fresh.data(), &naive[..]);
+
+        let mut acc = Matrix::from_vec(m, n, pre.clone());
+        at.matmul_tn_acc(&b, &mut acc);
+        let expect: Vec<f32> = pre.iter().zip(&naive).map(|(p, v)| p + v).collect();
+        prop_assert_eq!(acc.data(), &expect[..]);
+    }
+
+    // `matmul_nt` / `matmul_nt_acc` (`self * bᵀ`, b is `n x k`) match
+    // the dot8 lane-structure reference for every output element.
+    #[test]
+    fn nt_variants_match_dot8_reference((m, k, n, av, bv, pre) in case()) {
+        force_parallel();
+        let a = Matrix::from_vec(m, k, av.clone());
+        let bt = Matrix::from_vec(n, k, bv.clone());
+        let mut naive = vec![0.0f32; m * n];
+        for r in 0..m {
+            for c in 0..n {
+                naive[r * n + c] = ref_dot8(&av[r * k..(r + 1) * k], &bv[c * k..(c + 1) * k]);
+            }
+        }
+
+        let fresh = a.matmul_nt(&bt);
+        prop_assert_eq!(fresh.data(), &naive[..]);
+
+        let mut acc = Matrix::from_vec(m, n, pre.clone());
+        a.matmul_nt_acc(&bt, &mut acc);
+        let expect: Vec<f32> = pre.iter().zip(&naive).map(|(p, v)| p + v).collect();
+        prop_assert_eq!(acc.data(), &expect[..]);
+    }
+}

@@ -30,24 +30,25 @@ impl<T> Copy for SendPtr<T> {}
 unsafe impl<T: Send> Send for SendPtr<T> {}
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
-/// True when `block_ranges(len, min_block)` would produce a single block:
-/// the caller can run inline without allocating the range list.
+/// True when a block split of `len` would produce a single block: the
+/// caller can run inline without a queue round-trip.
 fn single_block(len: usize, min_block: usize) -> bool {
     pool::num_threads() == 1 || len / min_block.max(1) <= 1
 }
 
-/// Run `f` over each index block of `0..len` in parallel.
+/// Run `f` over each index block of `0..len` in parallel. Block
+/// boundaries are arithmetic ([`pool::BlockSplit`]) and jobs are queued
+/// as plain-old-data units, so dispatch performs no allocation on any
+/// path or thread count.
 fn for_each_block(len: usize, min_block: usize, f: impl Fn(std::ops::Range<usize>) + Sync) {
     if len == 0 {
         return;
     }
     if single_block(len, min_block) {
-        // Zero-allocation fast path: no range Vec, no queue round-trip.
-        // Keeps steady-state kernel calls off the allocator on one thread.
         return f(0..len);
     }
-    let ranges = pool::block_ranges(len, min_block);
-    pool::join_n(ranges.len(), &|b| f(ranges[b].clone()));
+    let split = pool::BlockSplit::new(len, min_block);
+    pool::join_n(split.count(), &|b| f(split.range(b)));
 }
 
 /// Parallel-map `0..len` into a fresh `Vec` via per-index `f`.
@@ -109,8 +110,8 @@ fn collect_indexed_blocks<U: Send>(
     min_block: usize,
     f: impl Fn(std::ops::Range<usize>) -> U + Sync,
 ) -> Vec<U> {
-    let ranges = pool::block_ranges(len, min_block);
-    collect_indexed(ranges.len(), |b| f(ranges[b].clone()))
+    let split = pool::BlockSplit::new(len, min_block);
+    collect_indexed(split.count(), |b| f(split.range(b)))
 }
 
 pub struct ParZip<'a, T, U> {
@@ -232,10 +233,10 @@ impl<'a, T: Send> ParChunksMutEnum<'a, T> {
             return;
         }
         let base = SendPtr(self.data.as_mut_ptr());
-        let ranges = pool::block_ranges(n_chunks, chunks_per_block);
-        pool::join_n(ranges.len(), &|b| {
+        let split = pool::BlockSplit::new(n_chunks, chunks_per_block);
+        pool::join_n(split.count(), &|b| {
             let base = base;
-            for c in ranges[b].clone() {
+            for c in split.range(b) {
                 let start = c * size;
                 let end = (start + size).min(len);
                 // SAFETY: chunk ranges are disjoint sub-slices.

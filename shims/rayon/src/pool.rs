@@ -5,15 +5,35 @@
 //! runs queued jobs (its own or other callers'), which both speeds small
 //! batches up and makes concurrent callers (e.g. DDP worker threads all
 //! hitting the matmul kernels) deadlock-free by construction.
+//!
+//! Queued jobs are plain-old-data [`Unit`]s (body pointer + latch pointer
+//! + block index) rather than boxed closures, so the steady-state training
+//! loop never allocates per parallel call: the `VecDeque` grows to its
+//! high-water mark once and its capacity is retained for the life of the
+//! process.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex, OnceLock};
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// One queued block invocation: run `(*body)(index)`, then tick `latch`.
+///
+/// The pointers are lifetime-erased borrows of stack data in the
+/// submitting `join_n` frame, which blocks until the latch clears — so
+/// every `Unit` is consumed while its pointees are alive.
+#[derive(Clone, Copy)]
+struct Unit {
+    body: *const (dyn Fn(usize) + Sync),
+    latch: *const Latch,
+    index: usize,
+}
+
+// SAFETY: the pointees are `Sync` (body) / internally synchronised
+// (latch), and `join_n` keeps both alive until every queued unit has run.
+unsafe impl Send for Unit {}
 
 struct Queue {
-    jobs: Mutex<VecDeque<Job>>,
+    units: Mutex<VecDeque<Unit>>,
     available: Condvar,
 }
 
@@ -22,7 +42,7 @@ static QUEUE: OnceLock<&'static Queue> = OnceLock::new();
 fn queue() -> &'static Queue {
     QUEUE.get_or_init(|| {
         let q: &'static Queue = Box::leak(Box::new(Queue {
-            jobs: Mutex::new(VecDeque::new()),
+            units: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
         }));
         for i in 0..num_threads().saturating_sub(1) {
@@ -35,18 +55,34 @@ fn queue() -> &'static Queue {
     })
 }
 
+/// Run one unit: invoke its body, record any panic, tick the latch.
+fn run_unit(u: Unit) {
+    // SAFETY: see `Unit` — the submitting frame outlives the unit.
+    let (body, latch) = unsafe { (&*u.body, &*u.latch) };
+    let result = catch_unwind(AssertUnwindSafe(|| body(u.index)));
+    if let Err(payload) = result {
+        let mut slot = latch.panic.lock().unwrap_or_else(|e| e.into_inner());
+        slot.get_or_insert(payload);
+    }
+    let mut remaining = latch.remaining.lock().unwrap_or_else(|e| e.into_inner());
+    *remaining -= 1;
+    if *remaining == 0 {
+        latch.done.notify_all();
+    }
+}
+
 fn worker_loop(q: &'static Queue) {
     loop {
-        let job = {
-            let mut jobs = q.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        let unit = {
+            let mut units = q.units.lock().unwrap_or_else(|e| e.into_inner());
             loop {
-                if let Some(job) = jobs.pop_front() {
-                    break job;
+                if let Some(unit) = units.pop_front() {
+                    break unit;
                 }
-                jobs = q.available.wait(jobs).unwrap_or_else(|e| e.into_inner());
+                units = q.available.wait(units).unwrap_or_else(|e| e.into_inner());
             }
         };
-        job();
+        run_unit(unit);
     }
 }
 
@@ -87,28 +123,19 @@ pub fn join_n(n: usize, body: &(dyn Fn(usize) + Sync)) {
 
     {
         let q = queue();
-        let mut jobs = q.jobs.lock().unwrap_or_else(|e| e.into_inner());
-        // SAFETY: join_n blocks until `remaining` hits zero, so `body`
-        // and `latch` outlive every job queued below; the 'static
-        // lifetimes are an erasure, never a true promise.
+        let mut units = q.units.lock().unwrap_or_else(|e| e.into_inner());
+        // SAFETY: pure lifetime erasure — join_n blocks until `remaining`
+        // hits zero, so `body` and `latch` outlive every unit queued
+        // below; the 'static lifetime is never a true promise.
         let body_static: &'static (dyn Fn(usize) + Sync) =
             unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(body) };
-        let latch_static: &'static Latch = unsafe { &*(&latch as *const Latch) };
+        let unit = Unit {
+            body: body_static as *const (dyn Fn(usize) + Sync),
+            latch: &latch as *const Latch,
+            index: 0,
+        };
         for i in 1..n {
-            jobs.push_back(Box::new(move || {
-                let (body, latch) = (body_static, latch_static);
-                let result = catch_unwind(AssertUnwindSafe(|| body(i)));
-                if let Err(payload) = result {
-                    let mut slot = latch.panic.lock().unwrap_or_else(|e| e.into_inner());
-                    slot.get_or_insert(payload);
-                }
-                let mut remaining =
-                    latch.remaining.lock().unwrap_or_else(|e| e.into_inner());
-                *remaining -= 1;
-                if *remaining == 0 {
-                    latch.done.notify_all();
-                }
-            }));
+            units.push_back(Unit { index: i, ..unit });
         }
         q.available.notify_all();
     }
@@ -119,12 +146,12 @@ pub fn join_n(n: usize, body: &(dyn Fn(usize) + Sync)) {
     // Help drain the queue while waiting for our blocks to finish.
     let q = queue();
     loop {
-        let job = {
-            let mut jobs = q.jobs.lock().unwrap_or_else(|e| e.into_inner());
-            jobs.pop_front()
+        let unit = {
+            let mut units = q.units.lock().unwrap_or_else(|e| e.into_inner());
+            units.pop_front()
         };
-        match job {
-            Some(job) => job(),
+        match unit {
+            Some(unit) => run_unit(unit),
             None => break,
         }
     }
@@ -144,22 +171,41 @@ pub fn join_n(n: usize, body: &(dyn Fn(usize) + Sync)) {
     }
 }
 
-/// Split `len` items into at most `num_threads()` contiguous blocks of at
-/// least `min_block` items; returns the block boundaries.
-pub fn block_ranges(len: usize, min_block: usize) -> Vec<std::ops::Range<usize>> {
-    if len == 0 {
-        return Vec::new();
+/// Arithmetic split of `len` items into at most `num_threads()` contiguous
+/// blocks of at least `min_block` items. Replaces the old per-call
+/// `Vec<Range>`: block boundaries are computed on demand, so a parallel
+/// dispatch allocates nothing.
+#[derive(Clone, Copy)]
+pub struct BlockSplit {
+    blocks: usize,
+    base: usize,
+    extra: usize,
+}
+
+impl BlockSplit {
+    pub fn new(len: usize, min_block: usize) -> Self {
+        if len == 0 {
+            return Self { blocks: 0, base: 0, extra: 0 };
+        }
+        let max_blocks = num_threads().max(1);
+        let blocks = (len / min_block.max(1)).clamp(1, max_blocks);
+        Self {
+            blocks,
+            base: len / blocks,
+            extra: len % blocks,
+        }
     }
-    let max_blocks = num_threads().max(1);
-    let blocks = (len / min_block.max(1)).clamp(1, max_blocks);
-    let base = len / blocks;
-    let extra = len % blocks;
-    let mut out = Vec::with_capacity(blocks);
-    let mut start = 0;
-    for b in 0..blocks {
-        let size = base + usize::from(b < extra);
-        out.push(start..start + size);
-        start += size;
+
+    /// Number of blocks (0 only for an empty split).
+    pub fn count(&self) -> usize {
+        self.blocks
     }
-    out
+
+    /// Half-open item range of block `b`; the first `len % blocks` blocks
+    /// carry one extra item.
+    pub fn range(&self, b: usize) -> std::ops::Range<usize> {
+        debug_assert!(b < self.blocks);
+        let start = b * self.base + b.min(self.extra);
+        start..start + self.base + usize::from(b < self.extra)
+    }
 }
