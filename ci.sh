@@ -45,3 +45,16 @@ RAYON_NUM_THREADS=4 cargo test -q --release -p trkx-tensor --test alloc_probe
 # Prefetch gate: on a tiny Ex3-like workload the overlapped (prefetching)
 # virtual-clock schedule must never cost more than the serial one.
 cargo run -q --release -p trkx-bench --bin fig3_epoch_time -- --overlap --tiny
+
+# Serve smoke gate: train a tiny bundle, start `trkx serve` on stdio,
+# push a burst that includes one oversized event (which must shed with an
+# explicit response), and require well-formed responses plus a clean
+# drain-and-exit shutdown. The release-profile run of the same test is
+# already in the workspace suite above; this re-runs it by name so a
+# serving regression fails fast with its own line in the CI log.
+cargo test -q --release --test serve_e2e
+
+# Serve bench smoke: one tiny (workers, batch) arm through the
+# micro-batching core; asserts every sized event completes and the
+# oversized one sheds.
+cargo run -q --release -p trkx-bench --bin serve -- --tiny --out /tmp/BENCH_serve_smoke.json

@@ -1,0 +1,231 @@
+//! Serving benchmark: latency percentiles and throughput of `trkx
+//! serve`'s micro-batching core across worker-pool and batch-budget
+//! settings. Results go to `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run -p trkx-bench --bin serve --release [-- --tiny --out BENCH_serve.json]
+//! ```
+//!
+//! The harness trains one tiny pipeline in-process, registers it with a
+//! [`ModelRegistry`], then for each `(workers, max_batch_events)` arm
+//! starts a fresh [`ServerCore`] and replays the same burst of simulated
+//! events through it, plus one deliberately oversized event that must be
+//! shed. Per-arm records carry p50/p95/p99/max latency, events/sec, the
+//! mean micro-batch size actually formed, and the shed counters — the
+//! interesting shape is p50 falling as batching amortises the forward
+//! pass, and tail latency falling further once a second worker drains
+//! the queue concurrently.
+
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::Instant;
+use trkx_bench::{arg_flag, arg_value, Table};
+use trkx_core::{train_pipeline, EmbeddingConfig, GnnTrainConfig, PipelineConfig, SamplerKind};
+use trkx_detector::{simulate_event, DetectorGeometry, Event, GunConfig};
+use trkx_sampling::ShadowConfig;
+use trkx_serve::{ModelRegistry, ServeConfig, ServerCore};
+
+use rand::{rngs::StdRng, SeedableRng};
+
+fn train_tiny(train_events: usize, particles: usize, tiny: bool) -> trkx_core::TrainedPipeline {
+    let geometry = DetectorGeometry::default();
+    let gun = GunConfig::default();
+    let mut rng = StdRng::seed_from_u64(1234);
+    let events: Vec<_> = (0..train_events + 1)
+        .map(|_| simulate_event(&geometry, &gun, particles, 0.1, &mut rng))
+        .collect();
+    let (train, val) = events.split_at(train_events);
+    let config = PipelineConfig {
+        embedding: EmbeddingConfig {
+            epochs: if tiny { 6 } else { 12 },
+            ..Default::default()
+        },
+        gnn: GnnTrainConfig {
+            hidden: if tiny { 16 } else { 24 },
+            gnn_layers: if tiny { 2 } else { 3 },
+            epochs: if tiny { 2 } else { 6 },
+            batch_size: 64,
+            shadow: ShadowConfig {
+                depth: 2,
+                fanout: 4,
+            },
+            ..Default::default()
+        },
+        gnn_sampler: SamplerKind::Bulk { k: 4 },
+        ..Default::default()
+    };
+    train_pipeline(config, train, val).0
+}
+
+struct Arm {
+    workers: usize,
+    max_batch_events: usize,
+}
+
+fn run_arm(
+    arm: &Arm,
+    registry: &Arc<ModelRegistry>,
+    events: &[Event],
+    oversized: &Event,
+    max_event_hits: usize,
+) -> serde_json::Value {
+    let core = ServerCore::start(
+        ServeConfig {
+            workers: arm.workers,
+            max_queue: events.len() + 8,
+            max_event_hits,
+            max_batch_events: arm.max_batch_events,
+            max_batch_hits: usize::MAX / 2,
+        },
+        Arc::clone(registry),
+    );
+    let (tx, rx) = channel();
+    let t0 = Instant::now();
+    // One burst: every event is in the queue before the first batch is
+    // formed, so batching has material to work with.
+    for (i, e) in events.iter().enumerate() {
+        core.submit_event(i as u64, e.clone(), tx.clone());
+    }
+    core.submit_event(events.len() as u64, oversized.clone(), tx.clone());
+    let mut ok = 0usize;
+    let mut shed = 0usize;
+    for _ in 0..events.len() + 1 {
+        let resp = rx.recv().expect("response for every request");
+        match resp.status.as_str() {
+            "ok" => ok += 1,
+            "shed" => shed += 1,
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let snap = core.stats.snapshot();
+    core.shutdown();
+    assert_eq!(ok, events.len(), "every sized event must complete");
+    assert_eq!(shed, 1, "the oversized event must shed");
+    serde_json::json!({
+        "workers": arm.workers,
+        "max_batch_events": arm.max_batch_events,
+        "events": events.len(),
+        "completed": snap.completed,
+        "shed_too_large": snap.shed_too_large,
+        "shed_overloaded": snap.shed_overloaded,
+        "p50_us": snap.p50_us,
+        "p95_us": snap.p95_us,
+        "p99_us": snap.p99_us,
+        "max_us": snap.max_us,
+        "events_per_sec": events.len() as f64 / wall_s,
+        "mean_batch_events": snap.mean_batch_events,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tiny = arg_flag(&args, "--tiny");
+    let out: String = arg_value(&args, "--out", "BENCH_serve.json".to_string());
+    let train_events = arg_value(&args, "--train-events", if tiny { 4usize } else { 6 });
+    let particles = arg_value(&args, "--particles", if tiny { 15usize } else { 25 });
+    let burst = arg_value(&args, "--burst", if tiny { 12usize } else { 48 });
+
+    println!("# serve: latency/throughput across worker pools and batch budgets");
+    println!("training a tiny pipeline ({train_events} events x {particles} particles)...");
+    let pipeline = train_tiny(train_events, particles, tiny);
+    let registry = Arc::new(ModelRegistry::from_pipeline(pipeline));
+
+    // Request stream: `burst` serveable events plus one oversized event
+    // (twice the hit budget) that admission control must shed.
+    let geometry = DetectorGeometry::default();
+    let gun = GunConfig::default();
+    let mut rng = StdRng::seed_from_u64(77);
+    let events: Vec<Event> = (0..burst)
+        .map(|_| simulate_event(&geometry, &gun, particles, 0.1, &mut rng))
+        .collect();
+    let max_event_hits = events.iter().map(Event::num_hits).max().unwrap_or(0) * 2;
+    let oversized = loop {
+        let e = simulate_event(&geometry, &gun, particles * 8, 0.1, &mut rng);
+        if e.num_hits() > max_event_hits {
+            break e;
+        }
+    };
+
+    let arms = if tiny {
+        vec![Arm {
+            workers: 1,
+            max_batch_events: 4,
+        }]
+    } else {
+        vec![
+            Arm {
+                workers: 1,
+                max_batch_events: 1,
+            },
+            Arm {
+                workers: 1,
+                max_batch_events: 8,
+            },
+            Arm {
+                workers: 2,
+                max_batch_events: 8,
+            },
+            Arm {
+                workers: 4,
+                max_batch_events: 8,
+            },
+        ]
+    };
+
+    let mut table = Table::new(&[
+        "workers",
+        "batch",
+        "p50(ms)",
+        "p95(ms)",
+        "p99(ms)",
+        "events/s",
+        "mean batch",
+        "shed",
+    ]);
+    let mut runs = Vec::new();
+    for arm in &arms {
+        let record = run_arm(arm, &registry, &events, &oversized, max_event_hits);
+        let ms = |key: &str| record.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0) / 1e3;
+        table.row(vec![
+            arm.workers.to_string(),
+            arm.max_batch_events.to_string(),
+            format!("{:.2}", ms("p50_us")),
+            format!("{:.2}", ms("p95_us")),
+            format!("{:.2}", ms("p99_us")),
+            format!(
+                "{:.1}",
+                record
+                    .get("events_per_sec")
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0)
+            ),
+            format!(
+                "{:.2}",
+                record
+                    .get("mean_batch_events")
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0)
+            ),
+            record
+                .get("shed_too_large")
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0)
+                .to_string(),
+        ]);
+        runs.push(record);
+    }
+    table.print();
+
+    let record = serde_json::json!({
+        "bench": "serve",
+        "train_events": train_events,
+        "particles": particles,
+        "burst": burst,
+        "max_event_hits": max_event_hits,
+        "host_cores": std::thread::available_parallelism().map_or(1, usize::from),
+        "runs": serde_json::Value::Seq(runs),
+    });
+    std::fs::write(&out, format!("{record}")).expect("write bench record");
+    println!("wrote {out}");
+}

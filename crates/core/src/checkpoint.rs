@@ -16,11 +16,40 @@ pub struct TensorEntry {
     pub data: Vec<f32>,
 }
 
+/// Current metadata-header format version written by
+/// [`Checkpoint::with_meta`].
+pub const CHECKPOINT_META_VERSION: u32 = 1;
+
+/// Small self-describing header attached to a checkpoint: which stage it
+/// belongs to and the model dimensions it was captured from. Lets a
+/// loader (the serving model registry in particular) reject
+/// shape-mismatched artifacts with a clear error *before* constructing a
+/// model, instead of failing tensor-by-tensor at apply time.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// Header format version ([`CHECKPOINT_META_VERSION`]).
+    pub format_version: u32,
+    /// Stage name: `"embedding"`, `"filter"`, or `"gnn"`.
+    pub stage: String,
+    /// Node/input feature count the stage was built for.
+    pub input_dim: usize,
+    /// Edge feature count (0 for stages without edge inputs).
+    pub edge_dim: usize,
+    /// Output width (embedding dimension, or 1 for edge classifiers).
+    pub output_dim: usize,
+    /// Total scalars across all tensors (consistency check).
+    pub num_params: usize,
+}
+
 /// Named-tensor checkpoint.
 #[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
 pub struct Checkpoint {
     /// Format version for forward compatibility.
     pub version: u32,
+    /// Optional metadata header; `None` for legacy headerless files,
+    /// which remain loadable (validation then falls back to the
+    /// per-tensor shape checks in [`Checkpoint::apply_to`]).
+    pub meta: Option<CheckpointMeta>,
     pub tensors: BTreeMap<String, TensorEntry>,
 }
 
@@ -33,6 +62,8 @@ pub enum CheckpointError {
         expected: (usize, usize),
         found: (usize, usize),
     },
+    /// The metadata header contradicts what the loader expects.
+    Meta(String),
     Io(String),
     Parse(String),
 }
@@ -50,6 +81,7 @@ impl std::fmt::Display for CheckpointError {
                 "tensor {name}: expected {}x{}, checkpoint has {}x{}",
                 expected.0, expected.1, found.0, found.1
             ),
+            CheckpointError::Meta(e) => write!(f, "checkpoint metadata mismatch: {e}"),
             CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
             CheckpointError::Parse(e) => write!(f, "checkpoint parse error: {e}"),
         }
@@ -75,8 +107,81 @@ impl Checkpoint {
         }
         Self {
             version: 1,
+            meta: None,
             tensors,
         }
+    }
+
+    /// Attach a metadata header (filling in `num_params` from the stored
+    /// tensors and `format_version` with the current one).
+    pub fn with_meta(
+        mut self,
+        stage: &str,
+        input_dim: usize,
+        edge_dim: usize,
+        output_dim: usize,
+    ) -> Self {
+        self.meta = Some(CheckpointMeta {
+            format_version: CHECKPOINT_META_VERSION,
+            stage: stage.to_string(),
+            input_dim,
+            edge_dim,
+            output_dim,
+            num_params: self.numel(),
+        });
+        self
+    }
+
+    /// Validate the metadata header against what the loader expects.
+    ///
+    /// Headerless checkpoints (legacy files) pass vacuously — the
+    /// per-tensor shape checks in [`Checkpoint::apply_to`] still guard
+    /// them. A present header must match the expected stage name and
+    /// dimensions, and agree with the stored tensors' total scalar count.
+    pub fn validate_meta(
+        &self,
+        stage: &str,
+        input_dim: usize,
+        edge_dim: usize,
+        output_dim: usize,
+    ) -> Result<(), CheckpointError> {
+        let Some(meta) = &self.meta else {
+            return Ok(());
+        };
+        if meta.format_version > CHECKPOINT_META_VERSION {
+            return Err(CheckpointError::Meta(format!(
+                "{} checkpoint has header format v{} but this build reads up to v{}",
+                meta.stage, meta.format_version, CHECKPOINT_META_VERSION
+            )));
+        }
+        if meta.stage != stage {
+            return Err(CheckpointError::Meta(format!(
+                "expected a {:?} checkpoint, found {:?}",
+                stage, meta.stage
+            )));
+        }
+        for (what, found, want) in [
+            ("input_dim", meta.input_dim, input_dim),
+            ("edge_dim", meta.edge_dim, edge_dim),
+            ("output_dim", meta.output_dim, output_dim),
+        ] {
+            if found != want {
+                return Err(CheckpointError::Meta(format!(
+                    "{} checkpoint {what} is {found} but the configuration expects {want}",
+                    meta.stage
+                )));
+            }
+        }
+        if meta.num_params != self.numel() {
+            return Err(CheckpointError::Meta(format!(
+                "{} checkpoint header claims {} scalars but the tensors hold {} \
+                 (truncated or corrupted artifact?)",
+                meta.stage,
+                meta.num_params,
+                self.numel()
+            )));
+        }
+        Ok(())
     }
 
     /// Restore values into `params` by name. Every param must be present
@@ -181,6 +286,56 @@ mod tests {
         let mut p = Param::new("absent", Matrix::zeros(1, 1));
         let err = ckpt.apply_to(&mut [&mut p]).unwrap_err();
         assert!(matches!(err, CheckpointError::MissingTensor(_)));
+    }
+
+    #[test]
+    fn meta_header_validates_and_rejects_clearly() {
+        let p = Param::new("w", Matrix::zeros(2, 3));
+        let ckpt = Checkpoint::from_params(&[&p]).with_meta("filter", 6, 2, 1);
+        assert!(ckpt.validate_meta("filter", 6, 2, 1).is_ok());
+
+        // Wrong stage, wrong dims, inconsistent scalar count: each gets
+        // its own clear Meta error.
+        let err = ckpt.validate_meta("gnn", 6, 2, 1).unwrap_err();
+        assert!(err.to_string().contains("expected a \"gnn\""), "{err}");
+        let err = ckpt.validate_meta("filter", 7, 2, 1).unwrap_err();
+        assert!(err.to_string().contains("input_dim"), "{err}");
+        let err = ckpt.validate_meta("filter", 6, 2, 4).unwrap_err();
+        assert!(err.to_string().contains("output_dim"), "{err}");
+
+        let mut truncated = ckpt.clone();
+        truncated.tensors.get_mut("w").unwrap().data.pop();
+        let err = truncated.validate_meta("filter", 6, 2, 1).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+
+        let mut future = ckpt.clone();
+        future.meta.as_mut().unwrap().format_version = CHECKPOINT_META_VERSION + 1;
+        let err = future.validate_meta("filter", 6, 2, 1).unwrap_err();
+        assert!(err.to_string().contains("format"), "{err}");
+    }
+
+    #[test]
+    fn headerless_checkpoints_pass_meta_validation() {
+        let p = Param::new("w", Matrix::zeros(2, 3));
+        let ckpt = Checkpoint::from_params(&[&p]);
+        assert!(ckpt.meta.is_none());
+        // Legacy files validate vacuously against any expectation...
+        assert!(ckpt.validate_meta("anything", 99, 99, 99).is_ok());
+        // ...and survive a JSON roundtrip as headerless.
+        let json = serde_json::to_string(&ckpt).unwrap();
+        let back: Checkpoint = serde_json::from_str(&json).unwrap();
+        assert!(back.meta.is_none());
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn meta_header_roundtrips_through_json() {
+        let p = Param::new("w", Matrix::zeros(2, 3));
+        let ckpt = Checkpoint::from_params(&[&p]).with_meta("embedding", 6, 0, 8);
+        let json = serde_json::to_string(&ckpt).unwrap();
+        let back: Checkpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.meta, ckpt.meta);
+        assert_eq!(back.meta.unwrap().num_params, 6);
     }
 
     #[test]

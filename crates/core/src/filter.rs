@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use trkx_ddp::EpochTiming;
 use trkx_nn::{bce_with_logits, Activation, Adam, BinaryStats, Bindings, Mlp, MlpConfig, Param};
-use trkx_tensor::{Tape, Var};
+use trkx_tensor::{Matrix, Tape, Var};
 
 /// Filter-stage hyperparameters.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -65,10 +65,32 @@ impl FilterStage {
     }
 
     fn forward(&self, tape: &mut Tape, bind: &mut Bindings, g: &PreparedGraph) -> Var {
-        let x = tape.constant_copied(&g.x);
-        let y = tape.constant_copied(&g.y);
-        let xs = tape.gather(x, Arc::clone(&g.src));
-        let xd = tape.gather(x, Arc::clone(&g.dst));
+        self.forward_arrays(
+            tape,
+            bind,
+            &g.x,
+            &g.y,
+            Arc::clone(&g.src),
+            Arc::clone(&g.dst),
+        )
+    }
+
+    /// Forward pass over raw matrices and edge arrays — the serving path
+    /// runs the filter on a batch-union graph that never materialises a
+    /// [`PreparedGraph`] (no sampler view, no edge plans needed here).
+    fn forward_arrays(
+        &self,
+        tape: &mut Tape,
+        bind: &mut Bindings,
+        x: &Matrix,
+        y: &Matrix,
+        src: Arc<Vec<u32>>,
+        dst: Arc<Vec<u32>>,
+    ) -> Var {
+        let x = tape.constant_copied(x);
+        let y = tape.constant_copied(y);
+        let xs = tape.gather(x, src);
+        let xd = tape.gather(x, dst);
         let input = tape.concat_cols(&[xs, xd, y]);
         self.mlp.forward(tape, bind, input)
     }
@@ -114,6 +136,28 @@ impl FilterStage {
         tape.value(logits).data().to_vec()
     }
 
+    /// [`FilterStage::logits_with`] over raw matrices and edge arrays.
+    pub fn logits_arrays_with(
+        &self,
+        tape: &mut Tape,
+        bind: &mut Bindings,
+        x: &Matrix,
+        y: &Matrix,
+        src: Arc<Vec<u32>>,
+        dst: Arc<Vec<u32>>,
+    ) -> Vec<f32> {
+        tape.reset();
+        bind.reset();
+        let logits = self.forward_arrays(tape, bind, x, y, src, dst);
+        tape.value(logits).data().to_vec()
+    }
+
+    /// Logit threshold corresponding to the configured probability cut.
+    pub fn logit_cut(&self) -> f32 {
+        let p = self.config.threshold.clamp(1e-6, 1.0 - 1e-6);
+        (p / (1.0 - p)).ln()
+    }
+
     /// Indices of edges passing the threshold.
     pub fn kept_edges(&self, g: &PreparedGraph) -> Vec<usize> {
         let mut tape = Tape::new();
@@ -129,10 +173,7 @@ impl FilterStage {
         bind: &mut Bindings,
         g: &PreparedGraph,
     ) -> Vec<usize> {
-        let cut = {
-            let p = self.config.threshold.clamp(1e-6, 1.0 - 1e-6);
-            (p / (1.0 - p)).ln()
-        };
+        let cut = self.logit_cut();
         self.logits_with(tape, bind, g)
             .iter()
             .enumerate()

@@ -29,7 +29,9 @@ pub mod pipeline;
 pub mod tracks;
 pub mod train;
 
-pub use checkpoint::{Checkpoint, CheckpointError, TensorEntry};
+pub use checkpoint::{
+    Checkpoint, CheckpointError, CheckpointMeta, TensorEntry, CHECKPOINT_META_VERSION,
+};
 pub use curves::{best_f1_threshold, efficiency_vs_pt, roc_auc, threshold_sweep, SweepPoint};
 pub use early_stopping::EarlyStopping;
 pub use embedding::{EmbeddingConfig, EmbeddingStage};
@@ -47,7 +49,7 @@ pub use graph_construction::{
 };
 pub use metrics::{match_tracks, EdgeMetrics, TrackMetrics};
 pub use pipeline::{
-    train_pipeline, PipelineBundle, PipelineConfig, PipelineReport, TrainedPipeline,
+    train_pipeline, PipelineBundle, PipelineConfig, PipelineReport, StageTimings, TrainedPipeline,
 };
 pub use tracks::{build_tracks, build_tracks_oracle, TrackBuildResult};
 pub use train::{

@@ -233,6 +233,22 @@ pub struct PipelineBundle {
     pub gnn: crate::checkpoint::Checkpoint,
 }
 
+impl PipelineBundle {
+    /// Check every stage checkpoint's metadata header against the
+    /// bundle's own configuration — a cheap pre-flight that rejects
+    /// shape-mismatched or truncated artifacts with a clear error before
+    /// any model is constructed. Headerless (legacy) checkpoints pass;
+    /// they are still shape-checked tensor-by-tensor at apply time.
+    pub fn validate(&self) -> Result<(), crate::checkpoint::CheckpointError> {
+        let (nf, ef) = (self.config.vertex_features, self.config.edge_features);
+        self.embedding
+            .validate_meta("embedding", nf, 0, self.config.embedding.dim)?;
+        self.filter.validate_meta("filter", nf, ef, 1)?;
+        self.gnn.validate_meta("gnn", nf, ef, 1)?;
+        Ok(())
+    }
+}
+
 impl TrainedPipeline {
     /// Save every learned stage plus the configuration to one JSON file.
     pub fn save_json(
@@ -240,12 +256,19 @@ impl TrainedPipeline {
         path: impl AsRef<std::path::Path>,
     ) -> Result<(), crate::checkpoint::CheckpointError> {
         use crate::checkpoint::{Checkpoint, CheckpointError};
+        let (nf, ef) = (self.config.vertex_features, self.config.edge_features);
         let bundle = PipelineBundle {
             config: self.config.clone(),
             radius: self.radius,
-            embedding: Checkpoint::from_params(&self.embedding.mlp.params()),
-            filter: Checkpoint::from_params(&self.filter.mlp.params()),
-            gnn: Checkpoint::from_params(&self.gnn.params()),
+            embedding: Checkpoint::from_params(&self.embedding.mlp.params()).with_meta(
+                "embedding",
+                nf,
+                0,
+                self.config.embedding.dim,
+            ),
+            filter: Checkpoint::from_params(&self.filter.mlp.params())
+                .with_meta("filter", nf, ef, 1),
+            gnn: Checkpoint::from_params(&self.gnn.params()).with_meta("gnn", nf, ef, 1),
         };
         let json =
             serde_json::to_string(&bundle).map_err(|e| CheckpointError::Parse(e.to_string()))?;
@@ -261,6 +284,7 @@ impl TrainedPipeline {
         let json = std::fs::read_to_string(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
         let bundle: PipelineBundle =
             serde_json::from_str(&json).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+        bundle.validate()?;
         let (nf, ef) = (bundle.config.vertex_features, bundle.config.edge_features);
         let mut embedding = EmbeddingStage::new(nf, bundle.config.embedding.clone());
         bundle.embedding.apply_to(&mut embedding.mlp.params_mut())?;
@@ -281,26 +305,207 @@ impl TrainedPipeline {
     /// Run the full inference pipeline on a new event. One pooled tape
     /// serves all three learned stages.
     pub fn reconstruct(&self, event: &Event) -> TrackBuildResult {
-        let (nf, ef) = (self.config.vertex_features, self.config.edge_features);
         let mut tape = Tape::new();
         let mut bind = Bindings::new();
-        let f = features_of(event, nf);
-        let emb = self.embedding.embed_with(&mut tape, &mut bind, &f);
-        let g = build_graph_from_embeddings(event, &emb, self.radius);
-        let graph = event_graph_from_edges(event, g.src, g.dst, g.labels, nf, ef);
-        let prepared = PreparedGraph::from_event_graph(&graph);
-        let kept = self.filter.kept_edges_with(&mut tape, &mut bind, &prepared);
-        let src: Vec<u32> = kept.iter().map(|&i| graph.src[i]).collect();
-        let dst: Vec<u32> = kept.iter().map(|&i| graph.dst[i]).collect();
-        let labels: Vec<f32> = kept.iter().map(|&i| graph.labels[i]).collect();
-        let pruned = event_graph_from_edges(event, src, dst, labels, nf, ef);
-        let prepared_pruned = PreparedGraph::from_event_graph(&pruned);
-        let logits = infer_logits_with(&mut tape, &mut bind, &self.gnn, &prepared_pruned);
-        build_tracks(
-            &pruned,
-            &logits,
-            self.config.track_threshold,
-            self.config.min_hits,
-        )
+        self.reconstruct_with(&mut tape, &mut bind, event)
+    }
+
+    /// [`TrainedPipeline::reconstruct`] against a caller-pooled
+    /// tape/bindings pair, so repeated inference (the serving hot path,
+    /// or `trkx reconstruct` over many events) recycles buffers instead
+    /// of allocating fresh pools per event.
+    pub fn reconstruct_with(
+        &self,
+        tape: &mut Tape,
+        bind: &mut Bindings,
+        event: &Event,
+    ) -> TrackBuildResult {
+        let (mut results, _) = self.reconstruct_batch_with(tape, bind, &[event]);
+        results.pop().expect("one result per event")
+    }
+
+    /// Micro-batched inference: run the full pipeline over `events` as
+    /// one disjoint-union graph. The embedding and filter MLPs see one
+    /// concatenated matrix (one GEMM instead of `B` small ones), the GNN
+    /// runs over the union edge list with a single
+    /// [`EdgePlans`](trkx_tensor::EdgePlans) built
+    /// once per micro-batch and reused across all GNN layers, and track
+    /// building runs per event on the split outputs.
+    ///
+    /// Because every kernel in the substrate is row/node-local and
+    /// bit-identical at any tile/block/thread geometry (see DESIGN.md
+    /// §4d/§4e), the outputs are **bit-identical** to calling
+    /// [`TrainedPipeline::reconstruct`] per event, at any batch size —
+    /// pinned by `crates/serve/tests/batch_parity.rs`.
+    pub fn reconstruct_batch_with(
+        &self,
+        tape: &mut Tape,
+        bind: &mut Bindings,
+        events: &[&Event],
+    ) -> (Vec<TrackBuildResult>, StageTimings) {
+        use std::sync::Arc;
+        use std::time::Instant;
+        let (nf, ef) = (self.config.vertex_features, self.config.edge_features);
+        let mut timings = StageTimings::default();
+        if events.is_empty() {
+            return (Vec::new(), timings);
+        }
+
+        // Stage 1: one embedding forward over the concatenated features.
+        let t0 = Instant::now();
+        let feats: Vec<Matrix> = events.iter().map(|e| features_of(e, nf)).collect();
+        let total_hits: usize = feats.iter().map(Matrix::rows).sum();
+        let mut xcat = Vec::with_capacity(total_hits * nf);
+        for f in &feats {
+            xcat.extend_from_slice(f.data());
+        }
+        let x_union = Matrix::from_vec(total_hits, nf, xcat);
+        let emb_dim = self.config.embedding.dim;
+        let emb_all = if total_hits == 0 {
+            Matrix::zeros(0, emb_dim)
+        } else {
+            self.embedding.embed_with(tape, bind, &x_union)
+        };
+        timings.embed_s = t0.elapsed().as_secs_f64();
+
+        // Stage 2: per-event radius graphs, assembled into one union
+        // candidate graph with node ids offset by each event's base.
+        let t0 = Instant::now();
+        let mut node_base = vec![0usize; events.len()];
+        let mut cand_src: Vec<u32> = Vec::new();
+        let mut cand_dst: Vec<u32> = Vec::new();
+        let mut cand_labels: Vec<f32> = Vec::new();
+        let mut ycat: Vec<f32> = Vec::new();
+        // Per-event candidate-edge ranges in the union edge list.
+        let mut edge_range = vec![(0usize, 0usize); events.len()];
+        let mut base = 0usize;
+        for (i, event) in events.iter().enumerate() {
+            node_base[i] = base;
+            let n = feats[i].rows();
+            let emb = Matrix::from_vec(
+                n,
+                emb_dim,
+                emb_all.data()[base * emb_dim..(base + n) * emb_dim].to_vec(),
+            );
+            let g = build_graph_from_embeddings(event, &emb, self.radius);
+            let start = cand_src.len();
+            ycat.extend_from_slice(&edge_features(event, &g.src, &g.dst, ef));
+            cand_src.extend(g.src.iter().map(|&s| s + base as u32));
+            cand_dst.extend(g.dst.iter().map(|&d| d + base as u32));
+            cand_labels.extend_from_slice(&g.labels);
+            edge_range[i] = (start, cand_src.len());
+            base += n;
+        }
+        let y_union = Matrix::from_vec(cand_src.len(), ef, ycat);
+        timings.construct_s = t0.elapsed().as_secs_f64();
+
+        // Stage 3: one filter forward over the union candidate edges.
+        let t0 = Instant::now();
+        let cand_src = Arc::new(cand_src);
+        let cand_dst = Arc::new(cand_dst);
+        let kept: Vec<usize> = if cand_src.is_empty() {
+            Vec::new()
+        } else {
+            let cut = self.filter.logit_cut();
+            self.filter
+                .logits_arrays_with(
+                    tape,
+                    bind,
+                    &x_union,
+                    &y_union,
+                    Arc::clone(&cand_src),
+                    Arc::clone(&cand_dst),
+                )
+                .iter()
+                .enumerate()
+                .filter(|(_, &l)| l > cut)
+                .map(|(i, _)| i)
+                .collect()
+        };
+        timings.filter_s = t0.elapsed().as_secs_f64();
+
+        // Stage 4: the GNN over the pruned union graph. The edge plans
+        // are built once here and reused by every GNN layer's gathers
+        // and scatters.
+        let t0 = Instant::now();
+        let kept_ids: Vec<u32> = kept.iter().map(|&i| i as u32).collect();
+        let pruned_src: Arc<Vec<u32>> = Arc::new(kept.iter().map(|&i| cand_src[i]).collect());
+        let pruned_dst: Arc<Vec<u32>> = Arc::new(kept.iter().map(|&i| cand_dst[i]).collect());
+        let pruned_labels: Vec<f32> = kept.iter().map(|&i| cand_labels[i]).collect();
+        let pruned_y = y_union.gather_rows(&kept_ids);
+        let logits: Vec<f32> = if pruned_src.is_empty() {
+            Vec::new()
+        } else {
+            tape.reset();
+            bind.reset();
+            let plans = Arc::new(trkx_tensor::EdgePlans::new(
+                Arc::clone(&pruned_src),
+                Arc::clone(&pruned_dst),
+                total_hits,
+            ));
+            let v = self
+                .gnn
+                .forward_planned(tape, bind, &x_union, &pruned_y, &plans);
+            tape.value(v).data().to_vec()
+        };
+        timings.gnn_s = t0.elapsed().as_secs_f64();
+
+        // Stage 5: split the union back per event and build tracks.
+        let t0 = Instant::now();
+        // Kept edge ids are ascending, so each event's pruned edges form
+        // a contiguous run in the union order.
+        let mut results = Vec::with_capacity(events.len());
+        let mut cursor = 0usize;
+        for (i, event) in events.iter().enumerate() {
+            let (e_start, e_end) = edge_range[i];
+            let p_start = cursor;
+            while cursor < kept.len() && kept[cursor] < e_end {
+                debug_assert!(kept[cursor] >= e_start);
+                cursor += 1;
+            }
+            let p_end = cursor;
+            let nb = node_base[i] as u32;
+            let src: Vec<u32> = pruned_src[p_start..p_end].iter().map(|&s| s - nb).collect();
+            let dst: Vec<u32> = pruned_dst[p_start..p_end].iter().map(|&d| d - nb).collect();
+            let labels = pruned_labels[p_start..p_end].to_vec();
+            let y: Vec<f32> = pruned_y.data()[p_start * ef..p_end * ef].to_vec();
+            let graph = EventGraph {
+                num_nodes: event.num_hits(),
+                src,
+                dst,
+                labels,
+                x: feats[i].data().to_vec(),
+                num_vertex_features: nf,
+                y,
+                num_edge_features: ef,
+                event: (*event).clone(),
+            };
+            results.push(build_tracks(
+                &graph,
+                &logits[p_start..p_end],
+                self.config.track_threshold,
+                self.config.min_hits,
+            ));
+        }
+        timings.tracks_s = t0.elapsed().as_secs_f64();
+        (results, timings)
+    }
+}
+
+/// Wall-clock seconds spent in each pipeline stage for one micro-batch
+/// (the whole batch, not per event — the batch shares each forward).
+#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
+pub struct StageTimings {
+    pub embed_s: f64,
+    pub construct_s: f64,
+    pub filter_s: f64,
+    pub gnn_s: f64,
+    pub tracks_s: f64,
+}
+
+impl StageTimings {
+    /// Sum over all stages.
+    pub fn total_s(&self) -> f64 {
+        self.embed_s + self.construct_s + self.filter_s + self.gnn_s + self.tracks_s
     }
 }

@@ -1,0 +1,144 @@
+//! Front-ends: line-delimited JSON over stdin/stdout or a TCP listener.
+//!
+//! Both front-ends share one [`ServerCore`]; each input source gets a
+//! response channel drained by a writer thread, so workers never block
+//! on slow clients holding the queue lock. A `shutdown` request stops
+//! admission, drains queued work (every admitted request is answered),
+//! joins the workers, and returns.
+
+use crate::proto::{parse_request, Request, Response};
+use crate::worker::ServerCore;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+
+/// Handle one request line: admit events, execute commands. Returns
+/// `true` when the line asked for shutdown.
+fn handle_line(line: &str, core: &ServerCore, out: &Sender<Response>) -> bool {
+    match parse_request(line) {
+        Ok(Request::Event { id, event }) => core.submit_event(id, event, out.clone()),
+        Ok(Request::Reload { path }) => {
+            let resp = match core.registry.reload(&path) {
+                Ok(version) => {
+                    let mut r = Response::ack();
+                    r.version = Some(version);
+                    r
+                }
+                Err(e) => {
+                    core.stats.record_error();
+                    Response::error(None, format!("reload failed ({path}): {e}"))
+                }
+            };
+            let _ = out.send(resp);
+        }
+        Ok(Request::Stats) => {
+            let mut r = Response::ack();
+            r.version = Some(core.registry.version());
+            r.stats = Some(core.stats.snapshot());
+            let _ = out.send(r);
+        }
+        Ok(Request::Shutdown) => {
+            let _ = out.send(Response::ack());
+            return true;
+        }
+        Err(e) => {
+            core.stats.record_error();
+            let _ = out.send(Response::error(None, e));
+        }
+    }
+    false
+}
+
+/// Spawn a writer thread that serialises responses from `rx` into `w`,
+/// one JSON line each, flushing after every line.
+fn spawn_writer<W: Write + Send + 'static>(
+    rx: std::sync::mpsc::Receiver<Response>,
+    mut w: W,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        while let Ok(resp) = rx.recv() {
+            if writeln!(w, "{}", resp.to_line())
+                .and_then(|()| w.flush())
+                .is_err()
+            {
+                break;
+            }
+        }
+    })
+}
+
+/// Serve requests from stdin, responses to stdout, until EOF or a
+/// `shutdown` request. Consumes the core: queued work is drained and
+/// answered before returning.
+pub fn serve_stdio(core: ServerCore) -> std::io::Result<()> {
+    let (tx, rx) = channel::<Response>();
+    let writer = spawn_writer(rx, std::io::stdout());
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if handle_line(&line, &core, &tx) {
+            break;
+        }
+    }
+    core.shutdown();
+    drop(tx);
+    let _ = writer.join();
+    Ok(())
+}
+
+/// Serve a TCP listener: one reader thread and one writer thread per
+/// connection, all feeding the shared core. Returns when any client
+/// sends `shutdown` (queued work is drained and answered first).
+pub fn serve_tcp(core: ServerCore, addr: impl ToSocketAddrs) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let core = Arc::new(core);
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let core = Arc::clone(&core);
+                let stop = Arc::clone(&stop);
+                conns.push(std::thread::spawn(move || {
+                    let (tx, rx) = channel::<Response>();
+                    let write_half = match stream.try_clone() {
+                        Ok(s) => s,
+                        Err(_) => return,
+                    };
+                    let writer = spawn_writer(rx, write_half);
+                    let reader = BufReader::new(stream);
+                    for line in reader.lines() {
+                        let Ok(line) = line else { break };
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        if handle_line(&line, &core, &tx) {
+                            stop.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                    drop(tx);
+                    let _ = writer.join();
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    for c in conns {
+        let _ = c.join();
+    }
+    match Arc::try_unwrap(core) {
+        Ok(core) => core.shutdown(),
+        Err(core) => core.queue.shutdown(),
+    }
+    Ok(())
+}

@@ -1,0 +1,146 @@
+//! Serving telemetry: latency percentiles, throughput, shed and batch
+//! accounting. One [`ServeStats`] is shared by the front-end (which
+//! records sheds) and the workers (which record completions).
+
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Shared, mutex-guarded serving counters.
+pub struct ServeStats {
+    inner: Mutex<Inner>,
+    started: Instant,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Completed-request latencies (enqueue → response), microseconds.
+    latencies_us: Vec<u64>,
+    shed_too_large: u64,
+    shed_overloaded: u64,
+    errors: u64,
+    batches: u64,
+    batch_events: u64,
+}
+
+/// Point-in-time summary, also the payload of a `stats` response.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize, PartialEq)]
+pub struct StatsSnapshot {
+    pub completed: u64,
+    pub shed_too_large: u64,
+    pub shed_overloaded: u64,
+    pub errors: u64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+    /// Completed events per wall-clock second since startup.
+    pub events_per_sec: f64,
+    /// Mean micro-batch size over all worker dequeues.
+    pub mean_batch_events: f64,
+    pub uptime_s: f64,
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeStats {
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(Inner::default()),
+            started: Instant::now(),
+        }
+    }
+
+    /// Record one completed request with its enqueue→response latency.
+    pub fn record_completed(&self, latency_us: u64) {
+        self.inner.lock().unwrap().latencies_us.push(latency_us);
+    }
+
+    /// Record one worker dequeue of `events` requests.
+    pub fn record_batch(&self, events: usize) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.batches += 1;
+        inner.batch_events += events as u64;
+    }
+
+    pub fn record_shed_too_large(&self) {
+        self.inner.lock().unwrap().shed_too_large += 1;
+    }
+
+    pub fn record_shed_overloaded(&self) {
+        self.inner.lock().unwrap().shed_overloaded += 1;
+    }
+
+    pub fn record_error(&self) {
+        self.inner.lock().unwrap().errors += 1;
+    }
+
+    /// Summarise everything recorded so far.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        let mut sorted = inner.latencies_us.clone();
+        sorted.sort_unstable();
+        let uptime_s = self.started.elapsed().as_secs_f64();
+        StatsSnapshot {
+            completed: sorted.len() as u64,
+            shed_too_large: inner.shed_too_large,
+            shed_overloaded: inner.shed_overloaded,
+            errors: inner.errors,
+            p50_us: percentile(&sorted, 0.50),
+            p95_us: percentile(&sorted, 0.95),
+            p99_us: percentile(&sorted, 0.99),
+            max_us: sorted.last().copied().unwrap_or(0),
+            events_per_sec: sorted.len() as f64 / uptime_s.max(1e-9),
+            mean_batch_events: inner.batch_events as f64 / (inner.batches.max(1)) as f64,
+            uptime_s,
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice (0 if empty).
+pub fn percentile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 50);
+        assert_eq!(percentile(&v, 0.95), 95);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn snapshot_counts_everything() {
+        let stats = ServeStats::new();
+        for us in [100, 200, 300, 400] {
+            stats.record_completed(us);
+        }
+        stats.record_batch(2);
+        stats.record_batch(2);
+        stats.record_shed_too_large();
+        stats.record_shed_overloaded();
+        let snap = stats.snapshot();
+        assert_eq!(snap.completed, 4);
+        assert_eq!(snap.shed_too_large, 1);
+        assert_eq!(snap.shed_overloaded, 1);
+        assert_eq!(snap.p50_us, 200);
+        assert_eq!(snap.max_us, 400);
+        assert!((snap.mean_batch_events - 2.0).abs() < 1e-12);
+        assert!(snap.events_per_sec > 0.0);
+    }
+}

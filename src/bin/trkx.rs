@@ -8,10 +8,21 @@
 //!                [--out model.json] [--patience N] [--telemetry epochs.jsonl]
 //! trkx evaluate  --model model.json [--dataset ex3|ctd] [--scale 0.05] [--events 10]
 //! trkx reconstruct [--particles 40] [--events 8] [--seed 7]
+//!                [--hidden 32] [--layers 4] [--embed-epochs 15]
+//!                [--out pipeline.json]
+//! trkx serve     --model pipeline.json [--tcp 127.0.0.1:9090]
+//!                [--workers 2] [--max-queue 128] [--max-event-hits 50000]
+//!                [--max-batch-events 8] [--max-batch-hits 100000]
 //! trkx sample    [--sampler shadow|bulk-shadow|nodewise|layerwise|
 //!                 saint-walk|saint-edge|all] [--dataset ex3|ctd] [--scale 0.1]
 //!                [--batch 256] [--repeat 3] [--seed 1]
 //! ```
+//!
+//! `serve` speaks line-delimited JSON: requests in (`{"id":1,"event":{...}}`,
+//! `{"cmd":"reload","path":"new.json"}`, `{"cmd":"stats"}`,
+//! `{"cmd":"shutdown"}`), one JSON response per line out. By default it
+//! reads stdin and writes stdout; `--tcp addr` listens on a socket
+//! instead.
 
 use rand::{rngs::StdRng, SeedableRng};
 use trkx::ddp::{AllReduceStrategy, DdpConfig};
@@ -28,6 +39,7 @@ use trkx::sampling::{
     NodeWiseSampler, SaintEdgeSampler, SaintWalkSampler, Sampler, SamplerGraph, ShadowConfig,
     ShadowSampler,
 };
+use trkx::serve::{serve_stdio, serve_tcp, ModelRegistry, ServeConfig, ServerCore};
 
 fn arg<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
     args.iter()
@@ -170,7 +182,12 @@ fn cmd_train(args: &[String]) {
             result.epochs.len()
         );
     }
-    let ckpt = Checkpoint::from_params(&result.model.params());
+    let ckpt = Checkpoint::from_params(&result.model.params()).with_meta(
+        "gnn",
+        cfg.num_vertex_features,
+        cfg.num_edge_features,
+        1,
+    );
     match ckpt.save_json(&out) {
         Ok(()) => println!("saved checkpoint ({} scalars) to {out}", ckpt.numel()),
         Err(e) => {
@@ -244,12 +261,12 @@ fn cmd_reconstruct(args: &[String]) {
 
     let config = PipelineConfig {
         embedding: EmbeddingConfig {
-            epochs: 15,
+            epochs: arg(args, "--embed-epochs", 15),
             ..Default::default()
         },
         gnn: GnnTrainConfig {
-            hidden: 32,
-            gnn_layers: 4,
+            hidden: arg(args, "--hidden", 32),
+            gnn_layers: arg(args, "--layers", 4),
             epochs: arg(args, "--epochs", 8),
             batch_size: 128,
             shadow: ShadowConfig {
@@ -277,6 +294,74 @@ fn cmd_reconstruct(args: &[String]) {
         result.metrics.efficiency(),
         result.metrics.purity()
     );
+    let out = arg_str(args, "--out", "");
+    if !out.is_empty() {
+        match pipeline.save_json(&out) {
+            Ok(()) => println!("saved pipeline bundle to {out}"),
+            Err(e) => {
+                eprintln!("failed to save pipeline bundle: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Serve a trained pipeline bundle over line-delimited JSON (stdin by
+/// default, a TCP listener with `--tcp addr`).
+fn cmd_serve(args: &[String]) {
+    let model_path = arg_str(args, "--model", "");
+    if model_path.is_empty() {
+        eprintln!("serve requires --model <pipeline.json> (from `trkx reconstruct --out`)");
+        std::process::exit(2);
+    }
+    let config = ServeConfig {
+        workers: arg(args, "--workers", ServeConfig::default().workers),
+        max_queue: arg(args, "--max-queue", ServeConfig::default().max_queue),
+        max_event_hits: arg(
+            args,
+            "--max-event-hits",
+            ServeConfig::default().max_event_hits,
+        ),
+        max_batch_events: arg(
+            args,
+            "--max-batch-events",
+            ServeConfig::default().max_batch_events,
+        ),
+        max_batch_hits: arg(
+            args,
+            "--max-batch-hits",
+            ServeConfig::default().max_batch_hits,
+        ),
+    };
+    let registry = match ModelRegistry::load(&model_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("failed to load {model_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Startup banner on stderr so stdout stays pure response lines.
+    eprintln!(
+        "serving {model_path} (version {}) with {} workers, batch \u{2264} {} events / {} hits, \
+         shedding events > {} hits and queue depth > {}",
+        registry.version(),
+        config.workers,
+        config.max_batch_events,
+        config.max_batch_hits,
+        config.max_event_hits,
+        config.max_queue
+    );
+    let core = ServerCore::start(config, std::sync::Arc::new(registry));
+    let tcp = arg_str(args, "--tcp", "");
+    let served = if tcp.is_empty() {
+        serve_stdio(core)
+    } else {
+        serve_tcp(core, tcp.as_str())
+    };
+    if let Err(e) = served {
+        eprintln!("serve failed: {e}");
+        std::process::exit(1);
+    }
 }
 
 /// Build any sampler family behind the unified trait, by CLI name.
@@ -379,10 +464,11 @@ fn main() {
         Some("train") => cmd_train(&args[1..]),
         Some("evaluate") => cmd_evaluate(&args[1..]),
         Some("reconstruct") => cmd_reconstruct(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("sample") => cmd_sample(&args[1..]),
         _ => {
             eprintln!(
-                "usage: trkx <simulate|train|evaluate|reconstruct|sample> [options]\n\
+                "usage: trkx <simulate|train|evaluate|reconstruct|serve|sample> [options]\n\
                  see the module docs at the top of src/bin/trkx.rs"
             );
             std::process::exit(2);

@@ -21,6 +21,7 @@
 //! | [`ignn`] | `trkx-ignn` | the Interaction GNN (Algorithm 1) |
 //! | [`ddp`] | `trkx-ddp` | simulated DDP + all-reduce cost model |
 //! | [`pipeline`] | `trkx-core` | the five-stage pipeline + trainers |
+//! | [`serve`] | `trkx-serve` | micro-batching inference service |
 //!
 //! ## Quickstart
 //!
@@ -55,5 +56,6 @@ pub use trkx_graph as graph;
 pub use trkx_ignn as ignn;
 pub use trkx_nn as nn;
 pub use trkx_sampling as sampling;
+pub use trkx_serve as serve;
 pub use trkx_sparse as sparse;
 pub use trkx_tensor as tensor;
