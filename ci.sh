@@ -46,6 +46,26 @@ RAYON_NUM_THREADS=4 cargo test -q --release -p trkx-tensor --test alloc_probe
 # virtual-clock schedule must never cost more than the serial one.
 cargo run -q --release -p trkx-bench --bin fig3_epoch_time -- --overlap --tiny
 
+# DDP golden + determinism at two pool sizes: overlapped bucket
+# all-reduce must stay bit-identical to the post-hoc sync (both the
+# threaded and the simulated trainer), grad-readiness must fire exactly
+# once per leaf at its true last accumulation, and the DDP gradient-sync
+# step must stay allocation-free in steady state.
+RAYON_NUM_THREADS=1 cargo test -q --release --test ddp_equivalence
+RAYON_NUM_THREADS=4 cargo test -q --release --test ddp_equivalence
+RAYON_NUM_THREADS=1 cargo test -q --release -p trkx-tensor --test grad_ready
+RAYON_NUM_THREADS=4 cargo test -q --release -p trkx-tensor --test grad_ready
+RAYON_NUM_THREADS=4 cargo test -q --release -p trkx-ddp --test alloc_probe
+
+# Comm-overlap gate: firing each bucket's all-reduce during backward
+# must leave strictly less communication exposed than the serial
+# account at P>=2, and never slow the epoch down.
+cargo run -q --release -p trkx-bench --bin fig3_epoch_time -- --comm-overlap --tiny
+
+# DDP bench smoke: bucket ladder x overlap arms must agree bit-for-bit
+# on the final loss, plus the Hogwild-vs-sync curve study.
+cargo run -q --release -p trkx-bench --bin ddp -- --tiny --out /tmp/BENCH_ddp_smoke.json
+
 # Serve smoke gate: train a tiny bundle, start `trkx serve` on stdio,
 # push a burst that includes one oversized event (which must shed with an
 # explicit response), and require well-formed responses plus a clean

@@ -6,15 +6,20 @@
 //! ```text
 //! cargo run -p trkx-bench --bin fig3_epoch_time --release \
 //!   [-- --ctd-scale 0.004 --ex3-scale 0.05 --graphs 4 --epochs 1 \
-//!       --overlap --tiny]
+//!       --overlap --comm-overlap --tiny]
 //! ```
 //!
 //! `--overlap` additionally accounts each epoch under the overlapped
 //! (prefetching-loader) virtual clock — `max(sampling, train) + comm`
 //! instead of their sum — and **asserts** the overlapped schedule never
 //! costs more than the serial one (strictly less whenever both stages do
-//! real work), exiting non-zero on violation. `--tiny` shrinks the
-//! workload to a seconds-long smoke run (the CI prefetch gate).
+//! real work), exiting non-zero on violation. `--comm-overlap` fires
+//! each gradient bucket's all-reduce during backward instead of as one
+//! post-backward sync and **asserts** that for every multi-worker run
+//! the exposed communication is strictly below the serial account and
+//! the overlapped epoch never exceeds the serial epoch, exiting
+//! non-zero on violation. `--tiny` shrinks the workload to a
+//! seconds-long smoke run (the CI gate).
 //!
 //! As in the paper, the bulk factor `k` grows with the process count
 //! (more aggregate memory ⇒ more minibatches sampled per bulk call).
@@ -47,6 +52,7 @@ fn run_dataset(
     hidden: usize,
     layers: usize,
     overlap: bool,
+    comm_overlap: bool,
     violations: &mut usize,
 ) {
     let prepared = prepare_graphs(graphs);
@@ -86,6 +92,9 @@ fn run_dataset(
         headers.push("overlap(s)");
         headers.push("hidden");
     }
+    if comm_overlap {
+        headers.push("exposed(s)");
+    }
     headers.extend(["sample speedup", "comm speedup", "total speedup"]);
     let mut table = Table::new(&headers);
     for &p in process_counts {
@@ -119,6 +128,7 @@ fn run_dataset(
                     workers: p,
                     strategy: arm.strategy,
                     cost_model: trkx_ddp::CommCostModel::nvlink3(),
+                    comm_overlap,
                 },
                 train,
                 val,
@@ -139,6 +149,34 @@ fn run_dataset(
             // Overlapped schedule (the virtual clock's accounting when the
             // loader prefetches): sampling hides behind compute.
             let overlapped = r.epochs.iter().map(|e| e.timing.total_s()).sum::<f64>() / n;
+            let exposed_s = r
+                .epochs
+                .iter()
+                .map(|e| e.timing.comm_exposed_s)
+                .sum::<f64>()
+                / n;
+            if comm_overlap && p >= 2 {
+                // Firing each bucket's collective during backward must hide
+                // real communication behind compute: exposed strictly below
+                // the serial account, and the epoch under the overlapped
+                // clock never slower than under the serial one.
+                if exposed_s >= comm_s {
+                    println!(
+                        "VIOLATION: {} P={} exposed comm {exposed_s:.4}s >= serial {comm_s:.4}s",
+                        arm.name, p
+                    );
+                    *violations += 1;
+                }
+                if sample_s + train_s + exposed_s > total {
+                    println!(
+                        "VIOLATION: {} P={} overlapped-comm epoch {:.3}s > serial {total:.3}s",
+                        arm.name,
+                        p,
+                        sample_s + train_s + exposed_s
+                    );
+                    *violations += 1;
+                }
+            }
             if overlap {
                 // Prefetching can only remove sampling stalls, never add
                 // them; with both stages busy it must win outright.
@@ -190,6 +228,9 @@ fn run_dataset(
                     100.0 * (total - overlapped) / total.max(1e-12)
                 ));
             }
+            if comm_overlap {
+                row.push(format!("{exposed_s:.4}"));
+            }
             row.extend([su_sample, su_comm, su_total]);
             table.row(row);
             append_jsonl(
@@ -204,6 +245,8 @@ fn run_dataset(
                     "comm_s": comm_s,
                     "total_s": total,
                     "overlapped_s": overlapped,
+                    "comm_overlap": comm_overlap,
+                    "exposed_s": exposed_s,
                 }),
             );
         }
@@ -221,6 +264,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let tiny = arg_flag(&args, "--tiny");
     let overlap = arg_flag(&args, "--overlap");
+    let comm_overlap = arg_flag(&args, "--comm-overlap");
     let ctd_scale = arg_value(&args, "--ctd-scale", 0.002f64);
     let ex3_scale = arg_value(&args, "--ex3-scale", if tiny { 0.01 } else { 0.03 });
     let n_graphs = arg_value(&args, "--graphs", if tiny { 2usize } else { 3 });
@@ -242,6 +286,7 @@ fn main() {
             hidden,
             layers,
             overlap,
+            comm_overlap,
             &mut violations,
         );
     }
@@ -254,13 +299,14 @@ fn main() {
         hidden,
         layers,
         overlap,
+        comm_overlap,
         &mut violations,
     );
-    if overlap {
+    if overlap || comm_overlap {
         if violations > 0 {
-            println!("\n{violations} overlap violation(s): overlapped epoch exceeded serial");
+            println!("\n{violations} overlap violation(s): overlapped schedule exceeded serial");
             std::process::exit(1);
         }
-        println!("\nOverlap check passed: overlapped epoch time never exceeded serial.");
+        println!("\nOverlap check passed: overlapped schedules never exceeded serial accounts.");
     }
 }

@@ -7,16 +7,16 @@
 
 use crate::train::{
     plan_chunks, with_batch_source, BatchSource, BatchingMode, EpochCtx, EpochStats,
-    FullGraphSource, Hook, SampledBatch, SampledBatchSource, ShardChunks, TrainLoop, TrainStep,
-    ValMetrics,
+    FullGraphSource, HogwildShared, Hook, SampledBatch, SampledBatchSource, ShardChunks, TrainLoop,
+    TrainStep, ValMetrics,
 };
 use rand::{rngs::StdRng, SeedableRng};
 use std::sync::Arc;
 use std::time::Instant;
-use trkx_ddp::{run_workers, AllReducer, DdpConfig, EpochTiming};
+use trkx_ddp::{run_workers, AllReducer, BucketScheduler, CommLink, DdpConfig, EpochTiming};
 use trkx_detector::EventGraph;
 use trkx_ignn::{IgnnConfig, InteractionGnn};
-use trkx_nn::{bce_with_logits, Adam, BinaryStats, Bindings, Param};
+use trkx_nn::{bce_with_logits, Adam, BinaryStats, Bindings, BucketLayout, Param, Sgd};
 use trkx_sampling::{
     vertex_batches, BulkShadowSampler, SampledSubgraph, Sampler, SamplerGraph, ShadowConfig,
     ShadowSampler,
@@ -346,6 +346,35 @@ fn batch_forward_backward(
     })
 }
 
+/// Forward half only (for the comm-overlapped step shape, where backward
+/// runs separately through [`EpochCtx::backward_comm`] once the model
+/// borrow is released and its `&mut Param` list can be collected).
+fn batch_forward(
+    ctx: &mut EpochCtx,
+    model: &InteractionGnn,
+    batch: &SampledBatch,
+    pos_weight: f32,
+) -> Option<trkx_tensor::Var> {
+    ctx.forward_only(|tape, bind| {
+        if batch.labels.is_empty() {
+            return None;
+        }
+        let logits = model.forward_planned(tape, bind, &batch.x, &batch.y, &batch.plans);
+        Some(bce_with_logits(tape, logits, &batch.labels, pos_weight))
+    })
+}
+
+/// One scheduler per replica, bucketed to the strategy's budget: layout
+/// and canonical fire order are pure functions of the (identical)
+/// parameter sizes, so every rank issues the same collective sequence.
+fn build_scheduler(model: &InteractionGnn, ddp: &DdpConfig) -> BucketScheduler {
+    let sizes: Vec<usize> = model.params().iter().map(|prm| prm.numel()).collect();
+    BucketScheduler::new(BucketLayout::from_sizes(
+        &sizes,
+        ddp.strategy.bucket_bytes(),
+    ))
+}
+
 /// The full-graph schedule: one optimizer step per (budget-surviving)
 /// event graph, pulled from a [`FullGraphSource`].
 struct FullGraphStep<'a> {
@@ -381,8 +410,8 @@ impl TrainStep for FullGraphStep<'_> {
             timing: EpochTiming {
                 sampling_s,
                 train_s,
-                comm_virtual_s: 0.0,
                 overlapped: self.mode.is_prefetch(),
+                ..Default::default()
             },
         }
     }
@@ -515,6 +544,7 @@ pub fn train_minibatch_opts(
             chunk_size,
             mode,
             strategy: ddp.strategy,
+            sched: ddp.comm_overlap.then(|| build_scheduler(&init_model, &ddp)),
             reducer: &reducer,
             schedules: &schedules,
             train,
@@ -565,6 +595,10 @@ struct MinibatchRankStep<'a> {
     chunk_size: usize,
     mode: BatchingMode,
     strategy: trkx_ddp::AllReduceStrategy,
+    /// `Some` when gradient communication overlaps backward: buckets fire
+    /// through the engine's grad-ready bridge instead of one post-backward
+    /// `sync_gradients` call. Gradients are bit-identical either way.
+    sched: Option<BucketScheduler>,
     reducer: &'a AllReducer,
     schedules: &'a [Vec<(usize, Vec<u32>)>],
     train: &'a [PreparedGraph],
@@ -596,14 +630,29 @@ impl TrainStep for MinibatchRankStep<'_> {
         let sampling_s = with_batch_source(self.mode, source, |src| {
             while let Some(batch) = src.next_batch() {
                 let t = Instant::now();
-                loss_sum += batch_forward_backward(ctx, &self.model, &batch, self.pos_weight);
-                // The collective runs unconditionally inside the step so
-                // every rank makes the same number of calls even when its
-                // shard sampled no edges.
-                let (reducer, strategy) = (self.reducer, self.strategy);
-                ctx.update_with(&mut self.model.params_mut(), |params| {
-                    reducer.sync_gradients(rank, params, strategy);
-                });
+                if let Some(sched) = self.sched.as_mut() {
+                    // Overlapped path: buckets all-reduce mid-backward as
+                    // their last parameter's gradient finalizes; empty
+                    // shards still flush every bucket at finish, so all
+                    // ranks issue the same collective sequence.
+                    let loss = batch_forward(ctx, &self.model, &batch, self.pos_weight);
+                    let link = CommLink::Reduce {
+                        reducer: self.reducer,
+                        rank,
+                    };
+                    let mut params = self.model.params_mut();
+                    loss_sum += ctx.backward_comm(loss, &mut params, sched, &link);
+                    ctx.apply_with(&mut params, |_| {});
+                } else {
+                    loss_sum += batch_forward_backward(ctx, &self.model, &batch, self.pos_weight);
+                    // The collective runs unconditionally inside the step
+                    // so every rank makes the same number of calls even
+                    // when its shard sampled no edges.
+                    let (reducer, strategy) = (self.reducer, self.strategy);
+                    ctx.update_with(&mut self.model.params_mut(), |params| {
+                        reducer.sync_gradients(rank, params, strategy);
+                    });
+                }
                 train_s += t.elapsed().as_secs_f64();
             }
             src.sample_busy_s()
@@ -614,6 +663,12 @@ impl TrainStep for MinibatchRankStep<'_> {
         let comm_total = self.reducer.virtual_comm_seconds();
         let comm_epoch = comm_total - self.comm_seen;
         self.comm_seen = comm_total;
+        // Exposed comm is per-rank (it depends on this rank's own compute
+        // gaps); `max_merge` across ranks keeps the slowest.
+        let comm_exposed = match self.sched.as_mut() {
+            Some(sched) => sched.take_stats().exposed_comm_s,
+            None => comm_epoch,
+        };
 
         EpochStats {
             loss_sum,
@@ -623,7 +678,9 @@ impl TrainStep for MinibatchRankStep<'_> {
                 sampling_s,
                 train_s,
                 comm_virtual_s: comm_epoch,
+                comm_exposed_s: comm_exposed,
                 overlapped: self.mode.is_prefetch(),
+                comm_overlap: self.sched.is_some(),
             },
         }
     }
@@ -712,6 +769,7 @@ pub fn train_minibatch_simulated_opts(
     let tensor_bytes: Vec<usize> = model.params().iter().map(|prm| prm.numel() * 4).collect();
     let sampler_impl = sampler.build(cfg.shadow);
 
+    let sched = ddp.comm_overlap.then(|| build_scheduler(&model, &ddp));
     let mut step = SimulatedDdpStep {
         model,
         cfg,
@@ -719,6 +777,7 @@ pub fn train_minibatch_simulated_opts(
         chunk_size: sampler.chunk_size(),
         overlap,
         ddp,
+        sched,
         tensor_bytes,
         train,
         val,
@@ -749,6 +808,10 @@ struct SimulatedDdpStep<'a> {
     /// in the virtual clock); the math is unchanged.
     overlap: bool,
     ddp: DdpConfig,
+    /// `Some` when `ddp.comm_overlap`: the last simulated rank's backward
+    /// drives the bucket scheduler through an account-only
+    /// [`CommLink::Model`], yielding the serial-vs-exposed comm split.
+    sched: Option<BucketScheduler>,
     tensor_bytes: Vec<usize>,
     train: &'a [PreparedGraph],
     val: &'a [PreparedGraph],
@@ -792,21 +855,46 @@ impl TrainStep for SimulatedDdpStep<'_> {
             for (rank, batch) in step_batches.iter().enumerate() {
                 let batch = batch.as_ref().expect("rank batch streams are equal length");
                 let t = Instant::now();
-                let loss = batch_forward_backward(ctx, &self.model, batch, self.pos_weight);
-                if rank == 0 {
-                    loss_sum += loss;
+                let sched = if rank + 1 == p {
+                    self.sched.as_mut()
+                } else {
+                    None
+                };
+                if let Some(sched) = sched {
+                    // Last rank's backward drives the bucket scheduler
+                    // (account-only link): the bridge accumulates its
+                    // gradients exactly as `harvest` would, while the α–β
+                    // model splits comm into serial vs exposed against
+                    // this rank's real backward compute gaps.
+                    let loss = batch_forward(ctx, &self.model, batch, self.pos_weight);
+                    let link = CommLink::Model {
+                        cost: self.ddp.cost_model,
+                        workers: p,
+                    };
+                    let mut params = self.model.params_mut();
+                    let loss = ctx.backward_comm(loss, &mut params, sched, &link);
+                    if rank == 0 {
+                        loss_sum += loss;
+                    }
+                } else {
+                    let loss = batch_forward_backward(ctx, &self.model, batch, self.pos_weight);
+                    if rank == 0 {
+                        loss_sum += loss;
+                    }
+                    ctx.harvest(&mut self.model.params_mut());
                 }
-                ctx.harvest(&mut self.model.params_mut());
                 train_rank[rank] += t.elapsed().as_secs_f64();
             }
-            // Average accumulated gradients and charge the collective.
+            // Average accumulated gradients; charge the collective unless
+            // the scheduler already accounted it bucket by bucket.
             let inv = 1.0 / p as f32;
             let (ddp, tensor_bytes) = (self.ddp, &self.tensor_bytes);
+            let comm_overlap = self.sched.is_some();
             ctx.apply_with(&mut self.model.params_mut(), |params| {
                 for prm in params.iter_mut() {
                     prm.grad.apply(|v| v * inv);
                 }
-                if p > 1 {
+                if p > 1 && !comm_overlap {
                     comm_s += match ddp.strategy {
                         trkx_ddp::AllReduceStrategy::PerTensor => {
                             ddp.cost_model.per_tensor_time(tensor_bytes, p)
@@ -822,6 +910,16 @@ impl TrainStep for SimulatedDdpStep<'_> {
             });
         }
 
+        // With the scheduler active, both comm accounts come from it (its
+        // serial account provably matches the strategy formulas).
+        let (comm_virtual, comm_exposed) = match self.sched.as_mut() {
+            Some(sched) => {
+                let st = sched.take_stats();
+                (st.serial_comm_s, st.exposed_comm_s)
+            }
+            None => (comm_s, comm_s),
+        };
+
         EpochStats {
             loss_sum,
             loss_denom: ctx.steps(),
@@ -832,13 +930,171 @@ impl TrainStep for SimulatedDdpStep<'_> {
                     .map(|s| s.sample_busy_s())
                     .fold(0.0, f64::max),
                 train_s: train_rank.iter().copied().fold(0.0, f64::max),
-                comm_virtual_s: comm_s,
+                comm_virtual_s: comm_virtual,
+                comm_exposed_s: comm_exposed,
                 overlapped: self.overlap,
+                comm_overlap: self.sched.is_some(),
             },
         }
     }
 
     fn validate(&mut self, _epoch: usize) -> Option<ValMetrics> {
+        let stats = evaluate_with(
+            &mut self.val_tape,
+            &mut self.val_bind,
+            &self.model,
+            self.val,
+            self.cfg.threshold,
+        );
+        Some(ValMetrics {
+            precision: stats.precision(),
+            recall: stats.recall(),
+        })
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.model.params_mut()
+    }
+}
+
+/// Lock-free asynchronous minibatch training (Hogwild!): `workers`
+/// threads train replicas against one [`HogwildShared`] parameter store
+/// with **no** replica lockstep — each step pulls the current shared
+/// weights, runs its own forward/backward, and writes a racy SGD update
+/// straight back. No collectives, no barriers, zero communication cost;
+/// the price is gradient staleness and occasional lost updates, so
+/// convergence is noisier than synchronous DDP (the EXPERIMENTS.md §fig4
+/// study quantifies the trade).
+///
+/// Same trainer interface as [`train_minibatch`]: identical schedule
+/// construction and sharding, so mode comparisons hold the per-worker
+/// workload fixed.
+pub fn train_minibatch_hogwild(
+    cfg: &GnnTrainConfig,
+    sampler: SamplerKind,
+    workers: usize,
+    train: &[PreparedGraph],
+    val: &[PreparedGraph],
+) -> TrainResult {
+    let (nf, ef) = (train[0].x.cols(), train[0].y.cols());
+    let icfg = cfg.ignn_config(nf, ef);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let init_model = InteractionGnn::new(icfg, &mut rng);
+    let pos_weight = cfg.derive_pos_weight(train);
+    let p = workers.max(1);
+
+    let shared = HogwildShared::new(&init_model.params());
+    let schedules: Vec<Vec<(usize, Vec<u32>)>> = (0..cfg.epochs)
+        .map(|e| build_schedule(train, cfg.batch_size, cfg.seed, e))
+        .collect();
+    let sampler_impl = sampler.build(cfg.shadow);
+    let chunk_size = sampler.chunk_size();
+
+    let results = run_workers(p, |rank| {
+        let mut step = HogwildRankStep {
+            rank,
+            p,
+            model: init_model.clone(),
+            cfg,
+            sampler: &*sampler_impl,
+            chunk_size,
+            shared: &shared,
+            schedules: &schedules,
+            train,
+            val,
+            pos_weight,
+            run_validation: rank == 0,
+            val_tape: Tape::new(),
+            val_bind: Bindings::new(),
+        };
+        // Plain SGD matches the racy shared update rule; the local
+        // optimizer step is overwritten by the next pull anyway.
+        TrainLoop::new(Sgd::new(cfg.learning_rate), cfg.epochs).run(&mut step)
+    });
+
+    let mut results = results;
+    let mut epochs = results.remove(0);
+    for reports in &results {
+        for (e, r) in epochs.iter_mut().enumerate() {
+            r.timing.max_merge(&reports[e].timing);
+        }
+    }
+    // The trained model is whatever the shared store converged to.
+    let mut model = init_model;
+    shared.pull(&mut model.params_mut());
+    TrainResult {
+        model,
+        epochs,
+        skipped_graphs: 0,
+    }
+}
+
+/// One Hogwild worker's schedule: its shard of every global batch, with
+/// pull-before-forward and racy push-after-backward instead of a
+/// collective. No cross-rank synchronisation anywhere in the epoch.
+struct HogwildRankStep<'a> {
+    rank: usize,
+    p: usize,
+    model: InteractionGnn,
+    cfg: &'a GnnTrainConfig,
+    sampler: &'a dyn Sampler,
+    chunk_size: usize,
+    shared: &'a HogwildShared,
+    schedules: &'a [Vec<(usize, Vec<u32>)>],
+    train: &'a [PreparedGraph],
+    val: &'a [PreparedGraph],
+    pos_weight: f32,
+    run_validation: bool,
+    val_tape: Tape,
+    val_bind: Bindings,
+}
+
+impl TrainStep for HogwildRankStep<'_> {
+    fn train_epoch(&mut self, epoch: usize, ctx: &mut EpochCtx) -> EpochStats {
+        let chunks = plan_chunks(
+            &self.schedules[epoch],
+            self.chunk_size,
+            self.cfg.seed,
+            epoch,
+        );
+        let sharded = ShardChunks::new(chunks.into_iter(), self.rank, self.p);
+        let source = SampledBatchSource::new(self.train, self.sampler, sharded);
+
+        let mut train_s = 0.0f64;
+        let mut loss_sum = 0.0f32;
+        let sampling_s = with_batch_source(BatchingMode::Sync, source, |src| {
+            while let Some(batch) = src.next_batch() {
+                let t = Instant::now();
+                self.shared.pull(&mut self.model.params_mut());
+                loss_sum += batch_forward_backward(ctx, &self.model, &batch, self.pos_weight);
+                let (shared, lr) = (self.shared, self.cfg.learning_rate);
+                ctx.update_with(&mut self.model.params_mut(), |params| {
+                    shared.apply_grads(lr, params);
+                });
+                train_s += t.elapsed().as_secs_f64();
+            }
+            src.sample_busy_s()
+        });
+
+        EpochStats {
+            loss_sum,
+            loss_denom: ctx.steps(),
+            steps: ctx.steps(),
+            // No comm fields: Hogwild's communication cost is exactly zero.
+            timing: EpochTiming {
+                sampling_s,
+                train_s,
+                ..Default::default()
+            },
+        }
+    }
+
+    fn validate(&mut self, _epoch: usize) -> Option<ValMetrics> {
+        if !self.run_validation {
+            return None;
+        }
+        // Validate the *shared* state, not this replica's local copy.
+        self.shared.pull(&mut self.model.params_mut());
         let stats = evaluate_with(
             &mut self.val_tape,
             &mut self.val_bind,

@@ -1,0 +1,122 @@
+//! Lock-free asynchronous SGD shared-parameter store (Hogwild!, Recht et
+//! al. 2011). Workers train replicas without replica lockstep: each step
+//! pulls the current shared weights, runs forward/backward locally, and
+//! writes its SGD update straight back element-wise — no locks, no
+//! barriers, no gradient averaging. Concurrent read-modify-write races
+//! lose updates occasionally; on sparse-touch workloads the noise is
+//! tolerable and throughput scales with workers because communication
+//! and synchronisation both cost zero.
+//!
+//! Storage is `AtomicU32` holding f32 bit patterns, accessed with
+//! `Ordering::Relaxed`: every individual load/store is atomic (no torn
+//! floats), but read-modify-write sequences deliberately are not.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use trkx_nn::Param;
+
+/// The shared parameter server: one atomic-f32 vector per parameter
+/// tensor, in the canonical `params_mut()` order all replicas share.
+pub struct HogwildShared {
+    tensors: Vec<Vec<AtomicU32>>,
+}
+
+impl HogwildShared {
+    /// Seed the store from an initialized model's parameters.
+    pub fn new(params: &[&Param]) -> Self {
+        let tensors = params
+            .iter()
+            .map(|p| {
+                p.value
+                    .data()
+                    .iter()
+                    .map(|v| AtomicU32::new(v.to_bits()))
+                    .collect()
+            })
+            .collect();
+        Self { tensors }
+    }
+
+    pub fn num_tensors(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Copy the current shared values into a replica's parameters.
+    /// Relaxed loads: a concurrent writer may interleave mid-pull, which
+    /// is the Hogwild contract — each float is torn-free, the set is not.
+    pub fn pull(&self, params: &mut [&mut Param]) {
+        assert_eq!(params.len(), self.tensors.len(), "param count mismatch");
+        for (t, p) in self.tensors.iter().zip(params.iter_mut()) {
+            debug_assert_eq!(t.len(), p.numel(), "param shape mismatch");
+            for (a, v) in t.iter().zip(p.value.data_mut()) {
+                *v = f32::from_bits(a.load(Ordering::Relaxed));
+            }
+        }
+    }
+
+    /// Racy SGD update from a replica's accumulated gradients:
+    /// `w ← w − lr·g` element-wise via load/modify/store (no
+    /// compare-and-swap, no retry — colliding writers lose updates).
+    pub fn apply_grads(&self, lr: f32, params: &mut [&mut Param]) {
+        assert_eq!(params.len(), self.tensors.len(), "param count mismatch");
+        for (t, p) in self.tensors.iter().zip(params.iter()) {
+            for (a, g) in t.iter().zip(p.grad.data()) {
+                let w = f32::from_bits(a.load(Ordering::Relaxed));
+                a.store((w - lr * g).to_bits(), Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trkx_tensor::Matrix;
+
+    #[test]
+    fn pull_roundtrips_seed_values() {
+        let p = Param::new("w", Matrix::from_vec(1, 3, vec![1.0, -2.5, 3.25]));
+        let shared = HogwildShared::new(&[&p]);
+        let mut q = Param::new("w2", Matrix::zeros(1, 3));
+        shared.pull(&mut [&mut q]);
+        assert_eq!(q.value.data(), &[1.0, -2.5, 3.25]);
+    }
+
+    #[test]
+    fn apply_grads_is_plain_sgd_single_threaded() {
+        let mut p = Param::new("w", Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        p.grad = Matrix::from_vec(1, 2, vec![0.5, -1.0]);
+        let shared = HogwildShared::new(&[&p]);
+        shared.apply_grads(0.1, &mut [&mut p]);
+        shared.pull(&mut [&mut p]);
+        assert_eq!(p.value.data(), &[1.0 - 0.05, 2.0 + 0.1]);
+    }
+
+    #[test]
+    fn concurrent_updates_land_lock_free() {
+        use std::sync::Arc;
+        let p = Param::new("w", Matrix::zeros(1, 8));
+        let shared = Arc::new(HogwildShared::new(&[&p]));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let mut local = Param::new("l", Matrix::zeros(1, 8));
+                    local.grad = Matrix::from_fn(1, 8, |_, _| 1.0);
+                    for _ in 0..100 {
+                        shared.apply_grads(0.01, &mut [&mut local]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut out = Param::new("o", Matrix::zeros(1, 8));
+        shared.pull(&mut [&mut out]);
+        // Races lose some updates; direction and rough magnitude hold.
+        for &v in out.value.data() {
+            assert!(v <= -0.01 * 100.0 + 1e-6, "barely any updates landed: {v}");
+            assert!(v >= -0.01 * 400.0 - 1e-6, "overshoot: {v}");
+        }
+    }
+}

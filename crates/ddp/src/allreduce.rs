@@ -11,7 +11,7 @@ use crate::comm::CommCostModel;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Barrier;
-use trkx_nn::Param;
+use trkx_nn::{BucketLayout, Param};
 
 /// Gradient-synchronisation strategy (paper §III-D).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -29,6 +29,21 @@ pub enum AllReduceStrategy {
     Bucketed { bucket_bytes: usize },
 }
 
+impl AllReduceStrategy {
+    /// The bucket budget this strategy corresponds to under greedy
+    /// packing: `PerTensor` is a zero budget (every tensor alone),
+    /// `Coalesced` an unbounded one (a single bucket). All three
+    /// strategies are therefore one [`BucketLayout`] family — the
+    /// overlapped scheduler and the post-hoc path share the same packing.
+    pub fn bucket_bytes(&self) -> usize {
+        match self {
+            AllReduceStrategy::PerTensor => 0,
+            AllReduceStrategy::Coalesced => usize::MAX,
+            AllReduceStrategy::Bucketed { bucket_bytes } => *bucket_bytes,
+        }
+    }
+}
+
 /// Shared all-reduce context for `p` worker threads.
 pub struct AllReducer {
     p: usize,
@@ -38,6 +53,11 @@ pub struct AllReducer {
     barrier: Barrier,
     virtual_seconds: Mutex<f64>,
     calls: AtomicUsize,
+    /// Per-rank cached [`BucketLayout`]s for [`AllReducer::sync_gradients`]:
+    /// the flat pack/reduce/unpack buffers persist across steps, so the
+    /// post-hoc sync path performs zero steady-state heap allocations
+    /// (each rank only touches its own slot — the mutex is uncontended).
+    layouts: Vec<Mutex<Option<BucketLayout>>>,
 }
 
 impl AllReducer {
@@ -50,11 +70,17 @@ impl AllReducer {
             barrier: Barrier::new(p),
             virtual_seconds: Mutex::new(0.0),
             calls: AtomicUsize::new(0),
+            layouts: (0..p).map(|_| Mutex::new(None)).collect(),
         }
     }
 
     pub fn num_workers(&self) -> usize {
         self.p
+    }
+
+    /// The α–β interconnect model this reducer charges per call.
+    pub fn cost_model(&self) -> CommCostModel {
+        self.cost
     }
 
     /// Average `buf` across all ranks in place. Every rank must call this
@@ -99,54 +125,32 @@ impl AllReducer {
         self.barrier.wait();
     }
 
-    /// Synchronise parameter gradients with the chosen strategy. Both
+    /// Synchronise parameter gradients with the chosen strategy. All
     /// strategies produce identical gradients; only the number of
-    /// collective calls (and hence modeled latency) differs.
+    /// collective calls (and hence modeled latency) differs. Every
+    /// strategy is one greedy [`BucketLayout`] (per-tensor = zero budget,
+    /// coalesced = unbounded), cached per rank so the per-step
+    /// pack → reduce → unpack cycle reuses persistent flat buffers
+    /// instead of allocating a fresh `Vec` per bucket per step.
     pub fn sync_gradients(
         &self,
         rank: usize,
         params: &mut [&mut Param],
         strategy: AllReduceStrategy,
     ) {
-        match strategy {
-            AllReduceStrategy::PerTensor => {
-                for p in params.iter_mut() {
-                    // Borrow the gradient buffer directly.
-                    let rows = p.grad.rows();
-                    let cols = p.grad.cols();
-                    let _ = (rows, cols);
-                    self.allreduce(rank, p.grad.data_mut());
-                }
+        let bucket_bytes = strategy.bucket_bytes();
+        let mut cache = self.layouts[rank].lock();
+        let layout = match cache.as_mut() {
+            Some(l) if l.matches(params, bucket_bytes) => l,
+            _ => {
+                let sizes: Vec<usize> = params.iter().map(|p| p.numel()).collect();
+                cache.insert(BucketLayout::from_sizes(&sizes, bucket_bytes))
             }
-            AllReduceStrategy::Coalesced => {
-                let mut flat =
-                    trkx_nn::flatten_grads(&params.iter().map(|p| &**p).collect::<Vec<_>>());
-                self.allreduce(rank, &mut flat);
-                trkx_nn::unflatten_grads(&flat, params);
-            }
-            AllReduceStrategy::Bucketed { bucket_bytes } => {
-                // Greedy packing in parameter order; every rank packs
-                // identically so the collectives line up.
-                let mut start = 0usize;
-                while start < params.len() {
-                    let mut end = start;
-                    let mut bytes = 0usize;
-                    while end < params.len() {
-                        let sz = params[end].numel() * 4;
-                        if end > start && bytes + sz > bucket_bytes {
-                            break;
-                        }
-                        bytes += sz;
-                        end += 1;
-                    }
-                    let bucket = &mut params[start..end];
-                    let mut flat =
-                        trkx_nn::flatten_grads(&bucket.iter().map(|p| &**p).collect::<Vec<_>>());
-                    self.allreduce(rank, &mut flat);
-                    trkx_nn::unflatten_grads(&flat, bucket);
-                    start = end;
-                }
-            }
+        };
+        for b in 0..layout.num_buckets() {
+            layout.pack(b, params);
+            self.allreduce(rank, layout.buf_mut(b));
+            layout.unpack(b, params);
         }
     }
 

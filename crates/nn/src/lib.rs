@@ -28,6 +28,7 @@
 //! }
 //! ```
 
+pub mod bucket;
 pub mod dropout;
 pub mod init;
 pub mod linear;
@@ -38,6 +39,7 @@ pub mod optim;
 pub mod param;
 pub mod schedule;
 
+pub use bucket::BucketLayout;
 pub use dropout::Dropout;
 pub use linear::Linear;
 pub use loss::{bce_with_logits, contrastive_hinge_loss, BinaryStats};

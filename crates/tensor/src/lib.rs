@@ -35,4 +35,4 @@ pub use matrix::Matrix;
 pub use ops::{sigmoid, Op};
 pub use plan::{EdgePlan, EdgePlans};
 pub use pool::BufferPool;
-pub use tape::{Tape, Var};
+pub use tape::{GradObserver, GradReader, Tape, Var};

@@ -129,14 +129,21 @@ pub enum Op {
 }
 
 impl Op {
-    /// Parent node ids that should receive gradient.
-    pub fn parents(&self) -> Vec<usize> {
+    /// Visit every parent node id that should receive gradient, without
+    /// allocating — the grad-readiness scan in
+    /// [`Tape::backward_with_observer`](crate::Tape::backward_with_observer)
+    /// walks every op's parents once per step.
+    pub fn for_each_parent(&self, mut f: impl FnMut(usize)) {
         match self {
-            Op::Leaf | Op::Constant => vec![],
+            Op::Leaf | Op::Constant => {}
             Op::MatMul { a, b } | Op::Add { a, b } | Op::Sub { a, b } | Op::Hadamard { a, b } => {
-                vec![*a, *b]
+                f(*a);
+                f(*b);
             }
-            Op::AddBias { a, bias } | Op::AddBiasRelu { a, bias } => vec![*a, *bias],
+            Op::AddBias { a, bias } | Op::AddBiasRelu { a, bias } => {
+                f(*a);
+                f(*bias);
+            }
             Op::Scale { a, .. }
             | Op::AddScalar { a, .. }
             | Op::SliceCols { a, .. }
@@ -151,13 +158,31 @@ impl Op {
             | Op::RowSum { a }
             | Op::SumAll { a }
             | Op::MeanAll { a }
-            | Op::MulMask { a, .. } => vec![*a],
-            Op::ConcatCols { parts, .. } => parts.clone(),
-            Op::GatherConcat { y, x, .. } => vec![*y, *x],
-            Op::BceWithLogits { logits, .. } => vec![*logits],
-            Op::Mse { pred, .. } => vec![*pred],
-            Op::LayerNorm { a, gamma, beta, .. } => vec![*a, *gamma, *beta],
+            | Op::MulMask { a, .. } => f(*a),
+            Op::ConcatCols { parts, .. } => {
+                for &p in parts {
+                    f(p);
+                }
+            }
+            Op::GatherConcat { y, x, .. } => {
+                f(*y);
+                f(*x);
+            }
+            Op::BceWithLogits { logits, .. } => f(*logits),
+            Op::Mse { pred, .. } => f(*pred),
+            Op::LayerNorm { a, gamma, beta, .. } => {
+                f(*a);
+                f(*gamma);
+                f(*beta);
+            }
         }
+    }
+
+    /// Parent node ids that should receive gradient.
+    pub fn parents(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_parent(|p| out.push(p));
+        out
     }
 }
 

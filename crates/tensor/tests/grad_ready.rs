@@ -1,0 +1,165 @@
+//! Grad-readiness contract of [`Tape::backward_with_observer`]: for every
+//! leaf, `on_grad_final` fires **exactly once**, and only after the
+//! reverse pass has performed the leaf's *last* gradient accumulation —
+//! pinned by snapshotting the gradient at fire time and comparing it to
+//! the post-backward value bit for bit. Random tapes come from proptest;
+//! a few hand-built shapes pin the edge cases (unconsumed leaves, leaves
+//! reused early and late, constants never firing).
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use trkx_tensor::{GradObserver, GradReader, Matrix, Tape, Var};
+
+/// Records every fire with a bit-snapshot of the leaf's gradient.
+#[derive(Default)]
+struct Recorder {
+    fires: Vec<(Var, Option<Vec<u32>>)>,
+}
+
+impl GradObserver for Recorder {
+    fn on_grad_final(&mut self, leaf: Var, grads: &GradReader<'_>) {
+        let snap = grads
+            .grad(leaf)
+            .map(|m| m.data().iter().map(|v| v.to_bits()).collect());
+        self.fires.push((leaf, snap));
+    }
+}
+
+fn check_contract(tape: &Tape, leaves: &[Var], rec: &Recorder) {
+    let mut count: HashMap<usize, usize> = HashMap::new();
+    for (v, _) in &rec.fires {
+        *count.entry(v.0).or_default() += 1;
+    }
+    for &l in leaves {
+        assert_eq!(
+            count.get(&l.0).copied().unwrap_or(0),
+            1,
+            "leaf {l:?} fired {:?} times, expected exactly 1",
+            count.get(&l.0)
+        );
+    }
+    assert_eq!(rec.fires.len(), leaves.len(), "non-leaf nodes fired");
+    // Snapshot-at-fire == final gradient: nothing accumulated after the
+    // observer ran, i.e. the fire really was at the last accumulation.
+    for (v, snap) in &rec.fires {
+        let final_bits: Option<Vec<u32>> = tape
+            .grad(*v)
+            .map(|m| m.data().iter().map(|x| x.to_bits()).collect());
+        assert_eq!(
+            snap, &final_bits,
+            "leaf {v:?}: gradient changed after on_grad_final"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Random same-shape DAGs over 1..5 leaves: each op picks two earlier
+    // nodes (possibly reusing leaves many times, possibly leaving some
+    // leaves unconsumed), loss = sum of the last node.
+    #[test]
+    fn fires_exactly_once_per_leaf_at_last_accumulation(
+        n_leaves in 1usize..5,
+        cols in 1usize..5,
+        ops in prop::collection::vec((0usize..3, 0usize..100, 0usize..100), 1..12),
+        seed in 0u64..1000
+    ) {
+        let mut tape = Tape::new();
+        let mut leaves = Vec::new();
+        for i in 0..n_leaves {
+            let m = Matrix::from_fn(1, cols, |_, c| {
+                ((seed as usize + i * 7 + c * 3) % 13) as f32 * 0.25 - 1.5
+            });
+            leaves.push(tape.leaf(m));
+        }
+        let mut nodes = leaves.clone();
+        for (kind, ai, bi) in ops {
+            let a = nodes[ai % nodes.len()];
+            let b = nodes[bi % nodes.len()];
+            let v = match kind {
+                0 => tape.add(a, b),
+                1 => tape.sub(a, b),
+                _ => tape.hadamard(a, b),
+            };
+            nodes.push(v);
+        }
+        let loss = tape.sum_all(*nodes.last().unwrap());
+
+        let mut rec = Recorder::default();
+        tape.backward_with_observer(loss, &mut rec);
+        check_contract(&tape, &leaves, &rec);
+    }
+}
+
+#[test]
+fn leaf_reused_early_and_late_fires_only_after_its_last_use() {
+    // a's first consumer is the hadamard (early op), its last is the
+    // add (late op). Firing at the early op would snapshot grad = b
+    // instead of b + 1.
+    let mut tape = Tape::new();
+    let a = tape.leaf(Matrix::from_vec(1, 2, vec![2.0, 3.0]));
+    let b = tape.leaf(Matrix::from_vec(1, 2, vec![5.0, 7.0]));
+    let prod = tape.hadamard(a, b); // d/da = b
+    let sum = tape.add(prod, a); // d/da += 1
+    let loss = tape.sum_all(sum);
+    let mut rec = Recorder::default();
+    tape.backward_with_observer(loss, &mut rec);
+    check_contract(&tape, &[a, b], &rec);
+    assert_eq!(tape.grad(a).unwrap().data(), &[6.0, 8.0]); // b + 1
+                                                           // Both leaves take their last accumulation at the hadamard (the
+                                                           // minimum consumer index); ties drain in descending leaf order.
+    assert_eq!(rec.fires[0].0, b);
+    assert_eq!(rec.fires[1].0, a);
+}
+
+#[test]
+fn unconsumed_leaf_fires_once_with_no_gradient() {
+    let mut tape = Tape::new();
+    let used = tape.leaf(Matrix::from_vec(1, 1, vec![4.0]));
+    let orphan = tape.leaf(Matrix::from_vec(1, 1, vec![9.0]));
+    let loss = tape.sum_all(used);
+    let mut rec = Recorder::default();
+    tape.backward_with_observer(loss, &mut rec);
+    check_contract(&tape, &[used, orphan], &rec);
+    let orphan_fire = rec.fires.iter().find(|(v, _)| *v == orphan).unwrap();
+    assert_eq!(orphan_fire.1, None, "orphan leaf has no gradient");
+}
+
+#[test]
+fn constants_never_fire() {
+    let mut tape = Tape::new();
+    let a = tape.leaf(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+    let c = tape.constant(Matrix::from_vec(1, 2, vec![3.0, 4.0]));
+    let prod = tape.hadamard(a, c);
+    let loss = tape.sum_all(prod);
+    let mut rec = Recorder::default();
+    tape.backward_with_observer(loss, &mut rec);
+    check_contract(&tape, &[a], &rec);
+    assert!(rec.fires.iter().all(|(v, _)| *v != c));
+}
+
+#[test]
+fn observer_and_plain_backward_produce_identical_gradients() {
+    let build = |tape: &mut Tape| {
+        let a = tape.leaf(Matrix::from_fn(1, 4, |_, c| c as f32 + 0.5));
+        let b = tape.leaf(Matrix::from_fn(1, 4, |_, c| 2.0 - c as f32));
+        let h = tape.hadamard(a, b);
+        let s = tape.add(h, a);
+        let r = tape.relu(s);
+        (a, b, tape.sum_all(r))
+    };
+    let mut t1 = Tape::new();
+    let (a1, b1, loss1) = build(&mut t1);
+    t1.backward(loss1);
+
+    let mut t2 = Tape::new();
+    let (a2, b2, loss2) = build(&mut t2);
+    let mut rec = Recorder::default();
+    t2.backward_with_observer(loss2, &mut rec);
+
+    for (x, y) in [(a1, a2), (b1, b2)] {
+        assert_eq!(t1.grad(x).unwrap().data(), t2.grad(y).unwrap().data());
+    }
+    check_contract(&t2, &[a2, b2], &rec);
+}

@@ -205,6 +205,18 @@ pub fn __field<T: Deserialize>(map: &[(String, Content)], name: &str) -> Result<
     }
 }
 
+/// Derive-macro helper for `#[serde(default)]` fields: absent keys
+/// deserialize to `Default::default()` instead of erroring.
+pub fn __field_or_default<T: Deserialize + Default>(
+    map: &[(String, Content)],
+    name: &str,
+) -> Result<T, DeError> {
+    match map.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_content(v).map_err(|e| DeError(format!("field `{name}`: {e}"))),
+        None => Ok(T::default()),
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_content(&self) -> Content {
         (**self).to_content()

@@ -3,17 +3,24 @@
 //! token streams (no syn/quote available offline).
 //!
 //! Supports what the workspace uses: non-generic named-field structs and
-//! enums with unit / named-field / tuple variants, no `#[serde(...)]`
-//! attributes. The generated impls target the shim `serde` data model
-//! (`Serialize::to_content` / `Deserialize::from_content`).
+//! enums with unit / named-field / tuple variants, plus the
+//! `#[serde(default)]` field attribute (absent fields deserialize to
+//! `Default::default()`). The generated impls target the shim `serde`
+//! data model (`Serialize::to_content` / `Deserialize::from_content`).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::fmt::Write;
 
 enum VariantKind {
     Unit,
-    Named(Vec<String>),
+    Named(Vec<FieldDef>),
     Tuple(usize),
+}
+
+/// A named field and whether it carries `#[serde(default)]`.
+struct FieldDef {
+    name: String,
+    default: bool,
 }
 
 struct Variant {
@@ -22,8 +29,23 @@ struct Variant {
 }
 
 enum Item {
-    Struct { name: String, fields: Vec<String> },
+    Struct { name: String, fields: Vec<FieldDef> },
     Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Whether a `#[...]` bracket group is `serde(...)` containing `default`.
+fn is_serde_default_attr(group: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(a) if a.to_string() == "default"))
+        }
+        _ => false,
+    }
 }
 
 /// Skip `#[...]` attributes and (pub / pub(...)) visibility at `i`.
@@ -66,15 +88,37 @@ fn skip_until_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-/// Parse `name: Type, ...` named fields from a brace group body.
-fn parse_named_fields(group: TokenStream) -> Vec<String> {
+/// Parse `name: Type, ...` named fields from a brace group body,
+/// noting which carry `#[serde(default)]`.
+fn parse_named_fields(group: TokenStream) -> Vec<FieldDef> {
     let tokens: Vec<TokenTree> = group.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let mut default = false;
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    i += 1; // '#'
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Bracket {
+                            default |= is_serde_default_attr(g.stream());
+                            i += 1;
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
         let Some(TokenTree::Ident(name)) = tokens.get(i) else { break };
-        fields.push(name.to_string());
+        fields.push(FieldDef { name: name.to_string(), default });
         i += 1; // name
         i += 1; // ':'
         skip_until_top_level_comma(&tokens, &mut i);
@@ -168,7 +212,7 @@ fn tuple_binders(n: usize) -> Vec<String> {
     (0..n).map(|k| format!("__f{k}")).collect()
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let mut out = String::new();
@@ -176,6 +220,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Item::Struct { name, fields } => {
             let mut entries = String::new();
             for f in fields {
+                let f = &f.name;
                 write!(
                     entries,
                     "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_content(&self.{f})),"
@@ -203,9 +248,10 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                     )
                     .unwrap(),
                     VariantKind::Named(fields) => {
-                        let binders = fields.join(", ");
+                        let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let binders = names.join(", ");
                         let mut entries = String::new();
-                        for f in fields {
+                        for f in &names {
                             write!(
                                 entries,
                                 "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_content({f})),"
@@ -257,7 +303,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     out.parse().expect("serde_derive shim: generated Serialize impl failed to parse")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let mut out = String::new();
@@ -265,7 +311,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Item::Struct { name, fields } => {
             let mut inits = String::new();
             for f in fields {
-                write!(inits, "{f}: ::serde::__field(__map, \"{f}\")?,").unwrap();
+                let (n, helper) = (&f.name, if f.default { "__field_or_default" } else { "__field" });
+                write!(inits, "{n}: ::serde::{helper}(__map, \"{n}\")?,").unwrap();
             }
             write!(
                 out,
@@ -293,7 +340,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                     VariantKind::Named(fields) => {
                         let mut inits = String::new();
                         for f in fields {
-                            write!(inits, "{f}: ::serde::__field(__inner, \"{f}\")?,").unwrap();
+                            let (n, helper) =
+                                (&f.name, if f.default { "__field_or_default" } else { "__field" });
+                            write!(inits, "{n}: ::serde::{helper}(__inner, \"{n}\")?,").unwrap();
                         }
                         write!(
                             data_arms,

@@ -5,6 +5,7 @@
 //! trkx simulate  [--dataset ex3|ctd] [--scale 0.05] [--events 10] [--seed 42]
 //! trkx train     [--dataset ex3|ctd] [--scale 0.05] [--events 10] [--epochs 6]
 //!                [--sampler bulk|baseline] [--workers 1] [--prefetch 0]
+//!                [--bucket-bytes N] [--comm-overlap] [--hogwild]
 //!                [--out model.json] [--patience N] [--telemetry epochs.jsonl]
 //! trkx evaluate  --model model.json [--dataset ex3|ctd] [--scale 0.05] [--events 10]
 //! trkx reconstruct [--particles 40] [--events 8] [--seed 7]
@@ -30,9 +31,9 @@ use trkx::detector::{
     dataset_stats, simulate_event, split_80_10_10, DatasetConfig, DetectorGeometry, GunConfig,
 };
 use trkx::pipeline::{
-    best_f1_threshold, evaluate, infer_logits, prepare_graphs, roc_auc, train_minibatch_opts,
-    train_pipeline, BatchingMode, Checkpoint, EarlyStoppingHook, EmbeddingConfig, GnnTrainConfig,
-    Hook, Monitor, PipelineConfig, SamplerKind, TelemetryHook,
+    best_f1_threshold, evaluate, infer_logits, prepare_graphs, roc_auc, train_minibatch_hogwild,
+    train_minibatch_opts, train_pipeline, BatchingMode, Checkpoint, EarlyStoppingHook,
+    EmbeddingConfig, GnnTrainConfig, Hook, Monitor, PipelineConfig, SamplerKind, TelemetryHook,
 };
 use trkx::sampling::{
     vertex_batches, BulkShadowSampler, LayerWiseConfig, LayerWiseSampler, NodeWiseConfig,
@@ -55,6 +56,10 @@ fn arg_str(args: &[String], key: &str, default: &str) -> String {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| default.to_string())
+}
+
+fn has_flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
 }
 
 fn dataset_config(args: &[String]) -> DatasetConfig {
@@ -123,7 +128,14 @@ fn cmd_train(args: &[String]) {
         },
     };
     let workers = arg(args, "--workers", 1usize);
-    let ddp = DdpConfig::new(workers, AllReduceStrategy::Coalesced);
+    // --bucket-bytes N buckets the gradient all-reduce at an N-byte
+    // budget (default: one coalesced collective); --comm-overlap fires
+    // each bucket mid-backward as its last gradient finalizes.
+    let strategy = match arg(args, "--bucket-bytes", 0usize) {
+        0 => AllReduceStrategy::Coalesced,
+        bucket_bytes => AllReduceStrategy::Bucketed { bucket_bytes },
+    };
+    let ddp = DdpConfig::new(workers, strategy).with_overlap(has_flag(args, "--comm-overlap"));
     // --prefetch N > 0 samples on a background thread per rank, keeping up
     // to N batches queued; the loss curves are identical to sync mode.
     let mode = match arg(args, "--prefetch", 0usize) {
@@ -167,15 +179,38 @@ fn cmd_train(args: &[String]) {
         }
         hooks
     };
-    let result = train_minibatch_opts(
-        &gnn_cfg,
-        sampler,
-        mode,
-        ddp,
-        &prepared[tr],
-        &prepared[va.clone()],
-        Some(&make_hooks),
-    );
+    let result = if has_flag(args, "--hogwild") {
+        // Lock-free asynchronous SGD: no collectives, no replica
+        // lockstep; noisier convergence, zero communication cost.
+        let r = train_minibatch_hogwild(
+            &gnn_cfg,
+            sampler,
+            workers,
+            &prepared[tr],
+            &prepared[va.clone()],
+        );
+        for e in &r.epochs {
+            println!(
+                "epoch {:>2}: loss {:.4}  val P {:.3} R {:.3}  ({:.1}s)",
+                e.epoch,
+                e.train_loss,
+                e.val_precision,
+                e.val_recall,
+                e.timing.total_s()
+            );
+        }
+        r
+    } else {
+        train_minibatch_opts(
+            &gnn_cfg,
+            sampler,
+            mode,
+            ddp,
+            &prepared[tr],
+            &prepared[va.clone()],
+            Some(&make_hooks),
+        )
+    };
     if patience > 0 && result.epochs.len() < gnn_cfg.epochs {
         println!(
             "early stop after {} epochs (patience {patience})",

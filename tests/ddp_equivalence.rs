@@ -97,3 +97,137 @@ fn worker_counts_all_train_stably() {
         }
     }
 }
+
+/// Loss-curve parity must be bit-for-bit: compare f32 bit patterns, not
+/// tolerances.
+fn assert_golden_parity(a: &trkx::pipeline::TrainResult, b: &trkx::pipeline::TrainResult) {
+    assert_eq!(a.epochs.len(), b.epochs.len());
+    for (x, y) in a.epochs.iter().zip(&b.epochs) {
+        assert_eq!(
+            x.train_loss.to_bits(),
+            y.train_loss.to_bits(),
+            "epoch {}: loss {} vs {} (not bit-identical)",
+            x.epoch,
+            x.train_loss,
+            y.train_loss
+        );
+        assert_eq!(x.val_precision.to_bits(), y.val_precision.to_bits());
+        assert_eq!(x.val_recall.to_bits(), y.val_recall.to_bits());
+    }
+    for (p, q) in a.model.params().iter().zip(b.model.params().iter()) {
+        let pb: Vec<u32> = p.value.data().iter().map(|v| v.to_bits()).collect();
+        let qb: Vec<u32> = q.value.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(pb, qb, "param {} diverged", p.name());
+    }
+}
+
+#[test]
+fn overlapped_comm_is_bit_identical_to_post_hoc_threaded() {
+    // The overlapped path fires bucket all-reduces mid-backward through
+    // the grad-ready bridge; the post-hoc path runs one sync_gradients
+    // after harvest. Same strategy, same worker count: gradients — and
+    // therefore the whole trajectory — must agree bit for bit.
+    let data = DatasetConfig::ex3_like(0.015).generate(3, 44);
+    let prepared = prepare_graphs(&data);
+    let (train, val) = prepared.split_at(2);
+    let c = cfg();
+    for p in [1usize, 2, 3] {
+        let ddp = DdpConfig::new(p, AllReduceStrategy::Bucketed { bucket_bytes: 4096 });
+        let post = train_minibatch(&c, SamplerKind::Bulk { k: 2 }, ddp, train, val);
+        let over = train_minibatch(
+            &c,
+            SamplerKind::Bulk { k: 2 },
+            ddp.with_overlap(true),
+            train,
+            val,
+        );
+        assert_golden_parity(&post, &over);
+        assert!(over.epochs[0].timing.comm_overlap);
+        if p > 1 {
+            let e = &over.epochs[0].timing;
+            assert!(
+                e.comm_exposed_s <= e.comm_virtual_s,
+                "p={p}: exposed {} > serial {}",
+                e.comm_exposed_s,
+                e.comm_virtual_s
+            );
+        }
+    }
+}
+
+#[test]
+fn overlapped_comm_is_bit_identical_to_post_hoc_simulated() {
+    use trkx::pipeline::train_minibatch_simulated;
+    let data = DatasetConfig::ex3_like(0.015).generate(3, 44);
+    let prepared = prepare_graphs(&data);
+    let (train, val) = prepared.split_at(2);
+    let c = cfg();
+    for p in [1usize, 2, 4] {
+        let ddp = DdpConfig::new(p, AllReduceStrategy::Bucketed { bucket_bytes: 4096 });
+        let post = train_minibatch_simulated(&c, SamplerKind::Bulk { k: 2 }, ddp, train, val);
+        let over = train_minibatch_simulated(
+            &c,
+            SamplerKind::Bulk { k: 2 },
+            ddp.with_overlap(true),
+            train,
+            val,
+        );
+        assert_golden_parity(&post, &over);
+        if p > 1 {
+            // The scheduler's serial account reproduces the strategy
+            // formula the post-hoc path charges.
+            for (x, y) in post.epochs.iter().zip(&over.epochs) {
+                assert!(
+                    (x.timing.comm_virtual_s - y.timing.comm_virtual_s).abs() < 1e-12,
+                    "epoch {}: serial accounts disagree: {} vs {}",
+                    x.epoch,
+                    x.timing.comm_virtual_s,
+                    y.timing.comm_virtual_s
+                );
+                assert!(y.timing.comm_exposed_s <= y.timing.comm_virtual_s);
+            }
+            // Real backward compute runs between bucket fires, so some
+            // communication must hide: strictly less exposed than serial.
+            let serial: f64 = over.epochs.iter().map(|e| e.timing.comm_virtual_s).sum();
+            let exposed: f64 = over.epochs.iter().map(|e| e.timing.comm_exposed_s).sum();
+            assert!(
+                exposed < serial,
+                "p={p}: nothing overlapped (exposed {exposed} == serial {serial})"
+            );
+        }
+    }
+}
+
+#[test]
+fn hogwild_converges_and_costs_zero_comm() {
+    use trkx::pipeline::train_minibatch_hogwild;
+    let data = DatasetConfig::ex3_like(0.015).generate(3, 44);
+    let prepared = prepare_graphs(&data);
+    let (train, val) = prepared.split_at(2);
+    let mut c = cfg();
+    c.epochs = 4;
+    c.learning_rate = 1e-3;
+    let r = train_minibatch_hogwild(&c, SamplerKind::Bulk { k: 2 }, 2, train, val);
+    assert_eq!(r.epochs.len(), 4);
+    for e in &r.epochs {
+        assert!(
+            e.train_loss.is_finite(),
+            "epoch {}: {}",
+            e.epoch,
+            e.train_loss
+        );
+        assert_eq!(e.timing.comm_virtual_s, 0.0, "hogwild modeled comm");
+        assert_eq!(e.timing.comm_exposed_s, 0.0);
+    }
+    // Racy updates are noisy but must still descend: the mean of the
+    // last two epochs' losses beats the first epoch's.
+    let first = r.epochs[0].train_loss;
+    let tail = (r.epochs[2].train_loss + r.epochs[3].train_loss) / 2.0;
+    assert!(
+        tail < first,
+        "hogwild failed to descend: first {first}, tail mean {tail}"
+    );
+    for p in r.model.params() {
+        assert!(p.value.data().iter().all(|v| v.is_finite()));
+    }
+}
