@@ -78,3 +78,16 @@ cargo test -q --release --test serve_e2e
 # micro-batching core; asserts every sized event completes and the
 # oversized one sheds.
 cargo run -q --release -p trkx-bench --bin serve -- --tiny --out /tmp/BENCH_serve_smoke.json
+
+# Out-of-core sharded store gates: every sampler family must be
+# bit-identical over the file-backed ShardedCsr vs in-core CSR across
+# shard sizes and cache capacities (run at two pool sizes), the
+# sharded-vs-in-core training curve must match bit for bit, and the
+# oocore bench smoke (capacity-1 cache in the sweep forces evictions;
+# the bin itself gates parity, evictions, >=10x disk-over-budget, and
+# loss-bit parity).
+RAYON_NUM_THREADS=1 cargo test -q --release -p trkx-sampling --test sharded_parity
+RAYON_NUM_THREADS=4 cargo test -q --release -p trkx-sampling --test sharded_parity
+RAYON_NUM_THREADS=1 cargo test -q --release -p trkx-core sharded_store_training_is_bit_identical_to_in_core
+RAYON_NUM_THREADS=4 cargo test -q --release -p trkx-core sharded_store_training_is_bit_identical_to_in_core
+cargo run -q --release -p trkx-bench --bin oocore -- --tiny --out /tmp/BENCH_oocore_smoke.json

@@ -151,12 +151,13 @@ fn extraction_ablation() {
         })
         .collect();
     let _ = &mut rng;
-    let a_f = graph.directed.map_vals(|id| (id + 1) as f32);
+    let a_ids = trkx_sparse::adjacency_with_edge_ids(g.num_nodes, &g.src, &g.dst);
+    let a_f = a_ids.map_vals(|id| (id + 1) as f32);
 
     let mut t = Table::new(&["extractor", "time for 512 subgraphs (ms)"]);
     let t0 = Instant::now();
     for sel in &selections {
-        let _ = extract_induced_direct(&graph.directed, sel);
+        let _ = extract_induced_direct(&*graph.directed, sel);
     }
     t.row(vec![
         "hash-map per call (baseline)".into(),
@@ -168,7 +169,7 @@ fn extraction_ablation() {
     let mut edges = Vec::new();
     for sel in &selections {
         edges.clear();
-        let _ = ex.extract_into(&graph.directed, sel, &mut edges);
+        let _ = ex.extract_into(&*graph.directed, sel, &mut edges);
     }
     t.row(vec![
         "generation-stamped scratch (bulk)".into(),

@@ -192,6 +192,7 @@ impl TrainStep for EmbeddingTrainStep<'_> {
                 train_s: t0.elapsed().as_secs_f64(),
                 ..Default::default()
             },
+            cache: None,
         }
     }
 

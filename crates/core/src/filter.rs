@@ -232,6 +232,7 @@ impl TrainStep for FilterTrainStep<'_> {
                 train_s: t0.elapsed().as_secs_f64(),
                 ..Default::default()
             },
+            cache: None,
         }
     }
 

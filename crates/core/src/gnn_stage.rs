@@ -64,9 +64,19 @@ impl PreparedGraph {
     }
 
     pub fn from_event_graph(g: &EventGraph) -> Self {
+        let sampler = SamplerGraph::new(g.num_nodes, &g.src, &g.dst);
+        Self::from_event_graph_with_sampler(g, sampler)
+    }
+
+    /// Assemble with a caller-built sampler view — the out-of-core path:
+    /// node/edge feature matrices stay in RAM (they are streamed row-wise
+    /// by batch gather), while `sampler` reads its adjacency through
+    /// whatever [`trkx_sparse::RowStore`]s it was constructed over, e.g.
+    /// a pair of on-disk [`trkx_sparse::ShardedCsr`] stores.
+    pub fn from_event_graph_with_sampler(g: &EventGraph, sampler: SamplerGraph) -> Self {
+        assert_eq!(sampler.num_nodes, g.num_nodes, "sampler/event node count");
         let x = Matrix::from_vec(g.num_nodes, g.num_vertex_features, g.x.clone());
         let y = Matrix::from_vec(g.num_edges(), g.num_edge_features, g.y.clone());
-        let sampler = SamplerGraph::new(g.num_nodes, &g.src, &g.dst);
         Self::new(
             g.num_nodes,
             x,
@@ -98,6 +108,55 @@ impl PreparedGraph {
 /// Convert a dataset slice.
 pub fn prepare_graphs(graphs: &[EventGraph]) -> Vec<PreparedGraph> {
     graphs.iter().map(PreparedGraph::from_event_graph).collect()
+}
+
+/// Out-of-core variant of [`prepare_graphs`]: each event's two adjacency
+/// orientations are spilled to sharded files under `dir` (never built in
+/// core) and read back through per-store LRU caches holding
+/// `cache_shards` shards each. Sampling reads fault shards on demand —
+/// off the critical path when prefetch mode is on, since the prefetch
+/// thread does the faulting — and the sampled subgraphs, hence the loss
+/// curves, are bit-identical to the in-core path.
+pub fn prepare_graphs_sharded(
+    graphs: &[EventGraph],
+    dir: &std::path::Path,
+    shard_nodes: usize,
+    cache_shards: usize,
+) -> std::io::Result<Vec<PreparedGraph>> {
+    graphs
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            let spec =
+                trkx_detector::spill_event_adjacency(g, dir, &format!("event{i}"), shard_nodes)?;
+            let open = |p: &std::path::Path| {
+                trkx_sparse::ShardedCsr::<u32>::open(p, cache_shards).map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                })
+            };
+            let sampler = SamplerGraph::from_stores(
+                g.num_nodes,
+                Arc::new(open(&spec.directed)?),
+                Arc::new(open(&spec.undirected)?),
+            );
+            Ok(PreparedGraph::from_event_graph_with_sampler(g, sampler))
+        })
+        .collect()
+}
+
+/// Aggregate shard-cache counters across the training graphs' sampler
+/// views. `None` when every adjacency is in-core (no counters exist), so
+/// telemetry only grows a `shard_cache` field on sharded runs; counters
+/// are cumulative since each store was opened.
+fn shard_cache_stats(train: &[PreparedGraph]) -> Option<crate::train::ShardCacheStats> {
+    let mut total: Option<trkx_sparse::CacheCounters> = None;
+    for g in train {
+        if let Some(c) = g.sampler.cache_counters() {
+            let t = total.get_or_insert_with(trkx_sparse::CacheCounters::default);
+            *t = t.merged(c);
+        }
+    }
+    total.map(Into::into)
 }
 
 /// Which minibatch sampler implementation to use (Fig. 3/4 compare them).
@@ -413,6 +472,7 @@ impl TrainStep for FullGraphStep<'_> {
                 overlapped: self.mode.is_prefetch(),
                 ..Default::default()
             },
+            cache: None,
         }
     }
 
@@ -682,6 +742,7 @@ impl TrainStep for MinibatchRankStep<'_> {
                 overlapped: self.mode.is_prefetch(),
                 comm_overlap: self.sched.is_some(),
             },
+            cache: shard_cache_stats(self.train),
         }
     }
 
@@ -935,6 +996,7 @@ impl TrainStep for SimulatedDdpStep<'_> {
                 overlapped: self.overlap,
                 comm_overlap: self.sched.is_some(),
             },
+            cache: shard_cache_stats(self.train),
         }
     }
 
@@ -1086,6 +1148,7 @@ impl TrainStep for HogwildRankStep<'_> {
                 train_s,
                 ..Default::default()
             },
+            cache: shard_cache_stats(self.train),
         }
     }
 
@@ -1315,6 +1378,44 @@ mod tests {
             s4 < s1,
             "train time did not shrink: P=1 {s1:.3}s vs P=4 {s4:.3}s"
         );
+    }
+
+    #[test]
+    fn sharded_store_training_is_bit_identical_to_in_core() {
+        let dcfg = DatasetConfig::ex3_like(0.01);
+        let graphs = dcfg.generate(3, 21);
+        let incore = prepare_graphs(&graphs);
+        let dir = std::env::temp_dir().join(format!("trkx-gnn-sharded-{}", std::process::id()));
+        // Small shards + a 2-shard cache force faults and evictions.
+        let sharded = prepare_graphs_sharded(&graphs, &dir, 16, 2).unwrap();
+        let cfg = quick_cfg();
+        let kind = SamplerKind::Bulk { k: 2 };
+        let a = train_minibatch(&cfg, kind, DdpConfig::single(), &incore[..2], &incore[2..]);
+        let b = train_minibatch(
+            &cfg,
+            kind,
+            DdpConfig::single(),
+            &sharded[..2],
+            &sharded[2..],
+        );
+        for (x, y) in a.epochs.iter().zip(&b.epochs) {
+            assert_eq!(
+                x.train_loss.to_bits(),
+                y.train_loss.to_bits(),
+                "epoch {} loss diverged: {} vs {}",
+                x.epoch,
+                x.train_loss,
+                y.train_loss
+            );
+            assert_eq!(x.val_precision.to_bits(), y.val_precision.to_bits());
+            assert_eq!(x.val_recall.to_bits(), y.val_recall.to_bits());
+        }
+        // Telemetry: in-core runs report no cache; sharded runs report
+        // real traffic (cold stores guarantee at least one miss).
+        assert!(a.epochs.last().unwrap().shard_cache.is_none());
+        let cache = b.epochs.last().unwrap().shard_cache.expect("cache stats");
+        assert!(cache.misses > 0, "{cache:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

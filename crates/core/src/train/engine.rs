@@ -246,6 +246,28 @@ impl GradObserver for CommBridge<'_, '_, '_> {
     }
 }
 
+/// Shard-cache traffic for one epoch report: cumulative hit / miss /
+/// eviction totals aggregated over every sharded graph store the stage
+/// trains on (counters are monotone since store open, so deltas between
+/// consecutive epochs give per-epoch traffic). `None` — and absent from
+/// the telemetry JSONL — when every graph is in-core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct ShardCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+impl From<trkx_sparse::CacheCounters> for ShardCacheStats {
+    fn from(c: trkx_sparse::CacheCounters) -> Self {
+        Self {
+            hits: c.hits,
+            misses: c.misses,
+            evictions: c.evictions,
+        }
+    }
+}
+
 /// What a stage's epoch reports back to the engine.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EpochStats {
@@ -259,6 +281,8 @@ pub struct EpochStats {
     pub steps: usize,
     /// Sampling / train / modeled-communication breakdown.
     pub timing: EpochTiming,
+    /// Shard-cache counters when training over sharded graph stores.
+    pub cache: Option<ShardCacheStats>,
 }
 
 /// Epoch-end validation metrics.
@@ -283,6 +307,10 @@ pub struct EpochReport {
     /// Learning rate in effect during the epoch.
     pub lr: f32,
     pub timing: EpochTiming,
+    /// Shard-cache counters (cumulative since store open); omitted from
+    /// serialized telemetry when the graphs are fully in-core.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub shard_cache: Option<ShardCacheStats>,
 }
 
 impl EpochReport {
@@ -505,6 +533,7 @@ impl TrainLoop {
                 steps: stats.steps,
                 lr: self.engine.opt().learning_rate(),
                 timing: stats.timing,
+                shard_cache: stats.cache,
             };
             let mut control = Control::Continue;
             if !self.hooks.is_empty() {

@@ -10,7 +10,9 @@ pub mod hogwild;
 pub mod hooks;
 pub mod source;
 
-pub use engine::{Engine, EpochCtx, EpochReport, EpochStats, TrainLoop, TrainStep, ValMetrics};
+pub use engine::{
+    Engine, EpochCtx, EpochReport, EpochStats, ShardCacheStats, TrainLoop, TrainStep, ValMetrics,
+};
 pub use hogwild::HogwildShared;
 pub use hooks::{
     BestCheckpointHook, Control, EarlyStoppingHook, Hook, HookCtx, LrScheduleHook, Monitor,

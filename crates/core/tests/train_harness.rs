@@ -303,6 +303,7 @@ impl TrainStep for ScriptedStep {
             loss_denom: 1,
             steps: ctx.steps(),
             timing: Default::default(),
+            cache: None,
         }
     }
 

@@ -16,6 +16,7 @@ pub mod features;
 pub mod helix;
 pub mod io;
 pub mod particle;
+pub mod spill;
 
 pub use datasets::{dataset_stats, split_80_10_10, DatasetConfig, DatasetStats, EventGraph};
 pub use event::{
@@ -26,3 +27,7 @@ pub use features::{edge_features, vertex_features};
 pub use helix::Helix;
 pub use io::{generate_cached, load_dataset, save_dataset, DatasetFile};
 pub use particle::{GunConfig, Particle};
+pub use spill::{
+    spill_adjacency, spill_adjacency_opts, spill_event_adjacency, SpilledAdjacency,
+    DEFAULT_SHARDS_PER_PASS,
+};

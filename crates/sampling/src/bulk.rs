@@ -25,7 +25,7 @@
 use crate::shadow::ShadowConfig;
 use crate::subgraph::{SampledSubgraph, SamplerGraph};
 use rayon::prelude::*;
-use trkx_sparse::{Csr, InducedExtractor};
+use trkx_sparse::{Csr, InducedExtractor, RowStoreExt};
 
 /// Build the explicit frontier matrix `Q` (`rows x n`, one `1.0` per row
 /// at each frontier vertex's column) — the paper's representation of a
@@ -147,22 +147,23 @@ impl BulkShadowSampler {
                 .map(|w| RowRng::new(seed, step as u64, w as u64))
                 .collect();
             for (&owner, &vertex) in frontier_owner.iter().zip(&frontier_vertex) {
-                let (neighbors, _) = graph.undirected.row(vertex as usize);
-                if neighbors.is_empty() {
-                    continue;
-                }
-                picks.clear();
-                floyd_sample(
-                    neighbors,
-                    self.config.fanout,
-                    &mut rngs[owner as usize],
-                    &mut picks,
-                );
-                touched[owner as usize].extend_from_slice(&picks);
-                for &v in &picks {
-                    next_owner.push(owner);
-                    next_vertex.push(v);
-                }
+                graph.undirected.row_scope(vertex as usize, |neighbors, _| {
+                    if neighbors.is_empty() {
+                        return;
+                    }
+                    picks.clear();
+                    floyd_sample(
+                        neighbors,
+                        self.config.fanout,
+                        &mut rngs[owner as usize],
+                        &mut picks,
+                    );
+                    touched[owner as usize].extend_from_slice(&picks);
+                    for &v in &picks {
+                        next_owner.push(owner);
+                        next_vertex.push(v);
+                    }
+                });
             }
             frontier_owner = next_owner;
             frontier_vertex = next_vertex;
@@ -184,7 +185,7 @@ impl BulkShadowSampler {
                         nodes.sort_unstable();
                         nodes.dedup();
                         let mut edges = Vec::new();
-                        extractor.extract_into(&graph.directed, &nodes, &mut edges);
+                        extractor.extract_into(&*graph.directed, &nodes, &mut edges);
                         (nodes, edges)
                     },
                 )
@@ -197,7 +198,7 @@ impl BulkShadowSampler {
                     nodes.sort_unstable();
                     nodes.dedup();
                     let mut edges = Vec::new();
-                    extractor.extract_into(&graph.directed, &nodes, &mut edges);
+                    extractor.extract_into(&*graph.directed, &nodes, &mut edges);
                     (nodes, edges)
                 })
                 .collect()
@@ -318,20 +319,21 @@ mod tests {
         let mut src = Vec::new();
         let mut dst = Vec::new();
         for r in 0..n {
-            let (cols, _) = g.undirected.row(r);
-            for &c in cols {
-                src.push(r as u32);
-                dst.push(c);
-            }
+            g.undirected.row_scope(r, |cols, _| {
+                for &c in cols {
+                    src.push(r as u32);
+                    dst.push(c);
+                }
+            });
         }
         let a = adjacency_binary(n, &src, &dst);
         let frontier = vec![0u32, 3, 7, 7];
         let q = frontier_matrix(&frontier, n);
         let dist = neighborhood_distribution(&q, &a);
         for (i, &v) in frontier.iter().enumerate() {
-            let (want_cols, _) = g.undirected.row(v as usize);
+            let want_cols = g.undirected.row_scope(v as usize, |c, _| c.to_vec());
             let (got_cols, got_vals) = dist.row(i);
-            assert_eq!(got_cols, want_cols, "row {i}");
+            assert_eq!(got_cols, &want_cols[..], "row {i}");
             let deg = want_cols.len() as f32;
             for &p in got_vals {
                 assert!((p - 1.0 / deg).abs() < 1e-6, "non-uniform prob {p}");

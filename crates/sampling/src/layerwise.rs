@@ -4,7 +4,7 @@
 
 use crate::subgraph::{SampledSubgraph, SamplerGraph};
 use rand::Rng;
-use trkx_sparse::extract_induced_direct;
+use trkx_sparse::{extract_induced_direct, RowStoreExt};
 
 /// Per-layer sample sizes (number of vertices kept per layer).
 #[derive(Debug, Clone)]
@@ -38,7 +38,11 @@ impl LayerWiseSampler {
             // Candidate pool: union of neighbours of the current layer.
             let mut pool: Vec<u32> = current
                 .iter()
-                .flat_map(|&v| graph.undirected.row(v as usize).0.iter().copied())
+                .flat_map(|&v| {
+                    graph
+                        .undirected
+                        .row_scope(v as usize, |cols, _| cols.to_vec())
+                })
                 .collect();
             pool.sort_unstable();
             pool.dedup();
@@ -64,7 +68,7 @@ impl LayerWiseSampler {
         }
         touched.sort_unstable();
         touched.dedup();
-        let sub = extract_induced_direct(&graph.directed, &touched);
+        let sub = extract_induced_direct(&*graph.directed, &touched);
         let mut out = SampledSubgraph::empty();
         let edges = (0..sub.nrows()).flat_map(|r| {
             let (cols, ids) = sub.row(r);

@@ -48,7 +48,7 @@ impl NodeWiseSampler {
         }
         touched.sort_unstable();
         touched.dedup();
-        let sub = extract_induced_direct(&graph.directed, &touched);
+        let sub = extract_induced_direct(&*graph.directed, &touched);
         let mut out = SampledSubgraph::empty();
         // Single component containing every batch vertex: record it once
         // with the first batch vertex, then register the rest.

@@ -7,7 +7,7 @@
 use crate::subgraph::{SampledSubgraph, SamplerGraph};
 use rand::seq::SliceRandom;
 use rand::Rng;
-use trkx_sparse::extract_induced_direct;
+use trkx_sparse::{extract_induced_direct, RowStoreExt};
 
 /// GraphSAINT random-walk sampler: `num_roots` roots, each walked
 /// `walk_length` steps; the union of visited vertices induces the
@@ -26,12 +26,20 @@ impl SaintWalkSampler {
             let mut v = rng.gen_range(0..graph.num_nodes as u32);
             touched.push(v);
             for _ in 0..self.walk_length {
-                let (neighbors, _) = graph.undirected.row(v as usize);
-                if neighbors.is_empty() {
-                    break;
+                let next = graph.undirected.row_scope(v as usize, |neighbors, _| {
+                    if neighbors.is_empty() {
+                        None
+                    } else {
+                        Some(neighbors[rng.gen_range(0..neighbors.len())])
+                    }
+                });
+                match next {
+                    None => break,
+                    Some(n) => {
+                        v = n;
+                        touched.push(v);
+                    }
                 }
-                v = neighbors[rng.gen_range(0..neighbors.len())];
-                touched.push(v);
             }
         }
         induced(graph, touched)
@@ -67,7 +75,7 @@ impl SaintEdgeSampler {
 fn induced(graph: &SamplerGraph, mut touched: Vec<u32>) -> SampledSubgraph {
     touched.sort_unstable();
     touched.dedup();
-    let sub = extract_induced_direct(&graph.directed, &touched);
+    let sub = extract_induced_direct(&*graph.directed, &touched);
     let mut out = SampledSubgraph::empty();
     let edges = (0..sub.nrows()).flat_map(|r| {
         let (cols, ids) = sub.row(r);

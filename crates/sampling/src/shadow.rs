@@ -18,7 +18,7 @@
 use crate::subgraph::{SampledSubgraph, SamplerGraph};
 use rand::seq::SliceRandom;
 use rand::Rng;
-use trkx_sparse::extract_induced_direct;
+use trkx_sparse::{extract_induced_direct, RowStoreExt};
 
 /// ShaDow hyperparameters: random-walk `depth` (`d`) and per-vertex
 /// `fanout` (`s`). The paper trains with `d = 3`, `s = 6`.
@@ -45,11 +45,12 @@ pub fn sample_distinct_neighbors(
     fanout: usize,
     rng: &mut impl Rng,
 ) -> Vec<u32> {
-    let (neighbors, _) = graph.undirected.row(v as usize);
-    if neighbors.len() <= fanout {
-        return neighbors.to_vec();
+    let mut pool: Vec<u32> = graph
+        .undirected
+        .row_scope(v as usize, |cols, _| cols.to_vec());
+    if pool.len() <= fanout {
+        return pool;
     }
-    let mut pool: Vec<u32> = neighbors.to_vec();
     let (sampled, _) = pool.partial_shuffle(rng, fanout);
     sampled.to_vec()
 }
@@ -104,7 +105,7 @@ impl ShadowSampler {
         let mut out = SampledSubgraph::empty();
         for &b in batch {
             let nodes = walk_touched_set(graph, b, self.config, rng);
-            let sub = extract_induced_direct(&graph.directed, &nodes);
+            let sub = extract_induced_direct(&*graph.directed, &nodes);
             let edges = (0..sub.nrows()).flat_map(|r| {
                 let (cols, ids) = sub.row(r);
                 cols.iter()

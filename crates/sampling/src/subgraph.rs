@@ -5,7 +5,8 @@
 //! carries its *original* edge id so the training step can gather edge
 //! features and truth labels from the parent event graph.
 
-use trkx_sparse::Csr;
+use std::sync::Arc;
+use trkx_sparse::{CacheCounters, RowStore, RowStoreExt};
 
 /// Graph wrapper holding both orientations of an event graph's candidate
 /// edges, with values = original edge ids:
@@ -13,11 +14,18 @@ use trkx_sparse::Csr;
 ///   subgraph extraction (each original edge appears exactly once);
 /// * `undirected` — symmetrised, used by random walks (PyG's ShaDow walks
 ///   ignore direction).
+///
+/// Both orientations are held behind the [`RowStore`] trait, so a
+/// `SamplerGraph` is either fully in-core (`Csr<u32>`, the
+/// [`SamplerGraph::new`] path) or file-backed with an LRU shard cache
+/// (`ShardedCsr<u32>` via [`SamplerGraph::from_stores`]) — the samplers
+/// cannot tell the difference, and produce bit-identical subgraphs
+/// either way.
 #[derive(Debug, Clone)]
 pub struct SamplerGraph {
     pub num_nodes: usize,
-    pub directed: Csr<u32>,
-    pub undirected: Csr<u32>,
+    pub directed: Arc<dyn RowStore<u32>>,
+    pub undirected: Arc<dyn RowStore<u32>>,
 }
 
 impl SamplerGraph {
@@ -41,6 +49,28 @@ impl SamplerGraph {
             trkx_sparse::Coo::new(num_nodes, num_nodes, both_src, both_dst, ids).to_csr();
         Self {
             num_nodes,
+            directed: Arc::new(directed),
+            undirected: Arc::new(undirected),
+        }
+    }
+
+    /// Build from pre-constructed row stores (e.g. sharded, file-backed
+    /// adjacencies spilled by the detector). Both stores must be `n x n`
+    /// with values = original edge ids, the undirected one symmetrised
+    /// with duplicated ids exactly as [`SamplerGraph::new`] builds it.
+    pub fn from_stores(
+        num_nodes: usize,
+        directed: Arc<dyn RowStore<u32>>,
+        undirected: Arc<dyn RowStore<u32>>,
+    ) -> Self {
+        assert_eq!(directed.nrows(), num_nodes, "directed store row mismatch");
+        assert_eq!(
+            undirected.nrows(),
+            num_nodes,
+            "undirected store row mismatch"
+        );
+        Self {
+            num_nodes,
             directed,
             undirected,
         }
@@ -50,16 +80,26 @@ impl SamplerGraph {
         self.directed.nnz()
     }
 
+    /// Aggregated shard-cache counters over both orientations, `None`
+    /// when the graph is fully in-core.
+    pub fn cache_counters(&self) -> Option<CacheCounters> {
+        match (self.directed.counters(), self.undirected.counters()) {
+            (None, None) => None,
+            (a, b) => Some(a.unwrap_or_default().merged(b.unwrap_or_default())),
+        }
+    }
+
     /// Endpoint pair `(src, dst)` of every original edge, indexed by edge
     /// id — the inverse of the CSR's `(src, dst) → id` lookup. Used by
     /// edge-rooted samplers and by round-trip validation.
     pub fn edge_endpoints(&self) -> Vec<(u32, u32)> {
         let mut out = vec![(0u32, 0u32); self.num_edges()];
         for r in 0..self.num_nodes {
-            let (cols, ids) = self.directed.row(r);
-            for (&c, &id) in cols.iter().zip(ids) {
-                out[id as usize] = (r as u32, c);
-            }
+            self.directed.row_scope(r, |cols, ids| {
+                for (&c, &id) in cols.iter().zip(ids) {
+                    out[id as usize] = (r as u32, c);
+                }
+            });
         }
         out
     }

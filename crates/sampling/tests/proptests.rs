@@ -4,6 +4,7 @@
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
 use trkx_sampling::{vertex_batches, BulkShadowSampler, SamplerGraph, ShadowConfig, ShadowSampler};
+use trkx_sparse::RowStoreExt;
 
 /// Random connected-ish graph: n vertices, edges from a btree set.
 fn graph_strategy() -> impl Strategy<Value = SamplerGraph> {
@@ -48,8 +49,8 @@ proptest! {
         dist[0] = 0;
         let mut queue = std::collections::VecDeque::from([0u32]);
         while let Some(v) = queue.pop_front() {
-            let (cols, _) = g.undirected.row(v as usize);
-            for &c in cols {
+            let cols = g.undirected.row_scope(v as usize, |c, _| c.to_vec());
+            for &c in &cols {
                 if dist[c as usize] == usize::MAX {
                     dist[c as usize] = dist[v as usize] + 1;
                     queue.push_back(c);

@@ -3,6 +3,22 @@
 
 use crate::coo::Coo;
 
+/// Structural-validation failure from [`Csr::try_from_raw`].
+///
+/// Produced at deserialization boundaries (shards read from disk can be
+/// truncated or corrupt); the message names the violated invariant so a
+/// bad file is rejected up front instead of panicking deep in row gather.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrError(pub String);
+
+impl std::fmt::Display for CsrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid CSR: {}", self.0)
+    }
+}
+
+impl std::error::Error for CsrError {}
+
 /// Sparse matrix in CSR format with generic stored values.
 ///
 /// `vals` carry `f32` weights for numeric work, or `u32` original-edge
@@ -50,6 +66,68 @@ impl<T: Copy + Default> Csr<T> {
             indices,
             vals,
         }
+    }
+
+    /// Build from raw CSR arrays with *always-on* structural validation —
+    /// the deserialization-boundary counterpart of [`Csr::from_raw`]
+    /// (whose nondecreasing-`indptr` and column-range scans are
+    /// debug-only). Untrusted bytes (shard files, checkpoints) must come
+    /// through here so corruption surfaces as a [`CsrError`] instead of
+    /// an out-of-bounds panic during row gather.
+    pub fn try_from_raw(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        vals: Vec<T>,
+    ) -> Result<Self, CsrError> {
+        if indptr.len() != nrows + 1 {
+            return Err(CsrError(format!(
+                "indptr length {} != nrows+1 = {}",
+                indptr.len(),
+                nrows + 1
+            )));
+        }
+        if indptr[0] != 0 {
+            return Err(CsrError(format!(
+                "indptr must start at 0, got {}",
+                indptr[0]
+            )));
+        }
+        if *indptr.last().unwrap() != indices.len() {
+            return Err(CsrError(format!(
+                "indptr end {} != nnz {}",
+                indptr.last().unwrap(),
+                indices.len()
+            )));
+        }
+        if indices.len() != vals.len() {
+            return Err(CsrError(format!(
+                "indices/vals length mismatch: {} vs {}",
+                indices.len(),
+                vals.len()
+            )));
+        }
+        if let Some(r) = indptr.windows(2).position(|w| w[0] > w[1]) {
+            return Err(CsrError(format!(
+                "indptr decreases at row {r}: {} > {}",
+                indptr[r],
+                indptr[r + 1]
+            )));
+        }
+        if let Some(i) = indices.iter().position(|&c| (c as usize) >= ncols) {
+            return Err(CsrError(format!(
+                "column index {} at entry {i} out of range (ncols {ncols})",
+                indices[i]
+            )));
+        }
+        Ok(Self {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            vals,
+        })
     }
 
     /// An empty matrix with no stored entries.
@@ -315,5 +393,55 @@ mod tests {
     #[should_panic(expected = "indptr length")]
     fn bad_indptr_panics() {
         let _ = Csr::<f32>::from_raw(2, 2, vec![0, 1], vec![0], vec![1.0]);
+    }
+
+    #[test]
+    fn try_from_raw_accepts_valid() {
+        let m = Csr::<u32>::try_from_raw(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![5, 6, 7])
+            .expect("valid CSR");
+        assert_eq!(m.row(0), (&[0u32, 2][..], &[5u32, 6][..]));
+    }
+
+    #[test]
+    fn try_from_raw_rejects_corruption_always() {
+        // Each violation yields an Err naming the invariant — including
+        // the two checks that are debug-only in `from_raw`.
+        let cases: Vec<(Result<Csr<u32>, CsrError>, &str)> = vec![
+            (
+                Csr::try_from_raw(2, 2, vec![0, 1], vec![0], vec![1]),
+                "indptr length",
+            ),
+            (
+                Csr::try_from_raw(1, 2, vec![1, 1], vec![0], vec![1]),
+                "start at 0",
+            ),
+            (
+                Csr::try_from_raw(1, 2, vec![0, 2], vec![0], vec![1]),
+                "indptr end",
+            ),
+            (
+                Csr::try_from_raw(1, 2, vec![0, 1], vec![0], vec![1, 2]),
+                "length mismatch",
+            ),
+            (
+                Csr::try_from_raw(2, 4, vec![0, 2, 1], vec![0], vec![1]),
+                "decreases at row 1",
+            ),
+            (
+                Csr::try_from_raw(3, 4, vec![0, 2, 1, 3], vec![0, 1, 2], vec![1, 2, 3]),
+                "decreases at row 1",
+            ),
+            (
+                Csr::try_from_raw(1, 2, vec![0, 1], vec![5], vec![1]),
+                "out of range",
+            ),
+        ];
+        for (res, needle) in cases {
+            let err = res.expect_err("corrupt CSR must be rejected");
+            assert!(
+                err.to_string().contains(needle),
+                "error {err} should mention {needle:?}"
+            );
+        }
     }
 }

@@ -10,7 +10,7 @@
 //! O(1) between selections. This is the CPU analogue of batching many
 //! small GPU kernels into one large one.
 
-use crate::csr::Csr;
+use crate::store::{RowStore, RowStoreExt};
 
 /// Scratch state for repeated `A[sel, sel]` extractions over graphs with
 /// up to `n` vertices.
@@ -36,9 +36,11 @@ impl InducedExtractor {
     /// Extract `a[sel, sel]` (vertices renumbered to `0..sel.len()`),
     /// streaming the edges `(local_src, local_dst, value)` into `out`.
     /// `sel` must be duplicate-free. Returns the number of edges.
-    pub fn extract_into(
+    /// Generic over [`RowStore`], so bulk extraction runs unchanged over
+    /// in-core and sharded parents.
+    pub fn extract_into<S: RowStore<u32> + ?Sized>(
         &mut self,
-        a: &Csr<u32>,
+        a: &S,
         sel: &[u32],
         out: &mut Vec<(u32, u32, u32)>,
     ) -> usize {
@@ -60,12 +62,13 @@ impl InducedExtractor {
         }
         let before = out.len();
         for (i, &v) in sel.iter().enumerate() {
-            let (cols, vals) = a.row(v as usize);
-            for (&c, &val) in cols.iter().zip(vals) {
-                if self.stamp[c as usize] == self.generation {
-                    out.push((i as u32, self.pos[c as usize], val));
+            a.row_scope(v as usize, |cols, vals| {
+                for (&c, &val) in cols.iter().zip(vals) {
+                    if self.stamp[c as usize] == self.generation {
+                        out.push((i as u32, self.pos[c as usize], val));
+                    }
                 }
-            }
+            });
         }
         out.len() - before
     }
@@ -74,7 +77,7 @@ impl InducedExtractor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::csr::adjacency_with_edge_ids;
+    use crate::csr::{adjacency_with_edge_ids, Csr};
     use crate::spgemm::extract_induced_direct;
 
     fn sample_graph() -> Csr<u32> {

@@ -12,12 +12,16 @@
 pub mod coo;
 pub mod csr;
 pub mod extractor;
+pub mod sharded;
 pub mod spgemm;
 pub mod spmm;
 pub mod stack;
+pub mod store;
 
 pub use coo::Coo;
-pub use csr::{adjacency_binary, adjacency_with_edge_ids, Csr};
+pub use csr::{adjacency_binary, adjacency_with_edge_ids, Csr, CsrError};
 pub use extractor::InducedExtractor;
+pub use sharded::{write_csr_sharded, ShardValue, ShardedCsr, ShardedCsrWriter, StoreError};
 pub use spgemm::{extract_induced_direct, extract_induced_spgemm, selection_matrix};
 pub use stack::{block_diag, vstack};
+pub use store::{CacheCounters, RowStore, RowStoreExt};

@@ -4,6 +4,7 @@
 //! subgraphs, paper §III-C).
 
 use crate::csr::Csr;
+use crate::store::{RowStore, RowStoreExt};
 use rayon::prelude::*;
 use std::collections::HashMap;
 
@@ -85,8 +86,9 @@ pub fn extract_induced_spgemm(a: &Csr<f32>, sel: &[u32]) -> Csr<f32> {
 /// Direct induced-subgraph extraction `A[sel, sel]` with exact `u32` edge
 /// ids, renumbering vertices to `0..sel.len()`. Equivalent to
 /// [`extract_induced_spgemm`] on an id-valued matrix but without the f32
-/// detour; used by the per-vertex baseline sampler.
-pub fn extract_induced_direct(a: &Csr<u32>, sel: &[u32]) -> Csr<u32> {
+/// detour; used by the per-vertex baseline sampler. Generic over
+/// [`RowStore`] so it extracts from in-core and sharded graphs alike.
+pub fn extract_induced_direct<S: RowStore<u32> + ?Sized>(a: &S, sel: &[u32]) -> Csr<u32> {
     let lookup: HashMap<u32, u32> = sel
         .iter()
         .enumerate()
@@ -97,12 +99,12 @@ pub fn extract_induced_direct(a: &Csr<u32>, sel: &[u32]) -> Csr<u32> {
     let mut indices = Vec::new();
     let mut vals = Vec::new();
     for &v in sel {
-        let (cols, evals) = a.row(v as usize);
-        let mut row_entries: Vec<(u32, u32)> = cols
-            .iter()
-            .zip(evals)
-            .filter_map(|(&c, &id)| lookup.get(&c).map(|&nc| (nc, id)))
-            .collect();
+        let mut row_entries: Vec<(u32, u32)> = a.row_scope(v as usize, |cols, evals| {
+            cols.iter()
+                .zip(evals)
+                .filter_map(|(&c, &id)| lookup.get(&c).map(|&nc| (nc, id)))
+                .collect()
+        });
         row_entries.sort_unstable_by_key(|&(c, _)| c);
         for (c, id) in row_entries {
             indices.push(c);

@@ -1,0 +1,179 @@
+//! Row-oriented storage abstraction over CSR matrices.
+//!
+//! Sampling only ever touches a graph through row reads: neighbor walks
+//! read one row at a time, induced-subgraph extraction gathers the rows
+//! of a selection, and the SpGEMM formulation is row selection in matrix
+//! clothing. [`RowStore`] captures exactly that access pattern, so the
+//! six sampler families can run against either the in-core [`Csr`]
+//! (borrowed slices, zero overhead) or the file-backed
+//! [`crate::ShardedCsr`] (rows faulted in shard-at-a-time through an LRU
+//! cache) without knowing which they have.
+//!
+//! The trait is object-safe — `SamplerGraph` holds `Arc<dyn
+//! RowStore<u32>>` — which is why row access is the callback-style
+//! [`RowStore::with_row`] rather than a borrowing `row()` (a trait
+//! object cannot return slices tied to a lock-guarded cache entry).
+//! [`RowStoreExt::row_scope`] layers the ergonomic closure-with-return
+//! form on top.
+
+use crate::csr::Csr;
+
+/// Shard-cache traffic counters, aggregated from a [`RowStore`].
+///
+/// In-core stores report `None` from [`RowStore::counters`]; sharded
+/// stores report cumulative (monotone) totals since open.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Row accesses served by a resident shard.
+    pub hits: u64,
+    /// Row accesses that faulted a shard in from disk.
+    pub misses: u64,
+    /// Shards dropped to make room for a faulted one.
+    pub evictions: u64,
+}
+
+impl CacheCounters {
+    /// Component-wise sum — for aggregating over several stores.
+    pub fn merged(self, other: CacheCounters) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+        }
+    }
+
+    /// Fraction of accesses served without a disk fault (1.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Read-only row access to a CSR-shaped matrix, object-safe.
+///
+/// Implementations must be safe to share across sampling threads
+/// (`Send + Sync`); the sharded store serializes shard faults
+/// internally.
+pub trait RowStore<T: Copy + Default>: Send + Sync + std::fmt::Debug {
+    fn nrows(&self) -> usize;
+    fn ncols(&self) -> usize;
+    fn nnz(&self) -> usize;
+
+    /// Visit row `r`'s column indices and values. The callback is
+    /// invoked exactly once; the slices are only valid for its duration
+    /// (a sharded store may evict the backing shard afterwards).
+    fn with_row(&self, r: usize, f: &mut dyn FnMut(&[u32], &[T]));
+
+    /// Number of stored entries in row `r`.
+    fn row_nnz(&self, r: usize) -> usize;
+
+    /// Entry lookup; rows must be sorted by column (both stores keep
+    /// them sorted).
+    fn get(&self, r: usize, c: u32) -> Option<T>;
+
+    /// Gather the given rows (in order) into a fresh in-core CSR,
+    /// renumbering rows to `0..rows.len()`. Columns are untouched.
+    fn select_rows(&self, rows: &[u32]) -> Csr<T>;
+
+    /// Cache traffic counters, if this store has a cache.
+    fn counters(&self) -> Option<CacheCounters> {
+        None
+    }
+}
+
+/// Ergonomic extension over [`RowStore::with_row`]: run a closure on a
+/// row and return its value.
+pub trait RowStoreExt<T: Copy + Default> {
+    fn row_scope<R>(&self, r: usize, f: impl FnOnce(&[u32], &[T]) -> R) -> R;
+}
+
+impl<T: Copy + Default, S: RowStore<T> + ?Sized> RowStoreExt<T> for S {
+    fn row_scope<R>(&self, r: usize, f: impl FnOnce(&[u32], &[T]) -> R) -> R {
+        let mut f = Some(f);
+        let mut out = None;
+        self.with_row(r, &mut |cols, vals| {
+            if let Some(f) = f.take() {
+                out = Some(f(cols, vals));
+            }
+        });
+        out.expect("with_row must invoke its callback exactly once")
+    }
+}
+
+impl<T: Copy + Default + Send + Sync + std::fmt::Debug> RowStore<T> for Csr<T> {
+    fn nrows(&self) -> usize {
+        Csr::nrows(self)
+    }
+
+    fn ncols(&self) -> usize {
+        Csr::ncols(self)
+    }
+
+    fn nnz(&self) -> usize {
+        Csr::nnz(self)
+    }
+
+    fn with_row(&self, r: usize, f: &mut dyn FnMut(&[u32], &[T])) {
+        let (cols, vals) = self.row(r);
+        f(cols, vals);
+    }
+
+    fn row_nnz(&self, r: usize) -> usize {
+        Csr::row_nnz(self, r)
+    }
+
+    fn get(&self, r: usize, c: u32) -> Option<T> {
+        Csr::get(self, r, c)
+    }
+
+    fn select_rows(&self, rows: &[u32]) -> Csr<T> {
+        Csr::select_rows(self, rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::adjacency_with_edge_ids;
+
+    #[test]
+    fn csr_row_store_matches_direct_access() {
+        let a = adjacency_with_edge_ids(4, &[0, 0, 1, 3], &[1, 2, 3, 0]);
+        let s: &dyn RowStore<u32> = &a;
+        assert_eq!(s.nrows(), 4);
+        assert_eq!(s.nnz(), 4);
+        assert_eq!(s.row_nnz(0), 2);
+        assert_eq!(s.get(1, 3), Some(2));
+        assert_eq!(s.get(1, 2), None);
+        let (cols, ids) = s.row_scope(0, |c, v| (c.to_vec(), v.to_vec()));
+        assert_eq!(cols, vec![1, 2]);
+        assert_eq!(ids, vec![0, 1]);
+        assert!(s.counters().is_none());
+        let sel = s.select_rows(&[3, 0]);
+        assert_eq!(sel.row(0), (&[0u32][..], &[3u32][..]));
+    }
+
+    #[test]
+    fn counters_merge_and_hit_rate() {
+        let a = CacheCounters {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
+        let b = CacheCounters {
+            hits: 1,
+            misses: 3,
+            evictions: 2,
+        };
+        let m = a.merged(b);
+        assert_eq!(m.hits, 4);
+        assert_eq!(m.misses, 4);
+        assert_eq!(m.evictions, 2);
+        assert!((m.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(CacheCounters::default().hit_rate(), 1.0);
+    }
+}

@@ -16,7 +16,10 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        Self { function: function.into(), parameter: parameter.to_string() }
+        Self {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
     }
 }
 
@@ -54,10 +57,8 @@ impl Bencher {
             black_box(f());
             warmup_iters += 1;
         }
-        let per_iter =
-            warmup_start.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
-        let batch =
-            ((0.02 / per_iter.max(1e-9)).ceil() as u64).clamp(1, 1_000_000);
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
+        let batch = ((0.02 / per_iter.max(1e-9)).ceil() as u64).clamp(1, 1_000_000);
 
         let measure_start = Instant::now();
         while measure_start.elapsed() < self.target {
@@ -107,7 +108,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { measurement_time: Duration::from_millis(400) }
+        Self {
+            measurement_time: Duration::from_millis(400),
+        }
     }
 }
 
@@ -124,7 +127,10 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("group: {name}");
-        BenchmarkGroup { criterion: self, name }
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
     }
 
     pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
@@ -198,7 +204,9 @@ mod tests {
 
     #[test]
     fn bencher_measures_something() {
-        let mut c = Criterion { measurement_time: Duration::from_millis(30) };
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(30),
+        };
         let mut ran = false;
         c.bench_function("noop", |b| {
             b.iter(|| std::hint::black_box(1 + 1));

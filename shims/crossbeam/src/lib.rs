@@ -63,8 +63,14 @@ pub mod thread {
             let closure: Box<dyn FnOnce() + Send + 'static> =
                 unsafe { std::mem::transmute(closure) };
             let handle = std::thread::spawn(closure);
-            self.handles.lock().expect("scope handle list poisoned").push(handle);
-            ScopedJoinHandle { rx, _marker: PhantomData }
+            self.handles
+                .lock()
+                .expect("scope handle list poisoned")
+                .push(handle);
+            ScopedJoinHandle {
+                rx,
+                _marker: PhantomData,
+            }
         }
     }
 
@@ -74,7 +80,10 @@ pub mod thread {
     where
         F: FnOnce(&Scope<'env>) -> R,
     {
-        let scope = Scope { handles: Mutex::new(Vec::new()), _marker: PhantomData };
+        let scope = Scope {
+            handles: Mutex::new(Vec::new()),
+            _marker: PhantomData,
+        };
         let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
         // Join everything spawned, including threads spawned while joining.
         loop {

@@ -14,20 +14,29 @@ pub struct SizeRange {
 
 impl From<usize> for SizeRange {
     fn from(n: usize) -> Self {
-        Self { min: n, max_exclusive: n + 1 }
+        Self {
+            min: n,
+            max_exclusive: n + 1,
+        }
     }
 }
 
 impl From<std::ops::Range<usize>> for SizeRange {
     fn from(r: std::ops::Range<usize>) -> Self {
         assert!(r.start < r.end, "empty size range");
-        Self { min: r.start, max_exclusive: r.end }
+        Self {
+            min: r.start,
+            max_exclusive: r.end,
+        }
     }
 }
 
 impl From<std::ops::RangeInclusive<usize>> for SizeRange {
     fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-        Self { min: *r.start(), max_exclusive: *r.end() + 1 }
+        Self {
+            min: *r.start(),
+            max_exclusive: *r.end() + 1,
+        }
     }
 }
 
@@ -57,7 +66,10 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
 
 /// `Vec` of values from `element`, with a length drawn from `size`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 pub struct BTreeSetStrategy<S> {
@@ -91,5 +103,8 @@ pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSe
 where
     S::Value: Ord,
 {
-    BTreeSetStrategy { element, size: size.into() }
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
 }

@@ -173,7 +173,10 @@ macro_rules! prop_assert_ne {
         if __l == __r {
             return ::std::result::Result::Err(::std::format!(
                 "assertion failed: `{} != {}`\n  both: {:?}",
-                stringify!($left), stringify!($right), __l));
+                stringify!($left),
+                stringify!($right),
+                __l
+            ));
         }
     }};
 }

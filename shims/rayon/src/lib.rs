@@ -86,7 +86,10 @@ impl<'a, T: Sync> ParIter<'a, T> {
     }
 
     pub fn zip<U: Sync>(self, other: ParIter<'a, U>) -> ParZip<'a, T, U> {
-        ParZip { a: self.0, b: other.0 }
+        ParZip {
+            a: self.0,
+            b: other.0,
+        }
     }
 
     pub fn sum<S>(self) -> S
@@ -154,7 +157,10 @@ impl<'a, T: Send> ParIterMut<'a, T> {
     }
 
     pub fn zip<U: Sync>(self, other: ParIter<'a, U>) -> ParZipMut<'a, T, U> {
-        ParZipMut { a: self.0, b: other.0 }
+        ParZipMut {
+            a: self.0,
+            b: other.0,
+        }
     }
 }
 
@@ -204,7 +210,10 @@ pub struct ParChunksMut<'a, T> {
 
 impl<'a, T: Send> ParChunksMut<'a, T> {
     pub fn enumerate(self) -> ParChunksMutEnum<'a, T> {
-        ParChunksMutEnum { data: self.data, size: self.size }
+        ParChunksMutEnum {
+            data: self.data,
+            size: self.size,
+        }
     }
 
     pub fn for_each(self, f: impl Fn(&mut [T]) + Sync) {
@@ -317,7 +326,9 @@ impl ParRange {
         I: IntoIterator<Item = U>,
     {
         let start = self.0.start;
-        let nested = collect_indexed(self.0.len(), |i| f(start + i).into_iter().collect::<Vec<U>>());
+        let nested = collect_indexed(self.0.len(), |i| {
+            f(start + i).into_iter().collect::<Vec<U>>()
+        });
         ParMapped(nested.into_iter().flatten().collect())
     }
 
@@ -409,9 +420,7 @@ impl<U> FromParallelOutput<U> for Vec<U> {
 }
 
 pub mod prelude {
-    pub use crate::{
-        IntoParallelIterator, ParallelSlice, ParallelSliceMut,
-    };
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
 }
 
 #[cfg(test)]
@@ -450,7 +459,9 @@ mod tests {
     fn zip_mut_adds_elementwise() {
         let mut a = vec![1.0f32; 5000];
         let b = vec![2.0f32; 5000];
-        a.par_iter_mut().zip(b.par_iter()).for_each(|(x, &y)| *x += y);
+        a.par_iter_mut()
+            .zip(b.par_iter())
+            .for_each(|(x, &y)| *x += y);
         assert!(a.iter().all(|&v| v == 3.0));
     }
 
@@ -460,16 +471,25 @@ mod tests {
             .into_par_iter()
             .flat_map_iter(|i| (0..i % 3).map(move |j| i * 10 + j))
             .collect();
-        let expect: Vec<usize> =
-            (0..1000).flat_map(|i| (0..i % 3).map(move |j| i * 10 + j)).collect();
+        let expect: Vec<usize> = (0..1000)
+            .flat_map(|i| (0..i % 3).map(move |j| i * 10 + j))
+            .collect();
         assert_eq!(v, expect);
     }
 
     #[test]
     fn map_init_runs_init_per_block() {
         let items: Vec<u32> = (0..10_000).collect();
-        let out: Vec<u64> =
-            items.into_par_iter().map_init(|| 1u64, |s, x| { *s += 1; x as u64 }).collect();
+        let out: Vec<u64> = items
+            .into_par_iter()
+            .map_init(
+                || 1u64,
+                |s, x| {
+                    *s += 1;
+                    x as u64
+                },
+            )
+            .collect();
         assert_eq!(out.len(), 10_000);
         assert!(out.iter().enumerate().all(|(i, &x)| x == i as u64));
     }

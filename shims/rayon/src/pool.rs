@@ -95,7 +95,9 @@ pub fn num_threads() -> usize {
             .and_then(|v| v.parse::<usize>().ok())
             .filter(|&n| n > 0)
             .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
             })
     })
 }
@@ -158,7 +160,10 @@ pub fn join_n(n: usize, body: &(dyn Fn(usize) + Sync)) {
     {
         let mut remaining = latch.remaining.lock().unwrap_or_else(|e| e.into_inner());
         while *remaining > 0 {
-            remaining = latch.done.wait(remaining).unwrap_or_else(|e| e.into_inner());
+            remaining = latch
+                .done
+                .wait(remaining)
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 
@@ -185,7 +190,11 @@ pub struct BlockSplit {
 impl BlockSplit {
     pub fn new(len: usize, min_block: usize) -> Self {
         if len == 0 {
-            return Self { blocks: 0, base: 0, extra: 0 };
+            return Self {
+                blocks: 0,
+                base: 0,
+                extra: 0,
+            };
         }
         let max_blocks = num_threads().max(1);
         let blocks = (len / min_block.max(1)).clamp(1, max_blocks);

@@ -87,7 +87,8 @@ impl Content {
 
     /// Look up a key in a map value.
     pub fn get(&self, key: &str) -> Option<&Content> {
-        self.as_map().and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
     }
 
     /// Compact JSON rendering (what `serde_json::to_string` emits).
@@ -198,10 +199,8 @@ pub trait Deserialize: Sized {
 /// Derive-macro helper: fetch + deserialize struct field `name`.
 pub fn __field<T: Deserialize>(map: &[(String, Content)], name: &str) -> Result<T, DeError> {
     match map.iter().find(|(k, _)| k == name) {
-        Some((_, v)) => T::from_content(v)
-            .map_err(|e| DeError(format!("field `{name}`: {e}"))),
-        None => T::missing_field_value()
-            .ok_or_else(|| DeError(format!("missing field `{name}`"))),
+        Some((_, v)) => T::from_content(v).map_err(|e| DeError(format!("field `{name}`: {e}"))),
+        None => T::missing_field_value().ok_or_else(|| DeError(format!("missing field `{name}`"))),
     }
 }
 
@@ -299,7 +298,8 @@ impl Serialize for f64 {
 
 impl Deserialize for f64 {
     fn from_content(c: &Content) -> Result<Self, DeError> {
-        c.as_f64().ok_or_else(|| DeError(format!("expected f64, got {c}")))
+        c.as_f64()
+            .ok_or_else(|| DeError(format!("expected f64, got {c}")))
     }
 }
 
@@ -311,7 +311,8 @@ impl Serialize for bool {
 
 impl Deserialize for bool {
     fn from_content(c: &Content) -> Result<Self, DeError> {
-        c.as_bool().ok_or_else(|| DeError(format!("expected bool, got {c}")))
+        c.as_bool()
+            .ok_or_else(|| DeError(format!("expected bool, got {c}")))
     }
 }
 
@@ -343,7 +344,9 @@ impl<T: Serialize> Serialize for Vec<T> {
 
 impl<T: Deserialize> Deserialize for Vec<T> {
     fn from_content(c: &Content) -> Result<Self, DeError> {
-        let seq = c.as_seq().ok_or_else(|| DeError(format!("expected array, got {c}")))?;
+        let seq = c
+            .as_seq()
+            .ok_or_else(|| DeError(format!("expected array, got {c}")))?;
         seq.iter().map(T::from_content).collect()
     }
 }
@@ -393,13 +396,19 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
 
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_content(&self) -> Content {
-        Content::Map(self.iter().map(|(k, v)| (k.clone(), v.to_content())).collect())
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
     }
 }
 
 impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
     fn from_content(c: &Content) -> Result<Self, DeError> {
-        let map = c.as_map().ok_or_else(|| DeError(format!("expected object, got {c}")))?;
+        let map = c
+            .as_map()
+            .ok_or_else(|| DeError(format!("expected object, got {c}")))?;
         map.iter()
             .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
             .collect()
@@ -409,8 +418,10 @@ impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
 impl<V: Serialize> Serialize for HashMap<String, V> {
     fn to_content(&self) -> Content {
         // Sort for deterministic output, like serde_json's BTreeMap advice.
-        let mut entries: Vec<(String, Content)> =
-            self.iter().map(|(k, v)| (k.clone(), v.to_content())).collect();
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_content()))
+            .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         Content::Map(entries)
     }
@@ -418,7 +429,9 @@ impl<V: Serialize> Serialize for HashMap<String, V> {
 
 impl<V: Deserialize> Deserialize for HashMap<String, V> {
     fn from_content(c: &Content) -> Result<Self, DeError> {
-        let map = c.as_map().ok_or_else(|| DeError(format!("expected object, got {c}")))?;
+        let map = c
+            .as_map()
+            .ok_or_else(|| DeError(format!("expected object, got {c}")))?;
         map.iter()
             .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
             .collect()

@@ -29,8 +29,14 @@ struct Variant {
 }
 
 enum Item {
-    Struct { name: String, fields: Vec<FieldDef> },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Vec<FieldDef>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Whether a `#[...]` bracket group is `serde(...)` containing `default`.
@@ -117,8 +123,13 @@ fn parse_named_fields(group: TokenStream) -> Vec<FieldDef> {
                 _ => break,
             }
         }
-        let Some(TokenTree::Ident(name)) = tokens.get(i) else { break };
-        fields.push(FieldDef { name: name.to_string(), default });
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(FieldDef {
+            name: name.to_string(),
+            default,
+        });
         i += 1; // name
         i += 1; // ':'
         skip_until_top_level_comma(&tokens, &mut i);
@@ -155,7 +166,9 @@ fn parse_variants(group: TokenStream) -> Vec<Variant> {
     let mut i = 0;
     while i < tokens.len() {
         skip_attrs_and_vis(&tokens, &mut i);
-        let Some(TokenTree::Ident(name)) = tokens.get(i) else { break };
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
         let name = name.to_string();
         i += 1;
         let kind = match tokens.get(i) {
@@ -201,9 +214,18 @@ fn parse_item(input: TokenStream) -> Item {
         _ => None,
     });
     match (kind.as_str(), body) {
-        ("struct", Some(body)) => Item::Struct { name, fields: parse_named_fields(body) },
-        ("enum", Some(body)) => Item::Enum { name, variants: parse_variants(body) },
-        ("struct", None) => Item::Struct { name, fields: Vec::new() },
+        ("struct", Some(body)) => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        ("enum", Some(body)) => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        ("struct", None) => Item::Struct {
+            name,
+            fields: Vec::new(),
+        },
         _ => panic!("serde_derive shim: unsupported item kind `{kind}` for {name}"),
     }
 }
@@ -300,7 +322,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             .unwrap();
         }
     }
-    out.parse().expect("serde_derive shim: generated Serialize impl failed to parse")
+    out.parse()
+        .expect("serde_derive shim: generated Serialize impl failed to parse")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
@@ -311,7 +334,14 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Item::Struct { name, fields } => {
             let mut inits = String::new();
             for f in fields {
-                let (n, helper) = (&f.name, if f.default { "__field_or_default" } else { "__field" });
+                let (n, helper) = (
+                    &f.name,
+                    if f.default {
+                        "__field_or_default"
+                    } else {
+                        "__field"
+                    },
+                );
                 write!(inits, "{n}: ::serde::{helper}(__map, \"{n}\")?,").unwrap();
             }
             write!(
@@ -340,8 +370,14 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                     VariantKind::Named(fields) => {
                         let mut inits = String::new();
                         for f in fields {
-                            let (n, helper) =
-                                (&f.name, if f.default { "__field_or_default" } else { "__field" });
+                            let (n, helper) = (
+                                &f.name,
+                                if f.default {
+                                    "__field_or_default"
+                                } else {
+                                    "__field"
+                                },
+                            );
                             write!(inits, "{n}: ::serde::{helper}(__inner, \"{n}\")?,").unwrap();
                         }
                         write!(
@@ -365,11 +401,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                         } else {
                             let mut elems = String::new();
                             for k in 0..*n {
-                                write!(
-                                    elems,
-                                    "::serde::Deserialize::from_content(&__seq[{k}])?,"
-                                )
-                                .unwrap();
+                                write!(elems, "::serde::Deserialize::from_content(&__seq[{k}])?,")
+                                    .unwrap();
                             }
                             write!(
                                 data_arms,
@@ -408,5 +441,6 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             .unwrap();
         }
     }
-    out.parse().expect("serde_derive shim: generated Deserialize impl failed to parse")
+    out.parse()
+        .expect("serde_derive shim: generated Deserialize impl failed to parse")
 }

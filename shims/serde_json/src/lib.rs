@@ -44,7 +44,10 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
 
 /// Parse JSON text into a [`Value`] tree.
 pub fn parse_value(s: &str) -> Result<Value, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -239,10 +242,7 @@ impl<'a> Parser<'a> {
                             );
                         }
                         other => {
-                            return Err(Error::new(format!(
-                                "invalid escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                 }
@@ -383,7 +383,14 @@ mod tests {
 
     #[test]
     fn float_roundtrip_is_exact() {
-        for &x in &[0.1f32, 1.0, -3.25e-7, f32::MAX, f32::MIN_POSITIVE, 0.30000001] {
+        for &x in &[
+            0.1f32,
+            1.0,
+            -3.25e-7,
+            f32::MAX,
+            f32::MIN_POSITIVE,
+            0.30000001,
+        ] {
             let text = to_string(&x).unwrap();
             let back: f32 = from_str(&text).unwrap();
             assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {text} -> {back}");

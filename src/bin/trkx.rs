@@ -6,6 +6,8 @@
 //! trkx train     [--dataset ex3|ctd] [--scale 0.05] [--events 10] [--epochs 6]
 //!                [--sampler bulk|baseline] [--workers 1] [--prefetch 0]
 //!                [--bucket-bytes N] [--comm-overlap] [--hogwild]
+//!                [--graph-store incore|sharded] [--shard-nodes N]
+//!                [--shard-cache M] [--shard-dir DIR]
 //!                [--out model.json] [--patience N] [--telemetry epochs.jsonl]
 //! trkx evaluate  --model model.json [--dataset ex3|ctd] [--scale 0.05] [--events 10]
 //! trkx reconstruct [--particles 40] [--events 8] [--seed 7]
@@ -17,6 +19,8 @@
 //! trkx sample    [--sampler shadow|bulk-shadow|nodewise|layerwise|
 //!                 saint-walk|saint-edge|all] [--dataset ex3|ctd] [--scale 0.1]
 //!                [--batch 256] [--repeat 3] [--seed 1]
+//!                [--graph-store incore|sharded] [--shard-nodes N]
+//!                [--shard-cache M]
 //! ```
 //!
 //! `serve` speaks line-delimited JSON: requests in (`{"id":1,"event":{...}}`,
@@ -31,9 +35,10 @@ use trkx::detector::{
     dataset_stats, simulate_event, split_80_10_10, DatasetConfig, DetectorGeometry, GunConfig,
 };
 use trkx::pipeline::{
-    best_f1_threshold, evaluate, infer_logits, prepare_graphs, roc_auc, train_minibatch_hogwild,
-    train_minibatch_opts, train_pipeline, BatchingMode, Checkpoint, EarlyStoppingHook,
-    EmbeddingConfig, GnnTrainConfig, Hook, Monitor, PipelineConfig, SamplerKind, TelemetryHook,
+    best_f1_threshold, evaluate, infer_logits, prepare_graphs, prepare_graphs_sharded, roc_auc,
+    train_minibatch_hogwild, train_minibatch_opts, train_pipeline, BatchingMode, Checkpoint,
+    EarlyStoppingHook, EmbeddingConfig, GnnTrainConfig, Hook, Monitor, PipelineConfig,
+    PreparedGraph, SamplerKind, TelemetryHook,
 };
 use trkx::sampling::{
     vertex_batches, BulkShadowSampler, LayerWiseConfig, LayerWiseSampler, NodeWiseConfig,
@@ -93,6 +98,65 @@ fn gnn_config(args: &[String], dataset: &DatasetConfig) -> GnnTrainConfig {
     }
 }
 
+/// Build training graphs either fully in-core or through the out-of-core
+/// sharded store (`--graph-store sharded`): adjacency spilled to
+/// `--shard-dir` (a per-process temp dir by default) at `--shard-nodes`
+/// rows per shard, read back through an LRU cache of `--shard-cache`
+/// shards per store. Sampled batches — and loss curves — are
+/// bit-identical across the two stores.
+fn prepare_for_args(args: &[String], graphs: &[trkx::detector::EventGraph]) -> Vec<PreparedGraph> {
+    match arg_str(args, "--graph-store", "incore").as_str() {
+        "incore" => prepare_graphs(graphs),
+        "sharded" => {
+            let shard_nodes = arg(args, "--shard-nodes", 2048usize).max(1);
+            let cache = arg(args, "--shard-cache", 8usize).max(1);
+            let dir_s = arg_str(args, "--shard-dir", "");
+            let dir = if dir_s.is_empty() {
+                std::env::temp_dir().join(format!("trkx-shards-{}", std::process::id()))
+            } else {
+                dir_s.into()
+            };
+            match prepare_graphs_sharded(graphs, &dir, shard_nodes, cache) {
+                Ok(p) => {
+                    println!(
+                        "sharded graph store under {} ({shard_nodes} nodes/shard, \
+                         cache {cache} shards/store)",
+                        dir.display()
+                    );
+                    p
+                }
+                Err(e) => {
+                    eprintln!("failed to build sharded graph store: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown --graph-store {other:?} (expected incore or sharded)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Print shard-cache traffic when any graph reads through a sharded store.
+fn report_shard_cache(graphs: &[PreparedGraph]) {
+    let mut total: Option<trkx::sparse::CacheCounters> = None;
+    for g in graphs {
+        if let Some(c) = g.sampler.cache_counters() {
+            total = Some(total.unwrap_or_default().merged(c));
+        }
+    }
+    if let Some(c) = total {
+        println!(
+            "shard cache : {} hits / {} misses / {} evictions (hit rate {:.3})",
+            c.hits,
+            c.misses,
+            c.evictions,
+            c.hit_rate()
+        );
+    }
+}
+
 fn cmd_simulate(args: &[String]) {
     let cfg = dataset_config(args);
     let events = arg(args, "--events", 10usize);
@@ -119,7 +183,7 @@ fn cmd_train(args: &[String]) {
     let out = arg_str(args, "--out", "model.json");
     let graphs = cfg.generate(events, seed);
     let (tr, va, _) = split_80_10_10(graphs.len());
-    let prepared = prepare_graphs(&graphs);
+    let prepared = prepare_for_args(args, &graphs);
     let gnn_cfg = gnn_config(args, &cfg);
     let sampler = match arg_str(args, "--sampler", "bulk").as_str() {
         "baseline" => SamplerKind::Baseline,
@@ -217,6 +281,7 @@ fn cmd_train(args: &[String]) {
             result.epochs.len()
         );
     }
+    report_shard_cache(&prepared);
     let ckpt = Checkpoint::from_params(&result.model.params()).with_meta(
         "gnn",
         cfg.num_vertex_features,
@@ -441,7 +506,35 @@ fn cmd_sample(args: &[String]) {
     let which = arg_str(args, "--sampler", "all");
 
     let g = &cfg.generate(1, seed)[0];
-    let graph = SamplerGraph::new(g.num_nodes, &g.src, &g.dst);
+    let graph = match arg_str(args, "--graph-store", "incore").as_str() {
+        "sharded" => {
+            let shard_nodes = arg(args, "--shard-nodes", 1024usize).max(1);
+            let cache = arg(args, "--shard-cache", 4usize).max(1);
+            let dir = std::env::temp_dir().join(format!("trkx-sample-{}", std::process::id()));
+            let spec = trkx::detector::spill_adjacency(
+                g.num_nodes,
+                &g.src,
+                &g.dst,
+                &dir,
+                "event",
+                shard_nodes,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("failed to spill sharded adjacency: {e}");
+                std::process::exit(1);
+            });
+            let open = |p: &std::path::Path| {
+                std::sync::Arc::new(
+                    trkx::sparse::ShardedCsr::<u32>::open(p, cache).unwrap_or_else(|e| {
+                        eprintln!("failed to open sharded store: {e}");
+                        std::process::exit(1);
+                    }),
+                )
+            };
+            SamplerGraph::from_stores(g.num_nodes, open(&spec.directed), open(&spec.undirected))
+        }
+        _ => SamplerGraph::new(g.num_nodes, &g.src, &g.dst),
+    };
     let mut rng = StdRng::seed_from_u64(seed);
     let batches = vertex_batches(g.num_nodes, batch_size, &mut rng);
     println!(
@@ -488,6 +581,15 @@ fn cmd_sample(args: &[String]) {
             best * 1e3,
             nodes,
             edges
+        );
+    }
+    if let Some(c) = graph.cache_counters() {
+        println!(
+            "\nshard cache: {} hits / {} misses / {} evictions (hit rate {:.3})",
+            c.hits,
+            c.misses,
+            c.evictions,
+            c.hit_rate()
         );
     }
 }
