@@ -79,6 +79,15 @@ cargo test -q --release --test serve_e2e
 # oversized one sheds.
 cargo run -q --release -p trkx-bench --bin serve -- --tiny --out /tmp/BENCH_serve_smoke.json
 
+# Graph-construction engine gates: the grid/kd/brute backends must emit
+# bit-identical edge lists (property-pinned, including duplicate,
+# colinear, and NaN clouds) at two pool sizes, and the construct bench
+# smoke gates cross-backend/cross-thread parity hashes plus the pooled
+# engine's flat per-event allocation count.
+RAYON_NUM_THREADS=1 cargo test -q --release -p trkx-graph --test proptests
+RAYON_NUM_THREADS=4 cargo test -q --release -p trkx-graph --test proptests
+cargo run -q --release -p trkx-bench --bin construct -- --tiny --out /tmp/BENCH_construct_smoke.json
+
 # Out-of-core sharded store gates: every sampler family must be
 # bit-identical over the file-backed ShardedCsr vs in-core CSR across
 # shard sizes and cache capacities (run at two pool sizes), the

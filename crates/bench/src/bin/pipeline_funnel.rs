@@ -66,10 +66,36 @@ fn main() {
         trkx_detector::vertex_features(event, nf),
     );
     let emb = pipeline.embedding.embed(&feats);
-    let constructed = trkx_core::build_graph_from_embeddings(event, &emb, pipeline.radius);
+    // Warm the pooled constructor once, then time a steady-state build
+    // (the serving-relevant number: index + scratch buffers recycled).
+    let mut ctor = pipeline.new_constructor();
+    let method = trkx_core::ConstructionMethod::FixedRadius {
+        radius: pipeline.radius,
+    };
+    ctor.construct(event, &emb, method);
+    let t0 = std::time::Instant::now();
+    let constructed = ctor.construct(event, &emb, method);
+    let construct_s = t0.elapsed().as_secs_f64();
     let truth_total = event.truth_edges().len();
 
-    let mut table = Table::new(&["stage", "edges", "true edges kept", "purity", "AUC"]);
+    let stage_ms = |s: f64| format!("{:.2}", s * 1e3);
+    let edges_per_s = |edges: usize, s: f64| {
+        if s > 0.0 {
+            format!("{:.0}", edges as f64 / s)
+        } else {
+            "-".into()
+        }
+    };
+
+    let mut table = Table::new(&[
+        "stage",
+        "edges",
+        "true edges kept",
+        "purity",
+        "AUC",
+        "ms",
+        "edges/s",
+    ]);
     let true_in: usize = constructed.labels.iter().filter(|&&l| l > 0.5).count();
     table.row(vec![
         "2. graph construction".into(),
@@ -77,6 +103,8 @@ fn main() {
         format!("{true_in}/{truth_total}"),
         format!("{:.3}", constructed.edge_purity),
         "-".into(),
+        stage_ms(construct_s),
+        edges_per_s(constructed.num_edges(), construct_s),
     ]);
 
     // Filter stage.
@@ -95,8 +123,10 @@ fn main() {
         }
     };
     let prepared = PreparedGraph::from_event_graph(&graph);
+    let t0 = std::time::Instant::now();
     let filter_logits = pipeline.filter.logits(&prepared);
     let kept = pipeline.filter.kept_edges(&prepared);
+    let filter_s = t0.elapsed().as_secs_f64();
     let kept_true = kept.iter().filter(|&&i| graph.labels[i] > 0.5).count();
     table.row(vec![
         "3. filter MLP".into(),
@@ -104,6 +134,8 @@ fn main() {
         format!("{kept_true}/{truth_total}"),
         format!("{:.3}", kept_true as f64 / kept.len().max(1) as f64),
         format!("{:.3}", roc_auc(&filter_logits, &graph.labels)),
+        stage_ms(filter_s),
+        edges_per_s(constructed.num_edges(), filter_s),
     ]);
 
     // GNN stage on the pruned graph.
@@ -125,7 +157,9 @@ fn main() {
         }
     };
     let prepared_pruned = prepare_graphs(std::slice::from_ref(&pruned));
+    let t0 = std::time::Instant::now();
     let gnn_logits = infer_logits(&pipeline.gnn, &prepared_pruned[0]);
+    let gnn_s = t0.elapsed().as_secs_f64();
     let gnn_kept: Vec<usize> = gnn_logits
         .iter()
         .enumerate()
@@ -139,9 +173,13 @@ fn main() {
         format!("{gnn_true}/{truth_total}"),
         format!("{:.3}", gnn_true as f64 / gnn_kept.len().max(1) as f64),
         format!("{:.3}", roc_auc(&gnn_logits, &pruned.labels)),
+        stage_ms(gnn_s),
+        edges_per_s(pruned.src.len(), gnn_s),
     ]);
 
+    let t0 = std::time::Instant::now();
     let tracks = build_tracks(&pruned, &gnn_logits, 0.5, 3);
+    let tracks_s = t0.elapsed().as_secs_f64();
     table.row(vec![
         "5. tracks (CC)".into(),
         tracks.edges_kept.to_string(),
@@ -152,6 +190,8 @@ fn main() {
         ),
         "-".into(),
         "-".into(),
+        stage_ms(tracks_s),
+        edges_per_s(tracks.edges_kept, tracks_s),
     ]);
     table.print();
 

@@ -2,9 +2,18 @@
 //! learned embedding space (paper §II-A). Also reports how much of the
 //! truth survives construction — edges the radius graph misses can never
 //! be recovered downstream.
+//!
+//! The heavy lifting lives in the pooled [`GraphConstructor`]: it holds
+//! a reusable [`trkx_graph::GraphIndex`] (grid FRNN, kd-tree, or brute
+//! backend — bit-identical edge lists, see `trkx_graph::radius`) plus
+//! the edge/key scratch buffers, so per-event construction in a serving
+//! loop allocates nothing once warm. Truth labelling is a sorted-merge
+//! join over packed `(src << 32) | dst` keys instead of per-edge hash
+//! probes. The free functions below are thin compatibility wrappers
+//! that build a throwaway constructor.
 
 use trkx_detector::Event;
-use trkx_graph::{knn_graph, radius_graph};
+use trkx_graph::{Backend, GraphIndex};
 use trkx_tensor::Matrix;
 
 /// How stage 2 connects hits in embedding space. The acorn pipeline
@@ -15,6 +24,45 @@ pub enum ConstructionMethod {
     FixedRadius { radius: f32 },
     /// Connect each hit to its `k` nearest neighbours.
     Knn { k: usize },
+}
+
+/// Which spatial index routes stage-2 candidate generation. All
+/// backends produce bit-identical edge lists (the exact distance
+/// predicate is shared); this is purely a performance knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum ConstructionBackend {
+    /// Uniform cell grid on the first ≤3 embedding axes (FRNN).
+    #[default]
+    Grid,
+    /// Median-partitioned kd-tree over all axes.
+    Kd,
+    /// Exhaustive O(n²) scan (reference / tiny events).
+    Brute,
+}
+
+impl ConstructionBackend {
+    fn as_graph_backend(self) -> Backend {
+        match self {
+            ConstructionBackend::Grid => Backend::Grid,
+            ConstructionBackend::Kd => Backend::Kd,
+            ConstructionBackend::Brute => Backend::Brute,
+        }
+    }
+}
+
+impl std::str::FromStr for ConstructionBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "grid" => Ok(Self::Grid),
+            "kd" => Ok(Self::Kd),
+            "brute" => Ok(Self::Brute),
+            other => Err(format!(
+                "unknown construction backend '{other}' (expected grid|kd|brute)"
+            )),
+        }
+    }
 }
 
 /// A constructed candidate-edge graph with truth labels and construction
@@ -38,10 +86,200 @@ impl ConstructedGraph {
     }
 }
 
+#[inline]
+fn pack(s: u32, d: u32) -> u64 {
+    (u64::from(s) << 32) | u64::from(d)
+}
+
+/// Pooled stage-2 engine: one spatial index plus edge/key scratch,
+/// rebuilt per event with retained capacity. Hold one per worker and
+/// call [`GraphConstructor::construct`] per event; steady-state
+/// construction allocates only the output `ConstructedGraph` vectors.
+#[derive(Debug, Default)]
+pub struct GraphConstructor {
+    index: GraphIndex,
+    /// Raw undirected `(i, j)` pairs from the index, `i < j`.
+    edges: Vec<(u32, u32)>,
+    /// Packed oriented edge keys + candidate indices for the merge join.
+    keys: Vec<(u64, u32)>,
+    /// Sorted, deduplicated packed truth-edge keys.
+    truth_keys: Vec<u64>,
+}
+
+impl GraphConstructor {
+    pub fn new(backend: ConstructionBackend) -> Self {
+        Self {
+            index: GraphIndex::new(backend.as_graph_backend()),
+            ..Self::default()
+        }
+    }
+
+    pub fn backend(&self) -> ConstructionBackend {
+        match self.index.backend() {
+            Backend::Grid => ConstructionBackend::Grid,
+            Backend::Kd => ConstructionBackend::Kd,
+            Backend::Brute => ConstructionBackend::Brute,
+        }
+    }
+
+    /// Switch routing backends; takes effect on the next event.
+    pub fn set_backend(&mut self, backend: ConstructionBackend) {
+        self.index.set_backend(backend.as_graph_backend());
+    }
+
+    /// Stage 2 for one event: candidate edges (oriented inner→outer by
+    /// layer, same-layer pairs dropped — a particle crosses each barrel
+    /// layer once) with merge-joined truth labels.
+    pub fn construct(
+        &mut self,
+        event: &Event,
+        embeddings: &Matrix,
+        method: ConstructionMethod,
+    ) -> ConstructedGraph {
+        assert_eq!(embeddings.rows(), event.num_hits(), "one embedding per hit");
+        let dim = embeddings.cols();
+        match method {
+            ConstructionMethod::FixedRadius { radius } => {
+                self.index.rebuild(embeddings.data(), dim, radius);
+                self.index.radius_edges_into(radius, &mut self.edges);
+            }
+            ConstructionMethod::Knn { k } => {
+                self.index.rebuild(embeddings.data(), dim, 0.0);
+                self.index.knn_edges_into(k, &mut self.edges);
+            }
+        }
+        self.load_truth(event);
+
+        // Orient candidates by layer.
+        let mut src = Vec::with_capacity(self.edges.len());
+        let mut dst = Vec::with_capacity(self.edges.len());
+        for &(a, b) in &self.edges {
+            let (la, lb) = (event.hits[a as usize].layer, event.hits[b as usize].layer);
+            let (s, d) = match la.cmp(&lb) {
+                std::cmp::Ordering::Less => (a, b),
+                std::cmp::Ordering::Greater => (b, a),
+                std::cmp::Ordering::Equal => continue,
+            };
+            src.push(s);
+            dst.push(d);
+        }
+
+        // Label by sorted-merge join of packed keys against the truth.
+        let mut labels = vec![0.0f32; src.len()];
+        self.keys.clear();
+        self.keys.extend(
+            src.iter()
+                .zip(&dst)
+                .enumerate()
+                .map(|(i, (&s, &d))| (pack(s, d), i as u32)),
+        );
+        self.keys.sort_unstable();
+        let mut found = 0usize;
+        let mut t = 0usize;
+        for &(key, idx) in &self.keys {
+            while t < self.truth_keys.len() && self.truth_keys[t] < key {
+                t += 1;
+            }
+            if t < self.truth_keys.len() && self.truth_keys[t] == key {
+                labels[idx as usize] = 1.0;
+                found += 1;
+            }
+        }
+        let edge_efficiency = if self.truth_keys.is_empty() {
+            1.0
+        } else {
+            found as f64 / self.truth_keys.len() as f64
+        };
+        let edge_purity = if labels.is_empty() {
+            1.0
+        } else {
+            found as f64 / labels.len() as f64
+        };
+        ConstructedGraph {
+            src,
+            dst,
+            labels,
+            edge_efficiency,
+            edge_purity,
+        }
+    }
+
+    /// Choose the smallest radius achieving at least `target_efficiency`
+    /// (bisection). The index is built **once** and queried at every
+    /// bisection midpoint — binning only routes candidates, so queries
+    /// at any radius are exact — and each probe runs the count-only
+    /// merge join, allocating nothing.
+    pub fn tune_radius(
+        &mut self,
+        event: &Event,
+        embeddings: &Matrix,
+        target_efficiency: f64,
+        max_radius: f32,
+    ) -> f32 {
+        assert_eq!(embeddings.rows(), event.num_hits(), "one embedding per hit");
+        let dim = embeddings.cols();
+        // Cell hint at half the search midpoint keeps grid sweeps tight
+        // for the radii the bisection actually probes.
+        self.index
+            .rebuild(embeddings.data(), dim, 0.25 * max_radius);
+        self.load_truth(event);
+        let (mut lo, mut hi) = (1e-4f32, max_radius);
+        for _ in 0..20 {
+            let mid = 0.5 * (lo + hi);
+            self.index.radius_edges_into(mid, &mut self.edges);
+            let eff = self.efficiency_of_edges(event);
+            if eff < target_efficiency {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        hi
+    }
+
+    /// Sorted, deduplicated truth keys for the current event.
+    fn load_truth(&mut self, event: &Event) {
+        self.truth_keys.clear();
+        self.truth_keys
+            .extend(event.truth_edges().into_iter().map(|(s, d)| pack(s, d)));
+        self.truth_keys.sort_unstable();
+        self.truth_keys.dedup();
+    }
+
+    /// Count-only efficiency of `self.edges` against the loaded truth
+    /// (orientation + merge join, no label vector).
+    fn efficiency_of_edges(&mut self, event: &Event) -> f64 {
+        if self.truth_keys.is_empty() {
+            return 1.0;
+        }
+        self.keys.clear();
+        for &(a, b) in &self.edges {
+            let (la, lb) = (event.hits[a as usize].layer, event.hits[b as usize].layer);
+            let key = match la.cmp(&lb) {
+                std::cmp::Ordering::Less => pack(a, b),
+                std::cmp::Ordering::Greater => pack(b, a),
+                std::cmp::Ordering::Equal => continue,
+            };
+            self.keys.push((key, 0));
+        }
+        self.keys.sort_unstable();
+        let mut found = 0usize;
+        let mut t = 0usize;
+        for &(key, _) in &self.keys {
+            while t < self.truth_keys.len() && self.truth_keys[t] < key {
+                t += 1;
+            }
+            if t < self.truth_keys.len() && self.truth_keys[t] == key {
+                found += 1;
+            }
+        }
+        found as f64 / self.truth_keys.len() as f64
+    }
+}
+
 /// Build the candidate graph by connecting hits within `radius` of each
-/// other in embedding space. Pairs are oriented inner→outer by layer;
-/// same-layer pairs are dropped (a particle crosses each barrel layer
-/// once).
+/// other in embedding space (throwaway-constructor wrapper; hold a
+/// [`GraphConstructor`] to pool across events).
 pub fn build_graph_from_embeddings(
     event: &Event,
     embeddings: &Matrix,
@@ -60,45 +298,7 @@ pub fn build_graph_with_method(
     embeddings: &Matrix,
     method: ConstructionMethod,
 ) -> ConstructedGraph {
-    assert_eq!(embeddings.rows(), event.num_hits(), "one embedding per hit");
-    let dim = embeddings.cols();
-    let pairs = match method {
-        ConstructionMethod::FixedRadius { radius } => radius_graph(embeddings.data(), dim, radius),
-        ConstructionMethod::Knn { k } => knn_graph(embeddings.data(), dim, k),
-    };
-    let truth: std::collections::HashSet<(u32, u32)> = event.truth_edges().into_iter().collect();
-    let mut src = Vec::new();
-    let mut dst = Vec::new();
-    let mut labels = Vec::new();
-    for (a, b) in pairs {
-        let (la, lb) = (event.hits[a as usize].layer, event.hits[b as usize].layer);
-        let (s, d) = match la.cmp(&lb) {
-            std::cmp::Ordering::Less => (a, b),
-            std::cmp::Ordering::Greater => (b, a),
-            std::cmp::Ordering::Equal => continue,
-        };
-        src.push(s);
-        dst.push(d);
-        labels.push(if truth.contains(&(s, d)) { 1.0 } else { 0.0 });
-    }
-    let found: usize = labels.iter().filter(|&&l| l > 0.5).count();
-    let edge_efficiency = if truth.is_empty() {
-        1.0
-    } else {
-        found as f64 / truth.len() as f64
-    };
-    let edge_purity = if labels.is_empty() {
-        1.0
-    } else {
-        found as f64 / labels.len() as f64
-    };
-    ConstructedGraph {
-        src,
-        dst,
-        labels,
-        edge_efficiency,
-        edge_purity,
-    }
+    GraphConstructor::default().construct(event, embeddings, method)
 }
 
 /// Choose the smallest radius achieving at least `target_efficiency`
@@ -109,17 +309,7 @@ pub fn tune_radius(
     target_efficiency: f64,
     max_radius: f32,
 ) -> f32 {
-    let (mut lo, mut hi) = (1e-4f32, max_radius);
-    for _ in 0..20 {
-        let mid = 0.5 * (lo + hi);
-        let g = build_graph_from_embeddings(event, embeddings, mid);
-        if g.edge_efficiency < target_efficiency {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-    }
-    hi
+    GraphConstructor::default().tune_radius(event, embeddings, target_efficiency, max_radius)
 }
 
 #[cfg(test)]
@@ -236,5 +426,76 @@ mod tests {
             "efficiency {} at r {r}",
             g.edge_efficiency
         );
+    }
+
+    #[test]
+    fn all_backends_construct_identical_graphs() {
+        let ev = event(7);
+        let emb = Matrix::from_fn(ev.num_hits(), 3, |r, c| {
+            let h = &ev.hits[r];
+            [h.x, h.y, h.z][c]
+        });
+        let method = ConstructionMethod::FixedRadius { radius: 0.3 };
+        let want = GraphConstructor::new(ConstructionBackend::Brute).construct(&ev, &emb, method);
+        for backend in [ConstructionBackend::Grid, ConstructionBackend::Kd] {
+            let got = GraphConstructor::new(backend).construct(&ev, &emb, method);
+            assert_eq!(got.src, want.src, "{backend:?}");
+            assert_eq!(got.dst, want.dst, "{backend:?}");
+            assert_eq!(got.labels, want.labels, "{backend:?}");
+            assert_eq!(got.edge_efficiency, want.edge_efficiency);
+            assert_eq!(got.edge_purity, want.edge_purity);
+        }
+    }
+
+    #[test]
+    fn pooled_constructor_matches_throwaway_across_events() {
+        let mut pooled = GraphConstructor::default();
+        for seed in 10..14 {
+            let ev = event(seed);
+            let emb = Matrix::from_fn(ev.num_hits(), 3, |r, c| {
+                let h = &ev.hits[r];
+                [h.x, h.y, h.z][c]
+            });
+            let a = pooled.construct(&ev, &emb, ConstructionMethod::FixedRadius { radius: 0.25 });
+            let b = build_graph_from_embeddings(&ev, &emb, 0.25);
+            assert_eq!(a.src, b.src, "seed {seed}");
+            assert_eq!(a.dst, b.dst, "seed {seed}");
+            assert_eq!(a.labels, b.labels, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn pooled_tune_radius_matches_throwaway() {
+        let ev = event(4);
+        let emb = Matrix::from_fn(ev.num_hits(), 3, |r, c| {
+            let h = &ev.hits[r];
+            [h.x, h.y, h.z][c]
+        });
+        let fresh = tune_radius(&ev, &emb, 0.9, 2.0);
+        for backend in [
+            ConstructionBackend::Grid,
+            ConstructionBackend::Kd,
+            ConstructionBackend::Brute,
+        ] {
+            let mut ctor = GraphConstructor::new(backend);
+            assert_eq!(ctor.tune_radius(&ev, &emb, 0.9, 2.0), fresh, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn backend_parses_from_str() {
+        assert_eq!(
+            "grid".parse::<ConstructionBackend>().unwrap(),
+            ConstructionBackend::Grid
+        );
+        assert_eq!(
+            "kd".parse::<ConstructionBackend>().unwrap(),
+            ConstructionBackend::Kd
+        );
+        assert_eq!(
+            "brute".parse::<ConstructionBackend>().unwrap(),
+            ConstructionBackend::Brute
+        );
+        assert!("flann".parse::<ConstructionBackend>().is_err());
     }
 }

@@ -46,7 +46,7 @@ pub use gnn_stage::{
 };
 pub use graph_construction::{
     build_graph_from_embeddings, build_graph_with_method, tune_radius, ConstructedGraph,
-    ConstructionMethod,
+    ConstructionBackend, ConstructionMethod, GraphConstructor,
 };
 pub use metrics::{match_tracks, EdgeMetrics, TrackMetrics};
 pub use pipeline::{

@@ -7,7 +7,7 @@ use crate::filter::{FilterConfig, FilterStage};
 use crate::gnn_stage::{
     infer_logits_with, prepare_graphs, train_minibatch, GnnTrainConfig, PreparedGraph, SamplerKind,
 };
-use crate::graph_construction::{build_graph_from_embeddings, tune_radius};
+use crate::graph_construction::{ConstructionBackend, ConstructionMethod, GraphConstructor};
 use crate::metrics::TrackMetrics;
 use crate::tracks::{build_tracks, TrackBuildResult};
 use trkx_ddp::DdpConfig;
@@ -25,6 +25,12 @@ pub struct PipelineConfig {
     /// Truth-edge efficiency the radius graph must reach.
     pub target_construction_efficiency: f64,
     pub max_radius: f32,
+    /// Spatial-index backend for stage-2 candidate generation. Every
+    /// backend yields bit-identical edge lists; this only trades build
+    /// against query cost (defaults to the grid FRNN index; absent in
+    /// older bundles).
+    #[serde(default)]
+    pub construct_backend: ConstructionBackend,
     pub filter: FilterConfig,
     pub gnn: GnnTrainConfig,
     pub gnn_sampler: SamplerKind,
@@ -43,6 +49,7 @@ impl Default for PipelineConfig {
             embedding: EmbeddingConfig::default(),
             target_construction_efficiency: 0.96,
             max_radius: 3.0,
+            construct_backend: ConstructionBackend::default(),
             filter: FilterConfig::default(),
             gnn: GnnTrainConfig::default(),
             gnn_sampler: SamplerKind::Bulk { k: 4 },
@@ -124,19 +131,23 @@ pub fn train_pipeline(
     let mut tape = Tape::new();
     let mut bind = Bindings::new();
 
-    // Stage 2: radius tuned on the first training event.
-    let radius = tune_radius(
+    // Stage 2: radius tuned on the first training event, then one pooled
+    // constructor builds every training/validation graph (index and
+    // scratch buffers are rebuilt per event, not reallocated).
+    let mut ctor = GraphConstructor::new(config.construct_backend);
+    let radius = ctor.tune_radius(
         &train_events[0],
         &embedding.embed_with(&mut tape, &mut bind, &feats[0]),
         config.target_construction_efficiency,
         config.max_radius,
     );
+    let method = ConstructionMethod::FixedRadius { radius };
     let mut construction_eff = 0.0;
     let mut construction_pur = 0.0;
     let mut train_graphs = Vec::with_capacity(train_events.len());
     for (event, f) in train_events.iter().zip(&feats) {
         let emb = embedding.embed_with(&mut tape, &mut bind, f);
-        let g = build_graph_from_embeddings(event, &emb, radius);
+        let g = ctor.construct(event, &emb, method);
         construction_eff += g.edge_efficiency;
         construction_pur += g.edge_purity;
         train_graphs.push(event_graph_from_edges(
@@ -149,7 +160,7 @@ pub fn train_pipeline(
         .iter()
         .map(|event| {
             let emb = embedding.embed_with(&mut tape, &mut bind, &features_of(event, nf));
-            let g = build_graph_from_embeddings(event, &emb, radius);
+            let g = ctor.construct(event, &emb, method);
             event_graph_from_edges(event, g.src, g.dst, g.labels, nf, ef)
         })
         .collect();
@@ -343,6 +354,29 @@ impl TrainedPipeline {
         bind: &mut Bindings,
         events: &[&Event],
     ) -> (Vec<TrackBuildResult>, StageTimings) {
+        let mut ctor = self.new_constructor();
+        self.reconstruct_batch_pooled(tape, bind, &mut ctor, events)
+    }
+
+    /// A stage-2 constructor configured for this pipeline's backend.
+    /// Long-lived callers (serve workers, batch reconstruction loops)
+    /// hold one and pass it to
+    /// [`TrainedPipeline::reconstruct_batch_pooled`] so the spatial
+    /// index and edge scratch persist across micro-batches.
+    pub fn new_constructor(&self) -> GraphConstructor {
+        GraphConstructor::new(self.config.construct_backend)
+    }
+
+    /// [`TrainedPipeline::reconstruct_batch_with`] against a
+    /// caller-pooled [`GraphConstructor`] — the fully pooled serving hot
+    /// path (tape, bindings, and the stage-2 index all recycle buffers).
+    pub fn reconstruct_batch_pooled(
+        &self,
+        tape: &mut Tape,
+        bind: &mut Bindings,
+        ctor: &mut GraphConstructor,
+        events: &[&Event],
+    ) -> (Vec<TrackBuildResult>, StageTimings) {
         use std::sync::Arc;
         use std::time::Instant;
         let (nf, ef) = (self.config.vertex_features, self.config.edge_features);
@@ -387,7 +421,13 @@ impl TrainedPipeline {
                 emb_dim,
                 emb_all.data()[base * emb_dim..(base + n) * emb_dim].to_vec(),
             );
-            let g = build_graph_from_embeddings(event, &emb, self.radius);
+            let g = ctor.construct(
+                event,
+                &emb,
+                ConstructionMethod::FixedRadius {
+                    radius: self.radius,
+                },
+            );
             let start = cand_src.len();
             ycat.extend_from_slice(&edge_features(event, &g.src, &g.dst, ef));
             cand_src.extend(g.src.iter().map(|&s| s + base as u32));
@@ -398,6 +438,7 @@ impl TrainedPipeline {
         }
         let y_union = Matrix::from_vec(cand_src.len(), ef, ycat);
         timings.construct_s = t0.elapsed().as_secs_f64();
+        timings.construct_edges = cand_src.len();
 
         // Stage 3: one filter forward over the union candidate edges.
         let t0 = Instant::now();
@@ -501,6 +542,10 @@ pub struct StageTimings {
     pub filter_s: f64,
     pub gnn_s: f64,
     pub tracks_s: f64,
+    /// Candidate edges built in stage 2 (for edges/sec reporting; absent
+    /// in timings serialised before this field existed).
+    #[serde(default)]
+    pub construct_edges: usize,
 }
 
 impl StageTimings {

@@ -1,33 +1,69 @@
 //! Static k-d tree for radius and k-nearest-neighbour queries in the
 //! learned embedding space (stage 2 of the pipeline builds a fixed-radius
 //! graph over MLP embeddings of dimension ~8).
+//!
+//! The tree is rebuilt allocation-free: [`KdTree::rebuild`] partitions an
+//! id permutation in place with `select_nth_unstable_by` (no per-node
+//! scratch), queries walk the implicit tree iteratively over an explicit
+//! caller-pooled stack, and kNN maintains a real sift-up/sift-down
+//! bounded max-heap in a caller buffer. All float comparisons use
+//! [`f32::total_cmp`], so NaN coordinates can never panic a query thread;
+//! a NaN distance never qualifies as a neighbour (see [`crate::radius`]
+//! for the backend-parity contract).
+
+/// Squared Euclidean distance, accumulated in ascending coordinate
+/// order. Every construction backend (grid, kd, brute) must use this
+/// exact operation order so their edge predicates agree bit for bit.
+#[inline]
+pub(crate) fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Subtree frame for the iterative traversals: `(lo, hi, axis)` over the
+/// implicit median-layout slot range, plus the pruning key `delta²` the
+/// frame was deferred with (kNN re-checks it against the current worst
+/// at pop time, matching the recursive prune-after-near order).
+pub type Frame = (u32, u32, u32, f32);
 
 /// A balanced k-d tree over `n` points of dimension `dim`, stored flat.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct KdTree {
     dim: usize,
-    /// Point coordinates, row-major `n x dim`.
+    /// Point coordinates, row-major `n x dim`, in tree slot order.
     points: Vec<f32>,
     /// Original index of each point slot (the tree reorders points).
     ids: Vec<u32>,
 }
 
 impl KdTree {
-    /// Build from row-major points. `O(n log² n)` construction via
-    /// median-of-axis splits.
+    /// Build from row-major points. `O(n log n)` construction via
+    /// in-place median-of-axis quickselect partitions.
     pub fn build(points: &[f32], dim: usize) -> Self {
+        let mut tree = Self::default();
+        tree.rebuild(points, dim);
+        tree
+    }
+
+    /// Rebuild in place over new points, retaining the previous build's
+    /// buffer capacity — repeated per-event rebuilds allocate nothing
+    /// once warm. The id permutation is partitioned with
+    /// `select_nth_unstable_by` against the *caller's* (unmoved) point
+    /// buffer, then the rows are gathered once into slot order.
+    pub fn rebuild(&mut self, points: &[f32], dim: usize) {
         assert!(dim > 0, "dimension must be positive");
         assert_eq!(points.len() % dim, 0, "points buffer not a multiple of dim");
         let n = points.len() / dim;
-        let mut ids: Vec<u32> = (0..n as u32).collect();
-        let mut pts = points.to_vec();
-        if n > 0 {
-            build_recursive(&mut pts, &mut ids, dim, 0, 0, n);
+        self.dim = dim;
+        self.ids.clear();
+        self.ids.extend(0..n as u32);
+        if n > 1 {
+            build_partition(points, dim, &mut self.ids, 0);
         }
-        Self {
-            dim,
-            points: pts,
-            ids,
+        self.points.clear();
+        self.points.reserve(points.len());
+        for &id in &self.ids {
+            let row = id as usize * dim;
+            self.points.extend_from_slice(&points[row..row + dim]);
         }
     }
 
@@ -39,6 +75,7 @@ impl KdTree {
         self.ids.is_empty()
     }
 
+    #[inline]
     fn point(&self, slot: usize) -> &[f32] {
         &self.points[slot * self.dim..(slot + 1) * self.dim]
     }
@@ -46,135 +83,207 @@ impl KdTree {
     /// All original indices within Euclidean distance `r` of `query`
     /// (inclusive), in arbitrary order.
     pub fn radius_query(&self, query: &[f32], r: f32) -> Vec<u32> {
-        assert_eq!(query.len(), self.dim, "query dimension mismatch");
         let mut out = Vec::new();
-        if !self.is_empty() {
-            self.radius_rec(query, r * r, 0, 0, self.len(), &mut out);
-        }
+        let mut stack = Vec::new();
+        self.for_each_in_radius(query, r, &mut stack, |id| out.push(id));
         out
     }
 
-    fn radius_rec(
+    /// Visit every point within distance `r` of `query` (inclusive),
+    /// in arbitrary order, without allocating: the traversal runs over
+    /// the caller's `stack` scratch. Points at NaN distance never match.
+    pub fn for_each_in_radius(
         &self,
-        q: &[f32],
-        r2: f32,
-        depth: usize,
-        lo: usize,
-        hi: usize,
-        out: &mut Vec<u32>,
+        query: &[f32],
+        r: f32,
+        stack: &mut Vec<Frame>,
+        mut f: impl FnMut(u32),
     ) {
-        if lo >= hi {
-            return;
-        }
-        let mid = lo + (hi - lo) / 2;
-        let p = self.point(mid);
-        if sq_dist(p, q) <= r2 {
-            out.push(self.ids[mid]);
-        }
-        let axis = depth % self.dim;
-        let delta = q[axis] - p[axis];
-        let (near, far) = if delta < 0.0 {
-            ((lo, mid), (mid + 1, hi))
-        } else {
-            ((mid + 1, hi), (lo, mid))
-        };
-        self.radius_rec(q, r2, depth + 1, near.0, near.1, out);
-        if delta * delta <= r2 {
-            self.radius_rec(q, r2, depth + 1, far.0, far.1, out);
-        }
-    }
-
-    /// Indices of the `k` nearest neighbours of `query` (excluding any
-    /// point at distance > `max_dist` if provided), nearest first.
-    pub fn knn_query(&self, query: &[f32], k: usize) -> Vec<(u32, f32)> {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
-        let mut heap: Vec<(f32, u32)> = Vec::with_capacity(k + 1); // max-heap by dist
-        if !self.is_empty() && k > 0 {
-            self.knn_rec(query, k, 0, 0, self.len(), &mut heap);
-        }
-        let mut out: Vec<(u32, f32)> = heap.into_iter().map(|(d, i)| (i, d.sqrt())).collect();
-        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-        out
-    }
-
-    fn knn_rec(
-        &self,
-        q: &[f32],
-        k: usize,
-        depth: usize,
-        lo: usize,
-        hi: usize,
-        heap: &mut Vec<(f32, u32)>,
-    ) {
-        if lo >= hi {
+        let r2 = r * r;
+        stack.clear();
+        if self.is_empty() {
             return;
         }
-        let mid = lo + (hi - lo) / 2;
-        let p = self.point(mid);
-        let d2 = sq_dist(p, q);
-        if heap.len() < k {
-            heap.push((d2, self.ids[mid]));
-            heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap()); // crude max-heap
-        } else if d2 < heap[0].0 {
-            heap[0] = (d2, self.ids[mid]);
-            heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        let dim = self.dim as u32;
+        let (mut lo, mut hi, mut axis) = (0u32, self.len() as u32, 0u32);
+        loop {
+            if lo >= hi {
+                match stack.pop() {
+                    Some((l, h, a, _)) => (lo, hi, axis) = (l, h, a),
+                    None => return,
+                }
+                continue;
+            }
+            let mid = lo + (hi - lo) / 2;
+            let p = self.point(mid as usize);
+            if sq_dist(p, query) <= r2 {
+                f(self.ids[mid as usize]);
+            }
+            let delta = query[axis as usize] - p[axis as usize];
+            let next = if axis + 1 == dim { 0 } else { axis + 1 };
+            let (near, far) = if delta < 0.0 {
+                ((lo, mid), (mid + 1, hi))
+            } else {
+                ((mid + 1, hi), (lo, mid))
+            };
+            // NaN delta (NaN split coordinate or NaN query): numeric
+            // pruning is unsound — the "near" half was chosen arbitrarily
+            // and finite points may sit on either side — so visit both.
+            if (delta * delta <= r2 || delta.is_nan()) && far.0 < far.1 {
+                stack.push((far.0, far.1, next, 0.0));
+            }
+            (lo, hi, axis) = (near.0, near.1, next);
         }
-        let axis = depth % self.dim;
-        let delta = q[axis] - p[axis];
-        let (near, far) = if delta < 0.0 {
-            ((lo, mid), (mid + 1, hi))
-        } else {
-            ((mid + 1, hi), (lo, mid))
-        };
-        self.knn_rec(q, k, depth + 1, near.0, near.1, heap);
-        let worst = if heap.len() < k {
-            f32::INFINITY
-        } else {
-            heap[0].0
-        };
-        if delta * delta <= worst {
-            self.knn_rec(q, k, depth + 1, far.0, far.1, heap);
+    }
+
+    /// Indices of the `k` nearest neighbours of `query`, nearest first.
+    /// Neighbours are the `k` smallest by `(distance, id)` under the
+    /// total float order, so ties at equal distance resolve to the lower
+    /// id deterministically; NaN-distance points are never returned.
+    pub fn knn_query(&self, query: &[f32], k: usize) -> Vec<(u32, f32)> {
+        let mut heap = Vec::new();
+        let mut stack = Vec::new();
+        self.knn_into(query, k, &mut heap, &mut stack);
+        sort_knn_heap(&mut heap);
+        heap.into_iter().map(|(d2, id)| (id, d2.sqrt())).collect()
+    }
+
+    /// kNN into a caller-pooled bounded max-heap (`(d2, id)` pairs; the
+    /// root is the current worst). The heap is left unsorted — call
+    /// [`sort_knn_heap`] for nearest-first order.
+    pub fn knn_into(
+        &self,
+        query: &[f32],
+        k: usize,
+        heap: &mut Vec<(f32, u32)>,
+        stack: &mut Vec<Frame>,
+    ) {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        heap.clear();
+        stack.clear();
+        if self.is_empty() || k == 0 {
+            return;
+        }
+        let dim = self.dim as u32;
+        let (mut lo, mut hi, mut axis) = (0u32, self.len() as u32, 0u32);
+        loop {
+            if lo >= hi {
+                // Deferred far subtrees are re-checked against the
+                // *current* worst at pop time — the heap only tightens,
+                // so this prunes exactly like recursing near-side first.
+                let worst = if heap.len() < k {
+                    f32::INFINITY
+                } else {
+                    heap[0].0
+                };
+                match stack.pop() {
+                    Some((l, h, a, key)) => {
+                        if key <= worst {
+                            (lo, hi, axis) = (l, h, a);
+                        }
+                    }
+                    None => return,
+                }
+                continue;
+            }
+            let mid = lo + (hi - lo) / 2;
+            let p = self.point(mid as usize);
+            let d2 = sq_dist(p, query);
+            if !d2.is_nan() {
+                heap_offer(heap, k, (d2, self.ids[mid as usize]));
+            }
+            let delta = query[axis as usize] - p[axis as usize];
+            let next = if axis + 1 == dim { 0 } else { axis + 1 };
+            let (near, far) = if delta < 0.0 {
+                ((lo, mid), (mid + 1, hi))
+            } else {
+                ((mid + 1, hi), (lo, mid))
+            };
+            if far.0 < far.1 {
+                // NaN delta: pruning is unsound (see the radius walk), so
+                // defer the far side with key 0 — never pruned at pop.
+                let key = if delta.is_nan() { 0.0 } else { delta * delta };
+                stack.push((far.0, far.1, next, key));
+            }
+            (lo, hi, axis) = (near.0, near.1, next);
         }
     }
 }
 
-fn build_recursive(
-    pts: &mut [f32],
-    ids: &mut [u32],
-    dim: usize,
-    depth: usize,
-    lo: usize,
-    hi: usize,
-) {
-    if hi - lo <= 1 {
+/// Total order on `(d2, id)` candidate pairs: distance first (total
+/// float order), lower id wins ties.
+#[inline]
+fn cand_cmp(a: (f32, u32), b: (f32, u32)) -> std::cmp::Ordering {
+    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
+}
+
+/// Offer a candidate to a bounded max-heap of the `k` best pairs.
+#[inline]
+fn heap_offer(heap: &mut Vec<(f32, u32)>, k: usize, item: (f32, u32)) {
+    if heap.len() < k {
+        heap.push(item);
+        let last = heap.len() - 1;
+        sift_up(heap, last);
+    } else if cand_cmp(item, heap[0]) == std::cmp::Ordering::Less {
+        heap[0] = item;
+        sift_down(heap, 0);
+    }
+}
+
+fn sift_up(heap: &mut [(f32, u32)], mut i: usize) {
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if cand_cmp(heap[i], heap[parent]) == std::cmp::Ordering::Greater {
+            heap.swap(i, parent);
+            i = parent;
+        } else {
+            break;
+        }
+    }
+}
+
+fn sift_down(heap: &mut [(f32, u32)], mut i: usize) {
+    let n = heap.len();
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut largest = i;
+        if l < n && cand_cmp(heap[l], heap[largest]) == std::cmp::Ordering::Greater {
+            largest = l;
+        }
+        if r < n && cand_cmp(heap[r], heap[largest]) == std::cmp::Ordering::Greater {
+            largest = r;
+        }
+        if largest == i {
+            return;
+        }
+        heap.swap(i, largest);
+        i = largest;
+    }
+}
+
+/// Sort a [`KdTree::knn_into`] result heap nearest-first (by
+/// `(distance, id)` under the total order).
+pub fn sort_knn_heap(heap: &mut [(f32, u32)]) {
+    heap.sort_unstable_by(|a, b| cand_cmp(*a, *b));
+}
+
+/// Partition `ids[..]` around the axis median in place; recursion depth
+/// is `O(log n)` and no per-node buffers are allocated. Axis cycles per
+/// level exactly like the former depth-based formulation.
+fn build_partition(src: &[f32], dim: usize, ids: &mut [u32], axis: usize) {
+    let n = ids.len();
+    if n <= 1 {
         return;
     }
-    let axis = depth % dim;
-    let mid = lo + (hi - lo) / 2;
-    // Selection sort of slots by axis value around the median using an
-    // index permutation (simple O(n log n) sort; fine for our sizes).
-    let mut order: Vec<usize> = (lo..hi).collect();
-    order.sort_by(|&a, &b| {
-        pts[a * dim + axis]
-            .partial_cmp(&pts[b * dim + axis])
-            .unwrap_or(std::cmp::Ordering::Equal)
+    let mid = n / 2;
+    ids.select_nth_unstable_by(mid, |&a, &b| {
+        src[a as usize * dim + axis].total_cmp(&src[b as usize * dim + axis])
     });
-    // Apply permutation to pts[lo..hi] and ids[lo..hi].
-    let mut new_pts = Vec::with_capacity((hi - lo) * dim);
-    let mut new_ids = Vec::with_capacity(hi - lo);
-    for &slot in &order {
-        new_pts.extend_from_slice(&pts[slot * dim..(slot + 1) * dim]);
-        new_ids.push(ids[slot]);
-    }
-    pts[lo * dim..hi * dim].copy_from_slice(&new_pts);
-    ids[lo..hi].copy_from_slice(&new_ids);
-    build_recursive(pts, ids, dim, depth + 1, lo, mid);
-    build_recursive(pts, ids, dim, depth + 1, mid + 1, hi);
-}
-
-#[inline]
-fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    let next = if axis + 1 == dim { 0 } else { axis + 1 };
+    let (left, right) = ids.split_at_mut(mid);
+    build_partition(src, dim, left, next);
+    build_partition(src, dim, &mut right[1..], next);
 }
 
 #[cfg(test)]
@@ -257,5 +366,58 @@ mod tests {
         let mut got = tree.radius_query(&[0.5, 0.5], 0.0);
         got.sort_unstable();
         assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn knn_ties_resolve_to_lower_id() {
+        // Four identical points: the 2-NN must be ids 0 and 1.
+        let points = vec![1.0f32, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let tree = KdTree::build(&points, 2);
+        let got = tree.knn_query(&[1.0, 1.0], 2);
+        assert_eq!(got.iter().map(|&(id, _)| id).collect::<Vec<_>>(), [0, 1]);
+    }
+
+    #[test]
+    fn nan_points_never_panic_or_match() {
+        // Degenerate embedding: some rows are NaN. Build and both query
+        // kinds must complete; NaN-distance points never qualify.
+        let points = vec![
+            0.0f32,
+            0.0,
+            f32::NAN,
+            1.0,
+            0.1,
+            0.0,
+            2.0,
+            f32::NAN,
+            0.2,
+            0.05,
+        ];
+        let tree = KdTree::build(&points, 2);
+        let mut got = tree.radius_query(&[0.0, 0.0], 0.5);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 2, 4]);
+        let knn: Vec<u32> = tree.knn_query(&[0.0, 0.0], 5).iter().map(|p| p.0).collect();
+        assert_eq!(knn, vec![0, 2, 4], "NaN rows must not appear in kNN");
+        // NaN query: nothing matches, nothing panics.
+        assert!(tree.radius_query(&[f32::NAN, 0.0], 10.0).is_empty());
+        assert!(tree.knn_query(&[f32::NAN, 0.0], 3).is_empty());
+    }
+
+    #[test]
+    fn rebuild_reuses_capacity_and_matches_fresh_build() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut tree = KdTree::default();
+        for n in [50usize, 80, 30] {
+            let points: Vec<f32> = (0..n * 3).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            tree.rebuild(&points, 3);
+            let fresh = KdTree::build(&points, 3);
+            let q = [0.1f32, -0.2, 0.3];
+            let mut a = tree.radius_query(&q, 0.6);
+            let mut b = fresh.radius_query(&q, 0.6);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
     }
 }

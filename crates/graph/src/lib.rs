@@ -2,17 +2,24 @@
 //!
 //! Graph algorithms for the tracking pipeline: CSR adjacency lists for
 //! traversal, union-find connected components (stage 5: track building),
-//! and spatial structures (k-d tree) for fixed-radius / kNN graph
-//! construction in the learned embedding space (stage 2).
+//! and the stage-2 graph-construction engine — a [`GraphIndex`] with a
+//! cell-grid FRNN backend and an allocation-free kd-tree backend behind
+//! one interface, emitting fixed-radius / kNN edge lists over the
+//! learned embedding space directly in deterministic `(src, dst)` order
+//! at any thread count (see [`radius`] for the ordering contract).
 
 pub mod adjacency;
 pub mod components;
+pub mod grid;
+pub mod index;
 pub mod kdtree;
 pub mod radius;
 pub mod union_find;
 
 pub use adjacency::AdjList;
 pub use components::{components_as_groups, connected_components, connected_components_bfs};
+pub use grid::GridIndex;
+pub use index::{Backend, GraphIndex};
 pub use kdtree::KdTree;
 pub use radius::{knn_graph, radius_graph, radius_graph_brute};
 pub use union_find::UnionFind;

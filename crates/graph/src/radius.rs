@@ -1,29 +1,37 @@
 //! Fixed-radius and k-nearest-neighbour graph construction — stage 2 of
 //! the Exa.TrkX pipeline builds the candidate-edge graph by connecting
 //! hits that land near each other in the learned embedding space.
+//!
+//! # Deterministic-order contract
+//!
+//! [`radius_graph`] returns edges in strictly ascending `(src, dst)`
+//! order with `src < dst`; [`knn_graph`] returns deduplicated undirected
+//! `(min, max)` pairs in strictly ascending order. Both lists are
+//! **bit-identical across every backend** ([`Backend::Grid`],
+//! [`Backend::Kd`], [`Backend::Brute`]) **and at every thread count**:
+//! candidate routing never affects the shared exact distance predicate,
+//! and the engine's two-pass count-then-fill build emits each point's
+//! neighbour run into a precomputed offset range instead of sorting a
+//! globally collected tuple list. Pinned by `tests/proptests.rs` (run
+//! under `RAYON_NUM_THREADS` 1 and 4 in ci.sh).
+//!
+//! NaN coordinates never produce edges (a NaN distance fails every
+//! radius predicate and is excluded from kNN heaps), so degenerate
+//! embeddings yield isolated points rather than panics.
 
-use crate::kdtree::KdTree;
-use rayon::prelude::*;
+use crate::index::{Backend, GraphIndex};
 
 /// Build the fixed-radius nearest-neighbour graph: one directed edge
 /// `(i, j)` per ordered pair `i != j` with `||p_i - p_j|| <= r`, `i < j`
-/// (callers symmetrise if needed). Parallel over query points.
+/// (callers symmetrise if needed), in ascending `(src, dst)` order.
+/// Parallel over query points via the grid FRNN backend; use
+/// [`GraphIndex`] directly to pick a backend or pool buffers across
+/// events.
 pub fn radius_graph(points: &[f32], dim: usize, r: f32) -> Vec<(u32, u32)> {
-    let n = points.len() / dim;
-    let tree = KdTree::build(points, dim);
-    let mut edges: Vec<(u32, u32)> = (0..n)
-        .into_par_iter()
-        .flat_map_iter(|i| {
-            let q = &points[i * dim..(i + 1) * dim];
-            tree.radius_query(q, r)
-                .into_iter()
-                .filter(move |&j| (j as usize) > i)
-                .map(move |j| (i as u32, j))
-                .collect::<Vec<_>>()
-                .into_iter()
-        })
-        .collect();
-    edges.par_sort_unstable();
+    let mut index = GraphIndex::new(Backend::Grid);
+    index.rebuild(points, dim, r);
+    let mut edges = Vec::new();
+    index.radius_edges_into(r, &mut edges);
     edges
 }
 
@@ -49,34 +57,13 @@ pub fn radius_graph_brute(points: &[f32], dim: usize, r: f32) -> Vec<(u32, u32)>
 }
 
 /// k-nearest-neighbour graph: directed edge from each point to its `k`
-/// nearest neighbours (excluding itself), deduplicated as undirected
-/// `i < j` pairs.
+/// nearest neighbours (excluding itself; ties broken by lower id),
+/// deduplicated as undirected `i < j` pairs in ascending order.
 pub fn knn_graph(points: &[f32], dim: usize, k: usize) -> Vec<(u32, u32)> {
-    let n = points.len() / dim;
-    let tree = KdTree::build(points, dim);
-    let mut edges: Vec<(u32, u32)> = (0..n)
-        .into_par_iter()
-        .flat_map_iter(|i| {
-            let q = &points[i * dim..(i + 1) * dim];
-            // k+1 to allow skipping self.
-            tree.knn_query(q, k + 1)
-                .into_iter()
-                .filter(move |&(j, _)| j as usize != i)
-                .take(k)
-                .map(move |(j, _)| {
-                    let (a, b) = if (i as u32) < j {
-                        (i as u32, j)
-                    } else {
-                        (j, i as u32)
-                    };
-                    (a, b)
-                })
-                .collect::<Vec<_>>()
-                .into_iter()
-        })
-        .collect();
-    edges.par_sort_unstable();
-    edges.dedup();
+    let mut index = GraphIndex::new(Backend::Kd);
+    index.rebuild(points, dim, 0.0);
+    let mut edges = Vec::new();
+    index.knn_edges_into(k, &mut edges);
     edges
 }
 

@@ -1,10 +1,33 @@
 //! Property tests: union-find equals BFS on random graphs; spatial
-//! queries equal brute force.
+//! queries equal brute force; and the backend-parity suite pinning the
+//! deterministic-order contract of the stage-2 construction engine —
+//! grid, kd, and brute backends must produce **bit-identical** edge
+//! lists for any point cloud (including duplicate, colinear, and NaN
+//! degeneracies) at any thread count. ci.sh runs this file under
+//! `RAYON_NUM_THREADS` 1 and 4.
 
 use proptest::prelude::*;
 use trkx_graph::{
-    connected_components, connected_components_bfs, radius_graph, radius_graph_brute, KdTree,
+    connected_components, connected_components_bfs, radius_graph, radius_graph_brute, Backend,
+    GraphIndex, KdTree,
 };
+
+/// Radius edges via one backend, through the pooled engine interface.
+fn engine_edges(points: &[f32], dim: usize, r: f32, backend: Backend) -> Vec<(u32, u32)> {
+    let mut idx = GraphIndex::new(backend);
+    idx.rebuild(points, dim, r);
+    let mut edges = Vec::new();
+    idx.radius_edges_into(r, &mut edges);
+    edges
+}
+
+fn knn_engine_edges(points: &[f32], dim: usize, k: usize, backend: Backend) -> Vec<(u32, u32)> {
+    let mut idx = GraphIndex::new(backend);
+    idx.rebuild(points, dim, 0.0);
+    let mut edges = Vec::new();
+    idx.knn_edges_into(k, &mut edges);
+    edges
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -74,5 +97,98 @@ proptest! {
         // Negating all coordinates preserves pairwise distances.
         let neg: Vec<f32> = pts.iter().map(|v| -v).collect();
         prop_assert_eq!(edges, radius_graph(&neg, dim, 0.5));
+    }
+
+    #[test]
+    fn backends_emit_identical_radius_edges(points in proptest::collection::vec(-1.0f32..1.0, 16..400),
+                                            dim_sel in 0usize..3,
+                                            r in 0.05f32..0.9) {
+        let dim = [2usize, 3, 8][dim_sel];
+        let n = points.len() / dim;
+        let pts = &points[..n * dim];
+        let want = engine_edges(pts, dim, r, Backend::Brute);
+        prop_assert_eq!(&engine_edges(pts, dim, r, Backend::Grid), &want, "grid dim {}", dim);
+        prop_assert_eq!(&engine_edges(pts, dim, r, Backend::Kd), &want, "kd dim {}", dim);
+        prop_assert_eq!(&radius_graph(pts, dim, r), &want, "radius_graph dim {}", dim);
+    }
+
+    #[test]
+    fn backends_agree_on_duplicate_point_clouds(base in proptest::collection::vec(-0.5f32..0.5, 6..40),
+                                                copies in 2usize..5,
+                                                r in 0.0f32..0.6) {
+        // Every point repeated `copies` times: zero-distance ties galore.
+        let dim = 2;
+        let n = base.len() / dim;
+        let mut pts = Vec::new();
+        for _ in 0..copies {
+            pts.extend_from_slice(&base[..n * dim]);
+        }
+        let want = engine_edges(&pts, dim, r, Backend::Brute);
+        prop_assert_eq!(&engine_edges(&pts, dim, r, Backend::Grid), &want);
+        prop_assert_eq!(&engine_edges(&pts, dim, r, Backend::Kd), &want);
+    }
+
+    #[test]
+    fn backends_agree_on_colinear_clouds(ts in proptest::collection::vec(-1.0f32..1.0, 4..80),
+                                         r in 0.05f32..0.8) {
+        // All points on one line in 3-d: degenerate for median splits
+        // and for grid binning (two axes collapse to one cell).
+        let pts: Vec<f32> = ts.iter().flat_map(|&t| [t, 2.0 * t, -t]).collect();
+        let want = engine_edges(&pts, 3, r, Backend::Brute);
+        prop_assert_eq!(&engine_edges(&pts, 3, r, Backend::Grid), &want);
+        prop_assert_eq!(&engine_edges(&pts, 3, r, Backend::Kd), &want);
+    }
+
+    #[test]
+    fn nan_rows_never_produce_edges(points in proptest::collection::vec(-1.0f32..1.0, 12..120),
+                                    nan_at in proptest::collection::vec(0usize..60, 1..6),
+                                    r in 0.1f32..0.8) {
+        let dim = 3;
+        let n = points.len() / dim;
+        let mut pts = points[..n * dim].to_vec();
+        for &i in &nan_at {
+            pts[(i % n) * dim] = f32::NAN;
+        }
+        let want = engine_edges(&pts, dim, r, Backend::Brute);
+        for backend in [Backend::Grid, Backend::Kd] {
+            let got = engine_edges(&pts, dim, r, backend);
+            prop_assert_eq!(&got, &want, "{:?}", backend);
+            for &(s, d) in &got {
+                for &i in &nan_at {
+                    prop_assert!(s != (i % n) as u32 && d != (i % n) as u32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_backends_agree(points in proptest::collection::vec(-1.0f32..1.0, 16..240),
+                          dim_sel in 0usize..3,
+                          k in 1usize..6) {
+        let dim = [2usize, 3, 8][dim_sel];
+        let n = points.len() / dim;
+        let pts = &points[..n * dim];
+        let want = knn_engine_edges(pts, dim, k, Backend::Brute);
+        prop_assert_eq!(&knn_engine_edges(pts, dim, k, Backend::Kd), &want);
+        prop_assert_eq!(&knn_engine_edges(pts, dim, k, Backend::Grid), &want);
+    }
+
+    #[test]
+    fn pooled_engine_reuse_is_stateless(a in proptest::collection::vec(-1.0f32..1.0, 24..160),
+                                        b in proptest::collection::vec(-1.0f32..1.0, 24..160),
+                                        r in 0.1f32..0.7) {
+        // Rebuilding one pooled index over event B after event A must
+        // give exactly the fresh-build result for B (no stale state).
+        let dim = 3;
+        let (na, nb) = (a.len() / dim, b.len() / dim);
+        for backend in [Backend::Grid, Backend::Kd, Backend::Brute] {
+            let mut idx = GraphIndex::new(backend);
+            let mut edges = Vec::new();
+            idx.rebuild(&a[..na * dim], dim, r);
+            idx.radius_edges_into(r, &mut edges);
+            idx.rebuild(&b[..nb * dim], dim, r);
+            idx.radius_edges_into(r, &mut edges);
+            prop_assert_eq!(&edges, &engine_edges(&b[..nb * dim], dim, r, Backend::Brute));
+        }
     }
 }

@@ -80,6 +80,11 @@ pub struct TimingsUs {
     pub total_us: u64,
     /// Events in the micro-batch this request was grouped into.
     pub batch_events: usize,
+    /// Candidate edges stage 2 built for the whole micro-batch (with
+    /// `construct_us`, gives construction edges/sec; absent from
+    /// responses emitted before this field existed).
+    #[serde(default)]
+    pub construct_edges: usize,
 }
 
 /// One response line. `status` is `"ok"`, `"shed"`, or `"error"`.
